@@ -1,0 +1,42 @@
+"""Benchmark fixtures: shared trace stores and a results directory.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered artifact is written to ``results/<name>.txt`` so a benchmark run
+leaves the full reproduction on disk, and timing comes from
+pytest-benchmark (single-round pedantic mode — each experiment is a
+deterministic batch job, not a microbenchmark).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import TraceStore
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+CACHE_DIR = Path(__file__).resolve().parent.parent / ".cache" / "traces"
+
+
+@pytest.fixture(scope="session")
+def store50():
+    """Application runs at the paper's 50-cycle miss penalty."""
+    return TraceStore(miss_penalty=50, cache_dir=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def store100():
+    """Application runs at the 100-cycle miss penalty (§4.2)."""
+    return TraceStore(miss_penalty=100, cache_dir=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")

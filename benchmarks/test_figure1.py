@@ -1,0 +1,22 @@
+"""Benchmark E9 — regenerate Figure 1 (ordering restrictions per model)."""
+
+from conftest import save_result
+
+from repro.experiments import format_figure1, run_figure1
+
+
+def test_figure1(benchmark, results_dir):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    save_result(results_dir, "figure1", format_figure1(result))
+
+    # SC fully serializes the canonical 8-access sequence.
+    assert result["SC"]["makespan"] == 400
+    # Each relaxation step shortens the idealised makespan.
+    assert result["PC"]["makespan"] < result["SC"]["makespan"]
+    assert result["WO"]["makespan"] < result["SC"]["makespan"]
+    assert result["RC"]["makespan"] < result["WO"]["makespan"]
+    # Total ordering constraints shrink along the relaxation chain
+    # SC > WO > RC and SC > PC.
+    assert result["RC"]["constraints"] < result["WO"]["constraints"] \
+        < result["SC"]["constraints"]
+    assert result["PC"]["constraints"] < result["SC"]["constraints"]

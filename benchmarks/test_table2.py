@@ -1,0 +1,33 @@
+"""Benchmark E2 — regenerate Table 2 (synchronization statistics)."""
+
+from conftest import save_result
+
+from repro.experiments import format_table2, run_table2
+
+
+def test_table2(benchmark, store50, results_dir):
+    store50.all_apps()
+
+    rows = benchmark.pedantic(
+        lambda: run_table2(store50), rounds=1, iterations=1
+    )
+    save_result(results_dir, "table2", format_table2(rows))
+
+    by_app = {r.app: r for r in rows}
+    # Shape checks against the paper's Table 2:
+    # PTHOR is by far the most lock-intensive application,
+    lock_rates = {a: r.rate(r.locks) for a, r in by_app.items()}
+    assert max(lock_rates, key=lock_rates.get) == "pthor"
+    assert by_app["pthor"].locks > 10 * max(
+        by_app[a].locks for a in ("mp3d", "locus", "ocean")
+    )
+    # locks and unlocks balance,
+    for row in rows:
+        assert row.locks == row.unlocks
+    # LU synchronizes through events, not locks,
+    assert by_app["lu"].locks == 0
+    assert by_app["lu"].wait_events > 0
+    # LU uses exactly two barriers; OCEAN and MP3D use barriers per step.
+    assert by_app["lu"].barriers == 2
+    assert by_app["ocean"].barriers > 2
+    assert by_app["mp3d"].barriers > 2

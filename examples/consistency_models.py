@@ -1,0 +1,58 @@
+"""Consistency models side by side (the paper's Figure 1, executable).
+
+Part 1 prints the ordering restrictions each model imposes on a canonical
+access sequence and the idealised overlapped completion time.
+
+Part 2 runs the same application trace through the dynamically scheduled
+processor under SC, PC, WO and RC, showing how the model — not the
+hardware — decides how much memory latency can be hidden.
+
+Run:  python examples/consistency_models.py [app]
+"""
+
+import sys
+
+from repro import MultiprocessorConfig, TangoExecutor, build_app
+from repro.cpu import ProcessorConfig, simulate
+from repro.experiments import (
+    format_breakdowns,
+    format_figure1,
+    run_figure1,
+)
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "mp3d"
+
+    print(format_figure1(run_figure1()))
+
+    print(f"\nRunning {app.upper()} on the simulated multiprocessor...")
+    workload = build_app(app, preset="tiny")
+    result = TangoExecutor(
+        workload.programs, MultiprocessorConfig(), memory=workload.memory
+    ).run()
+    workload.verify(result.memory)
+    trace = result.trace(0)
+
+    runs = [simulate(trace, ProcessorConfig(kind="base"))]
+    for model in ("SC", "PC", "WO", "RC"):
+        runs.append(
+            simulate(
+                trace,
+                ProcessorConfig(kind="ds", model=model, window=64),
+            )
+        )
+    print()
+    print(format_breakdowns(
+        f"{app.upper()} on the dynamically scheduled processor "
+        f"(window 64, percent of BASE):",
+        runs, runs[0],
+    ))
+    print(
+        "\nSC gains almost nothing from the out-of-order window; each "
+        "relaxation exposes more of the overlap the window can exploit."
+    )
+
+
+if __name__ == "__main__":
+    main()

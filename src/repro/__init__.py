@@ -1,0 +1,52 @@
+"""repro — reproduction of Gharachorloo, Gupta & Hennessy (ISCA 1992),
+"Hiding Memory Latency using Dynamic Scheduling in Shared-Memory
+Multiprocessors".
+
+The package builds, from scratch, everything the paper's methodology
+needs:
+
+* a small RISC ISA and structured assembler (:mod:`repro.isa`,
+  :mod:`repro.asm`);
+* a shared-memory multiprocessor trace generator with coherent caches and
+  ANL-style synchronization (:mod:`repro.mem`, :mod:`repro.sync`,
+  :mod:`repro.tango`);
+* the five benchmark applications, written against the ISA and
+  functionally verified (:mod:`repro.apps`);
+* the four consistency models (:mod:`repro.consistency`);
+* the four trace-driven processor models, including the Johnson-style
+  dynamically scheduled core (:mod:`repro.cpu`);
+* the experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import build_app, MultiprocessorConfig, TangoExecutor
+
+    workload = build_app("lu", preset="tiny")
+    result = TangoExecutor(workload.programs,
+                           MultiprocessorConfig(),
+                           memory=workload.memory).run()
+    workload.verify(result.memory)
+"""
+
+from .apps import APP_NAMES, Workload, build_app
+from .consistency import MODELS, PC, RC, SC, WO, get_model
+from .tango import MultiprocessorConfig, RunResult, TangoExecutor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APP_NAMES",
+    "MODELS",
+    "MultiprocessorConfig",
+    "PC",
+    "RC",
+    "RunResult",
+    "SC",
+    "TangoExecutor",
+    "WO",
+    "Workload",
+    "build_app",
+    "get_model",
+    "__version__",
+]

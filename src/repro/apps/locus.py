@@ -1,0 +1,358 @@
+"""LOCUS — standard-cell global router (paper §3.3).
+
+Models LocusRoute's computational core: wires are routed over a shared
+*cost array* that records how many wires pass through each routing cell.
+Processors grab wires from a lock-protected central work pile; for each
+wire they evaluate candidate routes (the two L-shaped bends between the
+endpoints), pick the cheaper one by summing the cost-array cells along
+each candidate, and then record the chosen route by incrementing those
+cells.
+
+As in the original LocusRoute, the cost-array increments are *not* lock
+protected — the occasional lost update only perturbs route quality, never
+correctness — so the cost array is the shared, write-hot structure that
+produces this application's communication misses.  The work-pile lock is
+the only lock (the paper reports 356 locks against 3.3M instructions —
+locking is rare), and one barrier ends the run.
+
+Verification uses order-independent invariants plus per-processor private
+counters: every wire is routed exactly once, every recorded choice is a
+valid route id, and the lock-free cost array never exceeds (and stays
+close to) the exact total of routed cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..asm import AsmBuilder
+from ..isa import Program
+from ..mem import SegmentAllocator, SharedMemory
+from .common import Workload
+
+_WIRE_BYTES = 16  # x1, y1, x2, y2 -- one cache line per wire
+
+#: Jog positions of the Z-shaped candidate routes, as fractions of the
+#: horizontal span (numerator, denominator).
+_Z_FRACTIONS = ((1, 4), (1, 2), (3, 4))
+
+
+def _thread_program(
+    me: int,
+    n_procs: int,
+    n_wires: int,
+    cols: int,
+    bases: dict[str, int],
+) -> Program:
+    b = AsmBuilder(f"locus.t{me}")
+
+    r_grid = b.ireg("grid")
+    r_wires = b.ireg("wires")
+    r_choice = b.ireg("choice")
+    r_work = b.ireg("work")       # lock word; the counter sits at +4
+    r_nwires = b.ireg("nwires")
+    b.li(r_grid, bases["grid"])
+    b.li(r_wires, bases["wires"])
+    b.li(r_choice, bases["choice"])
+    b.li(r_work, bases["work"])
+    b.li(r_nwires, n_wires)
+
+    r_total = b.ireg("total")     # cells this processor incremented
+    b.li(r_total, 0)
+
+    x1 = b.ireg("x1")
+    y1 = b.ireg("y1")
+    x2 = b.ireg("x2")
+    y2 = b.ireg("y2")
+    wid = b.ireg("wid")
+
+    def cell_addr(dest, x_reg, y_reg):
+        """dest = &grid[y * cols + x]."""
+        b.muli(dest, y_reg, cols)
+        b.add(dest, dest, x_reg)
+        b.muli(dest, dest, 4)
+        b.add(dest, dest, r_grid)
+
+    def step_reg(dest, src_a, src_b):
+        """dest = +1 / -1 stepping from src_a towards src_b."""
+        b.li(dest, 1)
+        with b.if_cmp("gt", src_a, src_b):
+            b.li(dest, -1)
+
+    def sum_span(acc, fixed, moving, end, horizontal: bool):
+        """acc += cost of cells from (moving..end) exclusive of `end`.
+
+        ``horizontal`` selects whether ``moving`` is the x coordinate.
+        Walks toward ``end`` and stops before it (the corner/endpoint is
+        accounted by the caller exactly once).
+        """
+        with b.itemps(3) as (cur, stp, addr):
+            b.mov(cur, moving)
+            step_reg(stp, moving, end)
+            with b.while_cmp("ne", cur, end):
+                if horizontal:
+                    cell_addr(addr, cur, fixed)
+                else:
+                    cell_addr(addr, fixed, cur)
+                with b.itemps(1) as c:
+                    b.lw(c, addr, 0)
+                    b.add(acc, acc, c)
+                b.add(cur, cur, stp)
+
+    def mark_span(fixed, moving, end, horizontal: bool):
+        """Increment cells from ``moving`` toward ``end`` (exclusive)."""
+        with b.itemps(3) as (cur, stp, addr):
+            b.mov(cur, moving)
+            step_reg(stp, moving, end)
+            with b.while_cmp("ne", cur, end):
+                if horizontal:
+                    cell_addr(addr, cur, fixed)
+                else:
+                    cell_addr(addr, fixed, cur)
+                with b.itemps(1) as c:
+                    b.lw(c, addr, 0)
+                    b.addi(c, c, 1)
+                    b.sw(c, addr, 0)
+                b.addi(r_total, r_total, 1)
+                b.add(cur, cur, stp)
+
+    def mark_cell(x_reg, y_reg):
+        with b.itemps(1) as addr:
+            cell_addr(addr, x_reg, y_reg)
+            with b.itemps(1) as c:
+                b.lw(c, addr, 0)
+                b.addi(c, c, 1)
+                b.sw(c, addr, 0)
+            b.addi(r_total, r_total, 1)
+
+    loop = b.label("fetch")
+    done = b.newlabel("done")
+    skip2 = b.newlabel("skip2")
+
+    # ---- grab the next two wires from the lock-protected work pile -----
+    # Fetching in pairs halves the pressure on the central work lock, the
+    # way LocusRoute amortises its task-queue locking.
+    b.lock(r_work)
+    b.lw(wid, r_work, 4)
+    with b.itemps(1) as t:
+        b.addi(t, wid, 2)
+        b.sw(t, r_work, 4)
+    b.unlock(r_work)
+    b.branch("ge", wid, r_nwires, done)
+    b.jal("route")
+    b.addi(wid, wid, 1)
+    b.branch("ge", wid, r_nwires, skip2)
+    b.jal("route")
+    b.label(skip2)
+    b.j(loop)
+
+    # ---- subroutine: route the wire whose id is in ``wid`` -------------
+    b.label("route")
+    with b.itemps(1) as p_wire:
+        b.muli(p_wire, wid, _WIRE_BYTES)
+        b.add(p_wire, p_wire, r_wires)
+        b.lw(x1, p_wire, 0)
+        b.lw(y1, p_wire, 4)
+        b.lw(x2, p_wire, 8)
+        b.lw(y2, p_wire, 12)
+
+    # ---- evaluate the candidate routes -------------------------------------
+    # Like LocusRoute, several routes per two-pin segment are costed: the
+    # two L-shaped bends plus Z-shaped routes with intermediate jogs at
+    # 1/4, 1/2 and 3/4 of the horizontal span.  All candidates have equal
+    # geometric length (|dx| + |dy| + 1 cells); they differ only in the
+    # congestion they cross.
+    costs = [b.ireg(f"cost{i}") for i in range(2 + len(_Z_FRACTIONS))]
+    jogs = [b.ireg(f"jog{i}") for i in range(len(_Z_FRACTIONS))]
+    for reg in costs:
+        b.li(reg, 0)
+    # Route 0 (L, horizontal first): along y1 then vertical at x2.
+    sum_span(costs[0], y1, x1, x2, horizontal=True)
+    sum_span(costs[0], x2, y1, y2, horizontal=False)
+    # Route 1 (L, vertical first): vertical at x1 then along y2.
+    sum_span(costs[1], x1, y1, y2, horizontal=False)
+    sum_span(costs[1], y2, x1, x2, horizontal=True)
+    # Z routes: jog at x1 + (x2-x1) * num / den.
+    for z, (num, den) in enumerate(_Z_FRACTIONS):
+        xm = jogs[z]
+        with b.itemps(1) as t:
+            b.sub(t, x2, x1)
+            b.muli(t, t, num)
+            with b.itemps(1) as d:
+                b.li(d, den)
+                b.div(t, t, d)
+            b.add(xm, x1, t)
+        sum_span(costs[2 + z], y1, x1, xm, horizontal=True)
+        sum_span(costs[2 + z], xm, y1, y2, horizontal=False)
+        sum_span(costs[2 + z], y2, xm, x2, horizontal=True)
+    # Every candidate ends on the endpoint cell (x2, y2); add it once each.
+    with b.itemps(2) as (addr, c):
+        cell_addr(addr, x2, y2)
+        b.lw(c, addr, 0)
+        for reg in costs:
+            b.add(reg, reg, c)
+
+    # ---- pick the cheapest candidate (ties pick the lowest id) ----------
+    best = b.ireg("best")
+    bestcost = b.ireg("bestcost")
+    b.li(best, 0)
+    b.mov(bestcost, costs[0])
+    for i in range(1, len(costs)):
+        with b.if_cmp("lt", costs[i], bestcost):
+            b.li(best, i)
+            b.mov(bestcost, costs[i])
+
+    with b.itemps(1) as p_choice:
+        b.muli(p_choice, wid, 4)
+        b.add(p_choice, p_choice, r_choice)
+        b.sw(best, p_choice, 0)
+
+    # ---- commit the chosen route --------------------------------------------
+    wrote = b.newlabel("wrote")
+    commit_labels = [b.newlabel(f"commit{i}") for i in range(len(costs))]
+    with b.itemps(1) as t:
+        for i in range(1, len(costs)):
+            b.li(t, i)
+            b.branch("eq", best, t, commit_labels[i])
+    # Route 0.
+    mark_span(y1, x1, x2, horizontal=True)
+    mark_span(x2, y1, y2, horizontal=False)
+    mark_cell(x2, y2)
+    b.j(wrote)
+    # Route 1.
+    b.label(commit_labels[1])
+    mark_span(x1, y1, y2, horizontal=False)
+    mark_span(y2, x1, x2, horizontal=True)
+    mark_cell(x2, y2)
+    b.j(wrote)
+    # Z routes.
+    for z in range(len(_Z_FRACTIONS)):
+        b.label(commit_labels[2 + z])
+        mark_span(y1, x1, jogs[z], horizontal=True)
+        mark_span(jogs[z], y1, y2, horizontal=False)
+        mark_span(y2, jogs[z], x2, horizontal=True)
+        mark_cell(x2, y2)
+        if z != len(_Z_FRACTIONS) - 1:
+            b.j(wrote)
+    b.label(wrote)
+    b.jr()
+
+    b.label(done)
+    # Publish this processor's exact routed-cell count.
+    with b.itemps(1) as p_priv:
+        b.li(p_priv, bases["private"] + me * 16)
+        b.sw(r_total, p_priv, 0)
+    with b.itemps(1) as r_bar:
+        b.li(r_bar, bases["barriers"])
+        b.barrier(r_bar)
+    b.halt()
+    return b.build()
+
+
+def build(
+    n_procs: int = 16,
+    n_wires: int = 256,
+    rows: int = 20,
+    cols: int = 192,
+    seed: int = 23,
+) -> Workload:
+    """Build the LOCUS workload.
+
+    Args:
+        n_procs: number of processors.
+        n_wires: wires to route (the paper's circuit has 1266).
+        rows: cost-array rows (the paper uses a 481x18 array).
+        cols: cost-array columns.
+        seed: RNG seed for wire endpoints.
+    """
+    if n_wires % 2:
+        raise ValueError("n_wires must be even (wires are fetched in pairs)")
+    rng = np.random.default_rng(seed)
+    x1 = rng.integers(0, cols, size=n_wires)
+    y1 = rng.integers(0, rows, size=n_wires)
+    # Mostly-horizontal wires, like standard-cell channels.
+    span = rng.integers(16, max(17, (5 * cols) // 6), size=n_wires)
+    x2 = np.clip(x1 + rng.choice([-1, 1], size=n_wires) * span, 0, cols - 1)
+    y2 = rng.integers(0, rows, size=n_wires)
+
+    layout = SegmentAllocator()
+    bases = {
+        "grid": layout.alloc_words("grid", rows * cols),
+        "wires": layout.alloc("wires", n_wires * _WIRE_BYTES),
+        "choice": layout.alloc_words("choice", n_wires),
+        "work": layout.alloc_words("work", 4),
+        "private": layout.alloc("private", n_procs * 16),
+        "barriers": layout.alloc_words("barriers", 1),
+    }
+
+    memory = SharedMemory()
+    for w in range(n_wires):
+        rec = bases["wires"] + w * _WIRE_BYTES
+        memory.write_word(rec + 0, int(x1[w]))
+        memory.write_word(rec + 4, int(y1[w]))
+        memory.write_word(rec + 8, int(x2[w]))
+        memory.write_word(rec + 12, int(y2[w]))
+        # Choices start at -1 so "routed exactly once" is checkable.
+        memory.write_word(bases["choice"] + w * 4, -1)
+
+    programs = [
+        _thread_program(me, n_procs, n_wires, cols, bases)
+        for me in range(n_procs)
+    ]
+
+    def path_len(w: int) -> int:
+        return abs(int(x2[w]) - int(x1[w])) + abs(int(y2[w]) - int(y1[w])) + 1
+
+    def verify(mem: SharedMemory) -> None:
+        # Work pile handed out each wire pair exactly once, then one
+        # sentinel fetch (of two) per processor.
+        counter = mem.read_word(bases["work"] + 4)
+        if counter != n_wires + 2 * n_procs:
+            raise AssertionError(
+                f"LOCUS work counter {counter} != {n_wires + 2 * n_procs}"
+            )
+        total_cells = 0
+        n_routes = 2 + len(_Z_FRACTIONS)
+        for w in range(n_wires):
+            choice = mem.read_word(bases["choice"] + w * 4)
+            if not 0 <= choice < n_routes:
+                raise AssertionError(
+                    f"LOCUS wire {w} has invalid choice {choice}"
+                )
+            total_cells += path_len(w)
+        private_sum = sum(
+            mem.read_word(bases["private"] + p * 16)
+            for p in range(n_procs)
+        )
+        if private_sum != total_cells:
+            raise AssertionError(
+                f"LOCUS private counters {private_sum} != {total_cells}"
+            )
+        grid_sum = sum(
+            mem.read_word(bases["grid"] + i * 4)
+            for i in range(rows * cols)
+        )
+        if grid_sum > total_cells:
+            raise AssertionError(
+                f"LOCUS cost array overcounts: {grid_sum} > {total_cells}"
+            )
+        if grid_sum < total_cells * 0.9:
+            raise AssertionError(
+                f"LOCUS cost array lost too many updates: "
+                f"{grid_sum} << {total_cells}"
+            )
+
+    return Workload(
+        name="locus",
+        programs=programs,
+        memory=memory,
+        layout=layout,
+        verify=verify,
+        params={
+            "n_procs": n_procs,
+            "n_wires": n_wires,
+            "rows": rows,
+            "cols": cols,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,254 @@
+"""OCEAN — eddy/boundary-current simulation kernel (paper §3.3).
+
+Models the computational core of the OCEAN code: per timestep, a set of
+two-dimensional double-precision arrays is swept with nearest-neighbour
+stencil updates, separated by global barriers.  Each timestep performs
+
+1. a five-point Jacobi relaxation of the stream field ``A`` into ``B``
+   with forcing from ``W``;
+2. a copy-back of ``B`` into ``A`` combined with a pointwise decay/update
+   of the forcing field ``W``;
+3. a finite-difference "velocity" computation writing ``U`` and ``V``
+   from central differences of ``A``.
+
+Rows are statically block-partitioned across processors; the boundary rows
+of each partition are the communication surface (read by neighbours each
+step, re-written by the owner), and the five live arrays per processor
+slightly exceed a realistically scaled cache — together these reproduce
+OCEAN's signature property in the paper: *write misses outnumber read
+misses*, which is what makes processor consistency unable to hide its
+write latency (§4.1.1).
+
+The paper ran a 98x98 grid with ~25 arrays; the default here is reduced
+proportionally for pure-Python simulation speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..asm import AsmBuilder
+from ..isa import Program
+from ..mem import SegmentAllocator, SharedMemory
+from .common import Workload
+
+_OMEGA = 0.2       # Jacobi weight
+_FORCE = 0.05      # forcing contribution
+_DECAY = 0.95      # forcing decay per step
+_FEEDBACK = 0.01   # field feedback into the forcing
+
+
+def _reference(a, w, steps):
+    """Pure-numpy replay with the same per-element operation order."""
+    a = a.copy()
+    w = w.copy()
+    n = a.shape[0]
+    u = np.zeros_like(a)
+    v = np.zeros_like(a)
+    b = a.copy()
+    interior = slice(1, n - 1)
+    for _ in range(steps):
+        b[interior, interior] = (
+            (((a[interior, interior] + a[:-2, 1:-1]) + a[2:, 1:-1])
+             + a[1:-1, :-2]) + a[1:-1, 2:]
+        ) * _OMEGA + w[interior, interior] * _FORCE
+        a[interior, interior] = b[interior, interior]
+        w[interior, interior] = (
+            w[interior, interior] * _DECAY
+            + b[interior, interior] * _FEEDBACK
+        )
+        u[interior, interior] = a[2:, 1:-1] - a[:-2, 1:-1]
+        v[interior, interior] = a[1:-1, 2:] - a[1:-1, :-2]
+    return a, w, u, v
+
+
+def _row_range(me: int, n_procs: int, n: int) -> tuple[int, int]:
+    """Contiguous block of interior rows [lo, hi) owned by processor."""
+    interior = n - 2
+    q, r = divmod(interior, n_procs)
+    lo = 1 + me * q + min(me, r)
+    hi = lo + q + (1 if me < r else 0)
+    return lo, hi
+
+
+def _thread_program(
+    me: int,
+    n_procs: int,
+    n: int,
+    steps: int,
+    bases: dict[str, int],
+    bar_base: int,
+) -> Program:
+    b = AsmBuilder(f"ocean.t{me}")
+    lo, hi = _row_range(me, n_procs, n)
+    row_bytes = n * 8
+
+    r_a = b.ireg("A")
+    r_b = b.ireg("B")
+    r_w = b.ireg("W")
+    r_u = b.ireg("U")
+    r_v = b.ireg("V")
+    r_bar = b.ireg("bar")
+    b.li(r_a, bases["A"])
+    b.li(r_b, bases["B"])
+    b.li(r_w, bases["W"])
+    b.li(r_u, bases["U"])
+    b.li(r_v, bases["V"])
+
+    f_omega = b.freg("omega")
+    f_force = b.freg("force")
+    f_decay = b.freg("decay")
+    f_feed = b.freg("feed")
+    b.fli(f_omega, _OMEGA)
+    b.fli(f_force, _FORCE)
+    b.fli(f_decay, _DECAY)
+    b.fli(f_feed, _FEEDBACK)
+
+    b.li(r_bar, bar_base)
+    b.barrier(r_bar)
+
+    step = b.ireg("step")
+    i = b.ireg("i")
+    j = b.ireg("j")
+    with b.for_range(step, 0, steps):
+        # ---- phase 1: Jacobi relaxation A -> B, forced by W ------------
+        with b.for_range(i, lo, hi):
+            with b.itemps(3) as (p_c, p_b, p_w):
+                # p_c -> &A[i,1]; row-major layout.
+                b.muli(p_c, i, row_bytes)
+                b.addi(p_b, p_c, 8)
+                b.add(p_b, p_b, r_b)        # &B[i,1]
+                b.addi(p_w, p_c, 8)
+                b.add(p_w, p_w, r_w)        # &W[i,1]
+                b.addi(p_c, p_c, 8)
+                b.add(p_c, p_c, r_a)        # &A[i,1]
+                with b.for_range(j, 1, n - 1), b.ftemps(3) as (f0, f1, f2):
+                    b.fld(f0, p_c, 0)                # A[i,j]
+                    b.fld(f1, p_c, -row_bytes)       # A[i-1,j]
+                    b.fadd(f0, f0, f1)
+                    b.fld(f1, p_c, row_bytes)        # A[i+1,j]
+                    b.fadd(f0, f0, f1)
+                    b.fld(f1, p_c, -8)               # A[i,j-1]
+                    b.fadd(f0, f0, f1)
+                    b.fld(f1, p_c, 8)                # A[i,j+1]
+                    b.fadd(f0, f0, f1)
+                    b.fmul(f0, f0, f_omega)
+                    b.fld(f2, p_w, 0)                # W[i,j]
+                    b.fmul(f2, f2, f_force)
+                    b.fadd(f0, f0, f2)
+                    b.fsd(f0, p_b, 0)
+                    b.addi(p_c, p_c, 8)
+                    b.addi(p_b, p_b, 8)
+                    b.addi(p_w, p_w, 8)
+        b.li(r_bar, bar_base + 4)
+        b.barrier(r_bar)
+
+        # ---- phase 2: copy back and update forcing ----------------------
+        with b.for_range(i, lo, hi):
+            with b.itemps(3) as (p_a, p_b, p_w):
+                b.muli(p_a, i, row_bytes)
+                b.addi(p_a, p_a, 8)
+                b.add(p_b, p_a, r_b)
+                b.add(p_w, p_a, r_w)
+                b.add(p_a, p_a, r_a)
+                with b.for_range(j, 1, n - 1), b.ftemps(2) as (f0, f1):
+                    b.fld(f0, p_b, 0)                # B[i,j]
+                    b.fsd(f0, p_a, 0)                # A[i,j] = B[i,j]
+                    b.fld(f1, p_w, 0)                # W[i,j]
+                    b.fmul(f1, f1, f_decay)
+                    with b.ftemps(1) as f2:
+                        b.fmul(f2, f0, f_feed)
+                        b.fadd(f1, f1, f2)
+                    b.fsd(f1, p_w, 0)
+                    b.addi(p_a, p_a, 8)
+                    b.addi(p_b, p_b, 8)
+                    b.addi(p_w, p_w, 8)
+        b.li(r_bar, bar_base + 8)
+        b.barrier(r_bar)
+
+        # ---- phase 3: central-difference velocities ----------------------
+        with b.for_range(i, lo, hi):
+            with b.itemps(3) as (p_a, p_u, p_v):
+                b.muli(p_a, i, row_bytes)
+                b.addi(p_a, p_a, 8)
+                b.add(p_u, p_a, r_u)
+                b.add(p_v, p_a, r_v)
+                b.add(p_a, p_a, r_a)
+                with b.for_range(j, 1, n - 1), b.ftemps(2) as (f0, f1):
+                    b.fld(f0, p_a, row_bytes)        # A[i+1,j]
+                    b.fld(f1, p_a, -row_bytes)       # A[i-1,j]
+                    b.fsub(f0, f0, f1)
+                    b.fsd(f0, p_u, 0)                # U[i,j]
+                    b.fld(f0, p_a, 8)                # A[i,j+1]
+                    b.fld(f1, p_a, -8)               # A[i,j-1]
+                    b.fsub(f0, f0, f1)
+                    b.fsd(f0, p_v, 0)                # V[i,j]
+                    b.addi(p_a, p_a, 8)
+                    b.addi(p_u, p_u, 8)
+                    b.addi(p_v, p_v, 8)
+        b.li(r_bar, bar_base + 12)
+        b.barrier(r_bar)
+
+    b.halt()
+    return b.build()
+
+
+def build(n_procs: int = 16, n: int = 50, steps: int = 5,
+          seed: int = 31) -> Workload:
+    """Build the OCEAN workload.
+
+    Args:
+        n_procs: number of processors.
+        n: grid dimension including boundary (paper: 98).
+        steps: timesteps to simulate.
+        seed: RNG seed for the initial fields.
+    """
+    if n - 2 < n_procs:
+        raise ValueError("grid too small: fewer interior rows than CPUs")
+    rng = np.random.default_rng(seed)
+    a0 = rng.uniform(-1.0, 1.0, size=(n, n))
+    w0 = rng.uniform(-0.5, 0.5, size=(n, n))
+
+    layout = SegmentAllocator()
+    bases = {
+        name: layout.alloc_doubles(name, n * n)
+        for name in ("A", "B", "W", "U", "V")
+    }
+    bar_base = layout.alloc_words("barriers", 4)
+
+    memory = SharedMemory()
+    for i in range(n):
+        for j in range(n):
+            memory.write_double(bases["A"] + (i * n + j) * 8, float(a0[i, j]))
+            memory.write_double(bases["W"] + (i * n + j) * 8, float(w0[i, j]))
+
+    programs = [
+        _thread_program(me, n_procs, n, steps, bases, bar_base)
+        for me in range(n_procs)
+    ]
+
+    exp_a, exp_w, exp_u, exp_v = _reference(a0, w0, steps)
+
+    def verify(mem: SharedMemory) -> None:
+        for name, expected in (
+            ("A", exp_a), ("W", exp_w), ("U", exp_u), ("V", exp_v),
+        ):
+            base = bases[name]
+            result = np.array([
+                [mem.read_double(base + (i * n + j) * 8) for j in range(n)]
+                for i in range(n)
+            ])
+            if not np.allclose(result, expected, rtol=1e-10, atol=1e-12):
+                worst = np.abs(result - expected).max()
+                raise AssertionError(
+                    f"OCEAN array {name} mismatch, max abs err {worst:.3e}"
+                )
+
+    return Workload(
+        name="ocean",
+        programs=programs,
+        memory=memory,
+        layout=layout,
+        verify=verify,
+        params={"n_procs": n_procs, "n": n, "steps": steps, "seed": seed},
+    )

@@ -1,0 +1,455 @@
+"""PTHOR — parallel distributed-time logic simulator (paper §3.3).
+
+Models the behaviour of PTHOR's Chandy-Misra-style simulation loop on a
+levelized combinational circuit.  The data structures mirror the real
+simulator's: *elements* (two-input gates with type, value, input ids, a
+fanout list into a shared fanout pool, and an activation flag) and
+per-processor *task queues* of activated elements, protected by locks.
+
+Execution proceeds in simulated clock cycles.  At each clock a seeded
+subset of the primary inputs toggles; the resulting activations propagate
+level by level (a barrier separates levels, so an element always sees
+final input values — the deterministic-evaluation property Chandy-Misra
+timestamps provide in the real simulator).  Each processor drains its own
+queue for the current level: pop an element under the queue lock, clear
+its activation flag, chase pointers to read its input values (the
+dependent-load chains the paper blames for PTHOR's residual read
+latency), evaluate the gate through a type-dispatch branch tree (the
+unpredictable branches behind PTHOR's 81% prediction accuracy), and on an
+output change push every fanout element onto its owner's queue for that
+element's level, under that queue's lock.
+
+PTHOR is the synchronization-heavy application of the suite — thousands
+of lock acquisitions and hundreds of barriers (Table 2) — and that is
+exactly what this structure produces.
+
+Verification is strong: the circuit is initialised consistently, so after
+the run every element's value must equal the full combinational
+evaluation of the circuit at the final primary-input assignment, and all
+activation flags and queues must be empty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..asm import AsmBuilder
+from ..isa import Program
+from ..mem import SegmentAllocator, SharedMemory
+from .common import Workload
+
+_ELEM_BYTES = 48
+# Element record field offsets, grouped by sharing behaviour so each
+# 16-byte cache line of the record has a single coherence personality:
+# line 0 is read-only circuit structure, line 1 is the dirty-shared
+# simulation state (value + activation flag), line 2 is owner-private.
+_F_TYPE = 0       # line 0: read-only
+_F_IN0 = 4
+_F_IN1 = 8
+_F_DELAY = 12     # gate delay, accumulated into the local virtual time
+_F_VAL = 16       # line 1: written by owner, read/written by pushers
+_F_QUEUED = 20
+_F_LEVEL = 24
+_F_FANBASE = 32   # line 2: only the owner walks its own fanout list
+_F_FANCNT = 36
+_F_ACT = 40       # evaluation count (statistics, owner-private)
+
+_QD_BYTES = 16
+# Queue descriptor offsets: lock word, head, tail, buffer base address.
+_Q_LOCK = 0
+_Q_HEAD = 4
+_Q_TAIL = 8
+_Q_BUF = 12
+
+_AND, _OR, _XOR, _NAND = range(4)
+
+
+def _gate_eval(gtype: int, v0: int, v1: int) -> int:
+    if gtype == _AND:
+        return v0 & v1
+    if gtype == _OR:
+        return v0 | v1
+    if gtype == _XOR:
+        return v0 ^ v1
+    return (v0 & v1) ^ 1  # NAND
+
+
+class _Circuit:
+    """A seeded, levelized random circuit."""
+
+    def __init__(self, n_elements: int, n_inputs: int, window: int,
+                 seed: int) -> None:
+        if n_inputs >= n_elements:
+            raise ValueError("circuit needs gates, not only inputs")
+        rng = np.random.default_rng(seed)
+        self.n_elements = n_elements
+        self.n_inputs = n_inputs
+        self.gtype = np.zeros(n_elements, dtype=int)
+        self.in0 = np.zeros(n_elements, dtype=int)
+        self.in1 = np.zeros(n_elements, dtype=int)
+        self.level = np.zeros(n_elements, dtype=int)
+        for e in range(n_inputs, n_elements):
+            lo = max(0, e - window)
+            self.gtype[e] = rng.integers(0, 4)
+            self.in0[e] = rng.integers(lo, e)
+            self.in1[e] = rng.integers(lo, e)
+            self.level[e] = 1 + max(
+                self.level[self.in0[e]], self.level[self.in1[e]]
+            )
+        self.depth = int(self.level.max())
+        self.fanout: list[list[int]] = [[] for _ in range(n_elements)]
+        for e in range(n_inputs, n_elements):
+            self.fanout[self.in0[e]].append(e)
+            self.fanout[self.in1[e]].append(e)
+
+    def settle(self, pi_values: np.ndarray) -> np.ndarray:
+        """Full combinational evaluation at a primary-input assignment."""
+        values = np.zeros(self.n_elements, dtype=int)
+        values[: self.n_inputs] = pi_values
+        for e in range(self.n_inputs, self.n_elements):
+            values[e] = _gate_eval(
+                int(self.gtype[e]),
+                int(values[self.in0[e]]),
+                int(values[self.in1[e]]),
+            )
+        return values
+
+
+def _thread_program(
+    me: int,
+    n_procs: int,
+    circuit: _Circuit,
+    clocks: int,
+    bases: dict[str, int],
+) -> Program:
+    b = AsmBuilder(f"pthor.t{me}")
+    depth = circuit.depth
+    npi = circuit.n_inputs
+
+    r_elem = b.ireg("elem")
+    r_qd = b.ireg("qd")
+    r_pat = b.ireg("pat")
+    r_p = b.ireg("P")
+    r_bar = b.ireg("bar")
+    r_npi = b.ireg("npi")
+    r_time = b.ireg("time")
+    r_load = b.ireg("load")
+    b.li(r_time, 0)
+    b.li(r_load, 0)
+    b.li(r_elem, bases["elements"])
+    b.li(r_qd, bases["queues"])
+    b.li(r_pat, bases["pattern"])
+    b.li(r_p, n_procs)
+    b.li(r_bar, bases["barriers"])
+    b.li(r_npi, npi)
+
+    def push_fanouts(rec):
+        """Push every fanout of the element record at ``rec`` whose
+        activation flag is clear onto its owner's queue for its level."""
+        with b.itemps(3) as (fb, fc, f):
+            b.lw(fb, rec, _F_FANBASE)
+            b.lw(fc, rec, _F_FANCNT)
+            with b.for_range(f, 0, fc):
+                with b.itemps(2) as (tgt, trec):
+                    b.muli(tgt, f, 4)
+                    b.add(tgt, tgt, fb)
+                    b.lw(tgt, tgt, 0)            # target element id
+                    b.muli(trec, tgt, _ELEM_BYTES)
+                    b.add(trec, trec, r_elem)
+                    with b.itemps(1) as q:
+                        b.lw(q, trec, _F_QUEUED)
+                        with b.if_cmp("eq", q, b.zero):
+                            b.li(q, 1)
+                            b.sw(q, trec, _F_QUEUED)
+                            with b.itemps(2) as (own, qd2):
+                                b.rem(own, tgt, r_p)
+                                b.muli(own, own, depth)
+                                b.lw(qd2, trec, _F_LEVEL)
+                                b.addi(qd2, qd2, -1)
+                                b.add(qd2, qd2, own)
+                                b.muli(qd2, qd2, _QD_BYTES)
+                                b.add(qd2, qd2, r_qd)
+                                b.lock(qd2)
+                                with b.itemps(2) as (tail, buf):
+                                    b.lw(tail, qd2, _Q_TAIL)
+                                    b.lw(buf, qd2, _Q_BUF)
+                                    with b.itemps(1) as slot:
+                                        b.muli(slot, tail, 4)
+                                        b.add(slot, slot, buf)
+                                        b.sw(tgt, slot, 0)
+                                    b.addi(tail, tail, 1)
+                                    b.sw(tail, qd2, _Q_TAIL)
+                                b.unlock(qd2)
+
+    b.barrier(r_bar)
+
+    clock = b.ireg("clock")
+    lvl = b.ireg("lvl")
+    r_rec = b.ireg("rec")   # current element record address
+    r_nv = b.ireg("nv")     # newly evaluated value
+    with b.for_range(clock, 0, clocks):
+        # ---- toggle this processor's share of the primary inputs --------
+        with b.itemps(1) as pi:
+            b.li(pi, me)
+            with b.while_cmp("lt", pi, r_npi):
+                with b.itemps(2) as (taddr, flag):
+                    b.muli(taddr, clock, npi)
+                    b.add(taddr, taddr, pi)
+                    b.muli(taddr, taddr, 4)
+                    b.add(taddr, taddr, r_pat)
+                    b.lw(flag, taddr, 0)
+                    with b.if_cmp("ne", flag, b.zero):
+                        b.muli(r_rec, pi, _ELEM_BYTES)
+                        b.add(r_rec, r_rec, r_elem)
+                        with b.itemps(1) as v:
+                            b.lw(v, r_rec, _F_VAL)
+                            b.xori(v, v, 1)
+                            b.sw(v, r_rec, _F_VAL)
+                        push_fanouts(r_rec)
+                b.addi(pi, pi, n_procs)
+
+        # ---- propagate level by level --------------------------------------
+        with b.for_range(lvl, 1, depth + 1):
+            b.barrier(r_bar)
+            with b.itemps(1) as qd:
+                b.addi(qd, lvl, -1)
+                b.addi(qd, qd, me * depth)
+                b.muli(qd, qd, _QD_BYTES)
+                b.add(qd, qd, r_qd)
+                drain = b.newlabel("drain")
+                empty = b.newlabel("empty")
+                drained = b.newlabel("drained")
+                b.label(drain)
+                b.lock(qd)
+                # Pop one element id into r_rec (as a record address).
+                with b.itemps(2) as (head, tail):
+                    b.lw(head, qd, _Q_HEAD)
+                    b.lw(tail, qd, _Q_TAIL)
+                    b.branch("eq", head, tail, empty)
+                    with b.itemps(1) as buf:
+                        b.lw(buf, qd, _Q_BUF)
+                        b.muli(r_rec, head, 4)
+                        b.add(r_rec, r_rec, buf)
+                        b.lw(r_rec, r_rec, 0)    # popped element id
+                    b.addi(head, head, 1)
+                    b.sw(head, qd, _Q_HEAD)
+                b.unlock(qd)
+                b.muli(r_rec, r_rec, _ELEM_BYTES)
+                b.add(r_rec, r_rec, r_elem)
+                b.sw(b.zero, r_rec, _F_QUEUED)
+                # Timing-wheel bookkeeping: advance the local virtual
+                # time by the gate delay, bump the element's evaluation
+                # counter, and charge the fanout load (sum of consumer
+                # delays) -- the per-event overhead a Chandy-Misra
+                # simulator really pays.
+                with b.itemps(1) as t:
+                    b.lw(t, r_rec, _F_DELAY)
+                    b.add(r_time, r_time, t)
+                    b.lw(t, r_rec, _F_ACT)
+                    b.addi(t, t, 1)
+                    b.sw(t, r_rec, _F_ACT)
+                with b.itemps(3) as (fb, fc, f):
+                    b.lw(fb, r_rec, _F_FANBASE)
+                    b.lw(fc, r_rec, _F_FANCNT)
+                    with b.for_range(f, 0, fc):
+                        with b.itemps(2) as (tgt, td):
+                            b.muli(tgt, f, 4)
+                            b.add(tgt, tgt, fb)
+                            b.lw(tgt, tgt, 0)
+                            b.muli(tgt, tgt, _ELEM_BYTES)
+                            b.add(tgt, tgt, r_elem)
+                            b.lw(td, tgt, _F_DELAY)
+                            b.add(r_load, r_load, td)
+                with b.itemps(3) as (v0, v1, ty):
+                    # Pointer-chase both input values.
+                    b.lw(v0, r_rec, _F_IN0)
+                    b.muli(v0, v0, _ELEM_BYTES)
+                    b.add(v0, v0, r_elem)
+                    b.lw(v0, v0, _F_VAL)
+                    b.lw(v1, r_rec, _F_IN1)
+                    b.muli(v1, v1, _ELEM_BYTES)
+                    b.add(v1, v1, r_elem)
+                    b.lw(v1, v1, _F_VAL)
+                    b.lw(ty, r_rec, _F_TYPE)
+                    # Type-dispatch branch tree.
+                    is_or = b.newlabel("is_or")
+                    is_xor = b.newlabel("is_xor")
+                    is_nand = b.newlabel("is_nand")
+                    done_eval = b.newlabel("done_eval")
+                    with b.itemps(1) as t:
+                        b.li(t, _OR)
+                        b.branch("eq", ty, t, is_or)
+                        b.li(t, _XOR)
+                        b.branch("eq", ty, t, is_xor)
+                        b.li(t, _NAND)
+                        b.branch("eq", ty, t, is_nand)
+                    b.and_(r_nv, v0, v1)
+                    b.j(done_eval)
+                    b.label(is_or)
+                    b.or_(r_nv, v0, v1)
+                    b.j(done_eval)
+                    b.label(is_xor)
+                    b.xor(r_nv, v0, v1)
+                    b.j(done_eval)
+                    b.label(is_nand)
+                    b.and_(r_nv, v0, v1)
+                    b.xori(r_nv, r_nv, 1)
+                    b.label(done_eval)
+                with b.itemps(1) as old:
+                    b.lw(old, r_rec, _F_VAL)
+                    with b.if_cmp("ne", r_nv, old):
+                        b.sw(r_nv, r_rec, _F_VAL)
+                        push_fanouts(r_rec)
+                b.j(drain)
+                b.label(empty)
+                # Reset the drained queue for the next clock.
+                b.sw(b.zero, qd, _Q_HEAD)
+                b.sw(b.zero, qd, _Q_TAIL)
+                b.unlock(qd)
+                b.label(drained)
+
+        # End-of-clock barrier: the next clock's toggles must not race
+        # with processors still draining the deepest level.
+        b.barrier(r_bar)
+
+    b.barrier(r_bar)
+    b.halt()
+    return b.build()
+
+
+def build(
+    n_procs: int = 16,
+    n_elements: int = 2600,
+    n_inputs: int = 96,
+    clocks: int = 6,
+    window: int = 800,
+    toggle_prob: float = 0.6,
+    seed: int = 5,
+) -> Workload:
+    """Build the PTHOR workload.
+
+    Args:
+        n_procs: number of processors.
+        n_elements: circuit size including primary inputs (paper: ~11,000
+            two-input gates).
+        n_inputs: primary inputs (level-0 elements).
+        clocks: simulated clock cycles (the paper simulates 5).
+        window: locality window for input selection; smaller windows make
+            deeper circuits.
+        toggle_prob: per-clock probability that a primary input toggles.
+        seed: RNG seed for circuit structure and stimulus.
+    """
+    circuit = _Circuit(n_elements, n_inputs, window, seed)
+    rng = np.random.default_rng(seed + 1)
+    pattern = (
+        rng.random(size=(clocks, n_inputs)) < toggle_prob
+    ).astype(int)
+    pi_init = rng.integers(0, 2, size=n_inputs)
+    init_values = circuit.settle(pi_init)
+
+    depth = circuit.depth
+    layout = SegmentAllocator()
+    elem_base = layout.alloc("elements", n_elements * _ELEM_BYTES)
+    fan_pool_len = sum(len(f) for f in circuit.fanout)
+    fan_base = layout.alloc_words("fanout_pool", max(fan_pool_len, 1))
+    qd_base = layout.alloc("queues", n_procs * depth * _QD_BYTES)
+    pat_base = layout.alloc_words("pattern", clocks * n_inputs)
+    bar_base = layout.alloc_words("barriers", 1)
+
+    # Queue buffers: capacity 3x the static element count per
+    # (owner, level) plus slack for racy duplicate pushes.
+    caps = np.zeros((n_procs, depth), dtype=int)
+    for e in range(n_elements):
+        if circuit.level[e] >= 1:
+            caps[e % n_procs][circuit.level[e] - 1] += 1
+    buf_bases = {}
+    for p in range(n_procs):
+        for l in range(depth):
+            cap = int(caps[p][l]) * 3 + 8
+            buf_bases[(p, l)] = layout.alloc_words(f"qbuf_{p}_{l}", cap)
+
+    delays = rng.integers(1, 8, size=n_elements)
+    memory = SharedMemory()
+    fan_cursor = 0
+    for e in range(n_elements):
+        rec = elem_base + e * _ELEM_BYTES
+        memory.write_word(rec + _F_TYPE, int(circuit.gtype[e]))
+        memory.write_word(rec + _F_VAL, int(init_values[e]))
+        memory.write_word(rec + _F_IN0, int(circuit.in0[e]))
+        memory.write_word(rec + _F_IN1, int(circuit.in1[e]))
+        memory.write_word(rec + _F_LEVEL, int(circuit.level[e]))
+        memory.write_word(rec + _F_QUEUED, 0)
+        memory.write_word(rec + _F_FANBASE, fan_base + fan_cursor * 4)
+        memory.write_word(rec + _F_FANCNT, len(circuit.fanout[e]))
+        memory.write_word(rec + _F_DELAY, int(delays[e]))
+        memory.write_word(rec + _F_ACT, 0)
+        for tgt in circuit.fanout[e]:
+            memory.write_word(fan_base + fan_cursor * 4, tgt)
+            fan_cursor += 1
+    for p in range(n_procs):
+        for l in range(depth):
+            qd = qd_base + (p * depth + l) * _QD_BYTES
+            memory.write_word(qd + _Q_HEAD, 0)
+            memory.write_word(qd + _Q_TAIL, 0)
+            memory.write_word(qd + _Q_BUF, buf_bases[(p, l)])
+    for c in range(clocks):
+        for pi in range(n_inputs):
+            memory.write_word(
+                pat_base + (c * n_inputs + pi) * 4, int(pattern[c, pi])
+            )
+
+    bases = {
+        "elements": elem_base,
+        "queues": qd_base,
+        "pattern": pat_base,
+        "barriers": bar_base,
+    }
+    programs = [
+        _thread_program(me, n_procs, circuit, clocks, bases)
+        for me in range(n_procs)
+    ]
+
+    toggles = pattern.sum(axis=0) % 2
+    final_pi = (pi_init + toggles) % 2
+    expected = circuit.settle(final_pi)
+
+    def verify(mem: SharedMemory) -> None:
+        for e in range(n_elements):
+            rec = elem_base + e * _ELEM_BYTES
+            got = mem.read_word(rec + _F_VAL)
+            if got != int(expected[e]):
+                raise AssertionError(
+                    f"PTHOR element {e} (level {int(circuit.level[e])}) "
+                    f"value {got} != expected {int(expected[e])}"
+                )
+            flag = mem.read_word(rec + _F_QUEUED)
+            if flag != 0:
+                raise AssertionError(
+                    f"PTHOR element {e} left its activation flag set"
+                )
+        for p in range(n_procs):
+            for l in range(depth):
+                qd = qd_base + (p * depth + l) * _QD_BYTES
+                head = mem.read_word(qd + _Q_HEAD)
+                tail = mem.read_word(qd + _Q_TAIL)
+                if head != tail:
+                    raise AssertionError(
+                        f"PTHOR queue ({p},{l + 1}) not drained: "
+                        f"head={head} tail={tail}"
+                    )
+
+    return Workload(
+        name="pthor",
+        programs=programs,
+        memory=memory,
+        layout=layout,
+        verify=verify,
+        params={
+            "n_procs": n_procs,
+            "n_elements": n_elements,
+            "n_inputs": n_inputs,
+            "clocks": clocks,
+            "window": window,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,5 @@
+"""Structured assembler for writing applications against the simulated ISA."""
+
+from .builder import AsmBuilder, Reg, RegisterPressureError
+
+__all__ = ["AsmBuilder", "Reg", "RegisterPressureError"]

@@ -1,0 +1,411 @@
+"""A structured assembler for building thread programs.
+
+The five applications in :mod:`repro.apps` are written directly against the
+simulated ISA, the way the original study's applications were compiled MIPS
+binaries.  Writing raw instruction lists by hand is error prone, so this
+module provides :class:`AsmBuilder`: a thin structured-assembly layer with
+
+* a register allocator over the 31 usable integer and 32 floating point
+  registers (exhaustion raises — programs must reuse registers, which is
+  what creates the realistic WAR/WAW hazards that make register renaming
+  in the dynamically scheduled core meaningful);
+* one helper method per opcode, plus the usual pseudo-instructions
+  (``li``, ``mov``, ``la``);
+* structured control flow (``for_range``, ``while_cmp``, ``if_cmp``)
+  implemented as context managers that expand to labels and conditional
+  branches.
+
+Example::
+
+    b = AsmBuilder("sum")
+    acc = b.ireg("acc")
+    i = b.ireg("i")
+    b.li(acc, 0)
+    with b.for_range(i, 0, 10):
+        b.add(acc, acc, i)
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..isa import Instruction, Op, Program, RA, ZERO, fp_reg, int_reg, reg_name
+
+
+class Reg(int):
+    """A register id.
+
+    A distinct type (an ``int`` subclass) so the structured helpers can
+    tell a register operand from an immediate: ``for_range(i, 0, r_n)``
+    must treat ``r_n`` as a bound register, not the constant equal to its
+    register number.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return reg_name(int(self))
+
+
+#: Condition code -> (branch op taken when condition holds,
+#:                    branch op taken when condition fails)
+_CC = {
+    "eq": (Op.BEQ, Op.BNE),
+    "ne": (Op.BNE, Op.BEQ),
+    "lt": (Op.BLT, Op.BGE),
+    "ge": (Op.BGE, Op.BLT),
+    "le": (Op.BLE, Op.BGT),
+    "gt": (Op.BGT, Op.BLE),
+}
+
+
+class RegisterPressureError(Exception):
+    """Raised when a program needs more live registers than the file has."""
+
+
+class AsmBuilder:
+    """Builds a :class:`~repro.isa.Program` with structured helpers."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.program = Program(name)
+        # r0 is hardwired zero and r31 is the link register; neither is
+        # available to the allocator.
+        self._free_int = [int_reg(n) for n in range(30, 0, -1)]
+        self._free_fp = [fp_reg(n) for n in range(31, -1, -1)]
+        self._names: dict[int, str] = {}
+        self._label_seq = 0
+        self.zero = Reg(ZERO)
+        self.ra = Reg(RA)
+
+    # -- register allocation ------------------------------------------------
+
+    def ireg(self, name: str | None = None) -> Reg:
+        """Allocate an integer register for the rest of the program."""
+        if not self._free_int:
+            raise RegisterPressureError(
+                f"{self.program.name}: out of integer registers"
+            )
+        reg = Reg(self._free_int.pop())
+        if name:
+            self._names[reg] = name
+        return reg
+
+    def freg(self, name: str | None = None) -> Reg:
+        """Allocate a floating point register for the rest of the program."""
+        if not self._free_fp:
+            raise RegisterPressureError(
+                f"{self.program.name}: out of fp registers"
+            )
+        reg = Reg(self._free_fp.pop())
+        if name:
+            self._names[reg] = name
+        return reg
+
+    def free(self, *regs: int) -> None:
+        """Return registers to the allocator."""
+        for reg in regs:
+            self._names.pop(reg, None)
+            if reg >= 32:
+                self._free_fp.append(reg)
+            elif reg not in (ZERO, RA):
+                self._free_int.append(reg)
+
+    @contextmanager
+    def itemps(self, count: int):
+        """Scoped integer temporaries, freed on exit."""
+        regs = [self.ireg() for _ in range(count)]
+        try:
+            yield regs[0] if count == 1 else tuple(regs)
+        finally:
+            self.free(*regs)
+
+    @contextmanager
+    def ftemps(self, count: int):
+        """Scoped floating point temporaries, freed on exit."""
+        regs = [self.freg() for _ in range(count)]
+        try:
+            yield regs[0] if count == 1 else tuple(regs)
+        finally:
+            self.free(*regs)
+
+    # -- raw emission ---------------------------------------------------------
+
+    def emit(self, op: Op, **kwargs) -> int:
+        """Append a raw instruction; returns its index."""
+        return self.program.append(Instruction(op, **kwargs))
+
+    def label(self, name: str) -> str:
+        """Define ``name`` at the current position; returns the name."""
+        self.program.define_label(name)
+        return name
+
+    def newlabel(self, prefix: str = "L") -> str:
+        """Generate a fresh label name (not yet defined)."""
+        self._label_seq += 1
+        return f".{prefix}{self._label_seq}"
+
+    # -- integer ALU ---------------------------------------------------------
+
+    def add(self, rd, rs1, rs2):
+        self.emit(Op.ADD, rd=rd, rs1=rs1, rs2=rs2)
+
+    def sub(self, rd, rs1, rs2):
+        self.emit(Op.SUB, rd=rd, rs1=rs1, rs2=rs2)
+
+    def mul(self, rd, rs1, rs2):
+        self.emit(Op.MUL, rd=rd, rs1=rs1, rs2=rs2)
+
+    def div(self, rd, rs1, rs2):
+        self.emit(Op.DIV, rd=rd, rs1=rs1, rs2=rs2)
+
+    def rem(self, rd, rs1, rs2):
+        self.emit(Op.REM, rd=rd, rs1=rs1, rs2=rs2)
+
+    def and_(self, rd, rs1, rs2):
+        self.emit(Op.AND, rd=rd, rs1=rs1, rs2=rs2)
+
+    def or_(self, rd, rs1, rs2):
+        self.emit(Op.OR, rd=rd, rs1=rs1, rs2=rs2)
+
+    def xor(self, rd, rs1, rs2):
+        self.emit(Op.XOR, rd=rd, rs1=rs1, rs2=rs2)
+
+    def slt(self, rd, rs1, rs2):
+        self.emit(Op.SLT, rd=rd, rs1=rs1, rs2=rs2)
+
+    def sle(self, rd, rs1, rs2):
+        self.emit(Op.SLE, rd=rd, rs1=rs1, rs2=rs2)
+
+    def seq(self, rd, rs1, rs2):
+        self.emit(Op.SEQ, rd=rd, rs1=rs1, rs2=rs2)
+
+    def addi(self, rd, rs1, imm: int):
+        self.emit(Op.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+    def muli(self, rd, rs1, imm: int):
+        self.emit(Op.MULI, rd=rd, rs1=rs1, imm=imm)
+
+    def andi(self, rd, rs1, imm: int):
+        self.emit(Op.ANDI, rd=rd, rs1=rs1, imm=imm)
+
+    def ori(self, rd, rs1, imm: int):
+        self.emit(Op.ORI, rd=rd, rs1=rs1, imm=imm)
+
+    def xori(self, rd, rs1, imm: int):
+        self.emit(Op.XORI, rd=rd, rs1=rs1, imm=imm)
+
+    def slti(self, rd, rs1, imm: int):
+        self.emit(Op.SLTI, rd=rd, rs1=rs1, imm=imm)
+
+    # -- shifter ---------------------------------------------------------------
+
+    def sll(self, rd, rs1, rs2):
+        self.emit(Op.SLL, rd=rd, rs1=rs1, rs2=rs2)
+
+    def srl(self, rd, rs1, rs2):
+        self.emit(Op.SRL, rd=rd, rs1=rs1, rs2=rs2)
+
+    def slli(self, rd, rs1, imm: int):
+        self.emit(Op.SLLI, rd=rd, rs1=rs1, imm=imm)
+
+    def srli(self, rd, rs1, imm: int):
+        self.emit(Op.SRLI, rd=rd, rs1=rs1, imm=imm)
+
+    def srai(self, rd, rs1, imm: int):
+        self.emit(Op.SRAI, rd=rd, rs1=rs1, imm=imm)
+
+    # -- pseudo-instructions ------------------------------------------------
+
+    def li(self, rd, imm: int):
+        """Load integer constant."""
+        self.emit(Op.ADDI, rd=rd, rs1=ZERO, imm=imm)
+
+    def la(self, rd, address: int):
+        """Load an address constant (alias of :meth:`li`)."""
+        self.li(rd, address)
+
+    def mov(self, rd, rs):
+        self.emit(Op.ADD, rd=rd, rs1=rs, rs2=ZERO)
+
+    def nop(self):
+        self.emit(Op.NOP)
+
+    # -- floating point --------------------------------------------------------
+
+    def fadd(self, fd, fs1, fs2):
+        self.emit(Op.FADD, rd=fd, rs1=fs1, rs2=fs2)
+
+    def fsub(self, fd, fs1, fs2):
+        self.emit(Op.FSUB, rd=fd, rs1=fs1, rs2=fs2)
+
+    def fmul(self, fd, fs1, fs2):
+        self.emit(Op.FMUL, rd=fd, rs1=fs1, rs2=fs2)
+
+    def fdiv(self, fd, fs1, fs2):
+        self.emit(Op.FDIV, rd=fd, rs1=fs1, rs2=fs2)
+
+    def fsqrt(self, fd, fs1):
+        self.emit(Op.FSQRT, rd=fd, rs1=fs1)
+
+    def fneg(self, fd, fs1):
+        self.emit(Op.FNEG, rd=fd, rs1=fs1)
+
+    def fabs_(self, fd, fs1):
+        self.emit(Op.FABS, rd=fd, rs1=fs1)
+
+    def fmov(self, fd, fs1):
+        self.emit(Op.FMOV, rd=fd, rs1=fs1)
+
+    def fli(self, fd, imm: float):
+        """Load a floating point constant."""
+        self.emit(Op.FLI, rd=fd, imm=float(imm))
+
+    def fmin(self, fd, fs1, fs2):
+        self.emit(Op.FMIN, rd=fd, rs1=fs1, rs2=fs2)
+
+    def fmax(self, fd, fs1, fs2):
+        self.emit(Op.FMAX, rd=fd, rs1=fs1, rs2=fs2)
+
+    def flt(self, rd, fs1, fs2):
+        self.emit(Op.FLT, rd=rd, rs1=fs1, rs2=fs2)
+
+    def fle(self, rd, fs1, fs2):
+        self.emit(Op.FLE, rd=rd, rs1=fs1, rs2=fs2)
+
+    def feq(self, rd, fs1, fs2):
+        self.emit(Op.FEQ, rd=rd, rs1=fs1, rs2=fs2)
+
+    def cvtif(self, fd, rs1):
+        """Convert integer register to floating point."""
+        self.emit(Op.CVTIF, rd=fd, rs1=rs1)
+
+    def cvtfi(self, rd, fs1):
+        """Convert floating point register to integer (truncating)."""
+        self.emit(Op.CVTFI, rd=rd, rs1=fs1)
+
+    # -- memory ----------------------------------------------------------------
+
+    def lw(self, rd, base, offset: int = 0):
+        self.emit(Op.LW, rd=rd, rs1=base, imm=offset)
+
+    def sw(self, rs, base, offset: int = 0):
+        self.emit(Op.SW, rs1=base, rs2=rs, imm=offset)
+
+    def fld(self, fd, base, offset: int = 0):
+        self.emit(Op.FLD, rd=fd, rs1=base, imm=offset)
+
+    def fsd(self, fs, base, offset: int = 0):
+        self.emit(Op.FSD, rs1=base, rs2=fs, imm=offset)
+
+    # -- control flow ------------------------------------------------------------
+
+    def branch(self, cc: str, rs1, rs2, label: str):
+        """Branch to ``label`` when ``rs1 <cc> rs2`` holds."""
+        op, _ = _CC[cc]
+        self.emit(op, rs1=rs1, rs2=rs2, label=label)
+
+    def branch_not(self, cc: str, rs1, rs2, label: str):
+        """Branch to ``label`` when ``rs1 <cc> rs2`` does NOT hold."""
+        _, op = _CC[cc]
+        self.emit(op, rs1=rs1, rs2=rs2, label=label)
+
+    def beqz(self, rs, label: str):
+        self.emit(Op.BEQ, rs1=rs, rs2=ZERO, label=label)
+
+    def bnez(self, rs, label: str):
+        self.emit(Op.BNE, rs1=rs, rs2=ZERO, label=label)
+
+    def j(self, label: str):
+        self.emit(Op.J, label=label)
+
+    def jal(self, label: str):
+        self.emit(Op.JAL, rd=RA, label=label)
+
+    def jr(self, rs=RA):
+        self.emit(Op.JR, rs1=rs)
+
+    def halt(self):
+        self.emit(Op.HALT)
+
+    # -- synchronization ------------------------------------------------------
+
+    def lock(self, addr_reg):
+        self.emit(Op.LOCK, rs1=addr_reg)
+
+    def unlock(self, addr_reg):
+        self.emit(Op.UNLOCK, rs1=addr_reg)
+
+    def barrier(self, addr_reg):
+        self.emit(Op.BARRIER, rs1=addr_reg)
+
+    def evwait(self, addr_reg):
+        self.emit(Op.EVWAIT, rs1=addr_reg)
+
+    def evset(self, addr_reg):
+        self.emit(Op.EVSET, rs1=addr_reg)
+
+    def evclear(self, addr_reg):
+        self.emit(Op.EVCLEAR, rs1=addr_reg)
+
+    # -- structured control flow ----------------------------------------------
+
+    @contextmanager
+    def for_range(self, counter, start, stop, step: int = 1):
+        """``for counter in range(start, stop, step)``.
+
+        ``start`` and ``stop`` may each be an integer constant or a
+        register.  ``step`` must be a non-zero integer constant.  The loop
+        body must not clobber ``counter`` (or ``stop``'s register).
+        """
+        if step == 0:
+            raise ValueError("for_range step must be non-zero")
+        top = self.newlabel("for")
+        end = self.newlabel("endfor")
+        if isinstance(start, Reg):
+            self.mov(counter, start)
+        else:
+            self.li(counter, int(start or 0))
+        stop_tmp = None
+        if isinstance(stop, Reg):
+            stop_reg = stop
+        else:
+            stop_tmp = self.ireg()
+            self.li(stop_tmp, int(stop))
+            stop_reg = stop_tmp
+        self.label(top)
+        exit_cc = "ge" if step > 0 else "le"
+        self.branch(exit_cc, counter, stop_reg, end)
+        try:
+            yield counter
+        finally:
+            self.addi(counter, counter, step)
+            self.j(top)
+            self.label(end)
+            if stop_tmp is not None:
+                self.free(stop_tmp)
+
+    @contextmanager
+    def if_cmp(self, cc: str, rs1, rs2):
+        """Execute the body only when ``rs1 <cc> rs2`` holds (no else)."""
+        end = self.newlabel("endif")
+        self.branch_not(cc, rs1, rs2, end)
+        yield
+        self.label(end)
+
+    @contextmanager
+    def while_cmp(self, cc: str, rs1, rs2):
+        """Loop while ``rs1 <cc> rs2`` holds; condition tested at top."""
+        top = self.newlabel("while")
+        end = self.newlabel("endwhile")
+        self.label(top)
+        self.branch_not(cc, rs1, rs2, end)
+        yield
+        self.j(top)
+        self.label(end)
+
+    # -- finishing ----------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Seal and return the program."""
+        return self.program.seal()

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run <app>`` — run one application on the simulated multiprocessor,
+  verify it, and print its statistics.
+* ``simulate <app>`` — run one application and sweep the processor
+  models over its trace (one Figure-3 column set).
+* ``table1|table2|table3|headline|figure1|figure3|figure4|latency100|
+  multi-issue|miss-analysis|sc-boost|contexts|compiler-sched`` —
+  regenerate a specific table/figure/extension experiment and print it.
+* ``all`` — regenerate everything into ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import MultiprocessorConfig, TangoExecutor, build_app
+from .apps import APP_NAMES
+from .cpu import ProcessorConfig, simulate
+from . import experiments as exp
+
+
+def _store(args) -> exp.TraceStore:
+    return exp.TraceStore(
+        n_procs=args.procs,
+        miss_penalty=args.penalty,
+        preset=args.preset,
+        cache_dir=args.cache_dir,
+    )
+
+
+def cmd_run(args) -> None:
+    workload = build_app(args.app, n_procs=args.procs, preset=args.preset)
+    config = MultiprocessorConfig(
+        n_cpus=args.procs, miss_penalty=args.penalty
+    )
+    result = TangoExecutor(
+        workload.programs, config, memory=workload.memory
+    ).run()
+    workload.verify(result.memory)
+    stats = result.stats.cpu(0)
+    k = stats.busy_cycles / 1000
+    print(f"{args.app}: functional verification OK")
+    print(f"  instructions (cpu0): {stats.busy_cycles}")
+    print(f"  reads/writes per 1000: {stats.reads / k:.0f} / "
+          f"{stats.writes / k:.0f}")
+    print(f"  read/write misses per 1000: {stats.read_misses / k:.1f} / "
+          f"{stats.write_misses / k:.1f}")
+    print(f"  locks {stats.locks}  barriers {stats.barriers}  "
+          f"events {stats.wait_events}/{stats.set_events}")
+    print(f"  end time: {stats.end_time} cycles "
+          f"(whole machine: {result.stats.total_cycles})")
+
+
+def cmd_simulate(args) -> None:
+    store = _store(args)
+    run = store.get(args.app)
+    runs = [simulate(run.trace, cfg) for cfg in exp.figure3_configs()]
+    print(exp.format_breakdowns(
+        f"{args.app.upper()} (percent of BASE, "
+        f"{args.penalty}-cycle miss)",
+        runs, runs[0],
+    ))
+    print()
+    print(exp.format_stacked_bars("", runs, runs[0]))
+
+
+_SIMPLE = {
+    "table1": lambda s: exp.format_table1(exp.run_table1(s)),
+    "table2": lambda s: exp.format_table2(exp.run_table2(s)),
+    "table3": lambda s: exp.format_table3(exp.run_table3(s)),
+    "headline": lambda s: exp.format_headline(exp.run_headline(s)),
+    "figure1": lambda s: exp.format_figure1(exp.run_figure1()),
+    "figure3": lambda s: exp.format_figure3(exp.run_figure3(s)),
+    "figure4": lambda s: exp.format_figure4(exp.run_figure4(s)),
+    "multi-issue": lambda s: exp.format_multi_issue(
+        exp.run_multi_issue(s)
+    ),
+    "miss-analysis": lambda s: exp.format_miss_analysis(
+        exp.run_miss_analysis(s)
+    ),
+    "sc-boost": lambda s: exp.format_sc_boost(exp.run_sc_boost(s)),
+    "contexts": lambda s: exp.format_contexts(exp.run_contexts(s)),
+    "compiler-sched": lambda s: exp.format_compiler_sched(
+        exp.run_compiler_sched(s)
+    ),
+}
+
+
+def cmd_experiment(args) -> None:
+    if args.command == "latency100":
+        store = exp.TraceStore(
+            n_procs=args.procs, miss_penalty=100, preset=args.preset,
+            cache_dir=args.cache_dir,
+        )
+        print(exp.format_latency100(exp.run_latency100(store)))
+        return
+    print(_SIMPLE[args.command](_store(args)))
+
+
+def cmd_all(args) -> None:
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    store = _store(args)
+    for name, fn in _SIMPLE.items():
+        print(f"[{name}] ...", flush=True)
+        (out / f"{name.replace('-', '_')}.txt").write_text(
+            fn(store) + "\n"
+        )
+    print("[latency100] ...", flush=True)
+    store100 = exp.TraceStore(
+        n_procs=args.procs, miss_penalty=100, preset=args.preset,
+        cache_dir=args.cache_dir,
+    )
+    (out / "latency100.txt").write_text(
+        exp.format_latency100(exp.run_latency100(store100)) + "\n"
+    )
+    print(f"wrote results to {out}/")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Hiding Memory Latency using Dynamic "
+            "Scheduling in Shared-Memory Multiprocessors' (ISCA 1992)"
+        ),
+    )
+    parser.add_argument("--procs", type=int, default=16,
+                        help="number of simulated processors")
+    parser.add_argument("--penalty", type=int, default=50,
+                        help="cache miss penalty in cycles")
+    parser.add_argument("--preset", default="default",
+                        choices=("tiny", "default", "large"),
+                        help="application size preset")
+    parser.add_argument("--cache-dir", default=exp.runner.DEFAULT_CACHE_DIR,
+                        help="trace cache directory")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run and verify one application")
+    p_run.add_argument("app", choices=APP_NAMES)
+    p_run.set_defaults(func=cmd_run)
+
+    p_sim = sub.add_parser(
+        "simulate", help="sweep processor models over one application"
+    )
+    p_sim.add_argument("app", choices=APP_NAMES)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    for name in list(_SIMPLE) + ["latency100"]:
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.set_defaults(func=cmd_experiment)
+
+    p_all = sub.add_parser("all", help="regenerate everything")
+    p_all.add_argument("--output", default="results")
+    p_all.set_defaults(func=cmd_all)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Memory consistency models (SC, PC, WO, RC) and ordering analysis."""
+
+from .models import (
+    MODELS,
+    PC,
+    RC,
+    SC,
+    WO,
+    ConsistencyModel,
+    ProcessorConsistency,
+    ReleaseConsistency,
+    SequentialConsistency,
+    WeakOrdering,
+    get_model,
+)
+from .ordering import (
+    earliest_completion_times,
+    ordering_edges,
+    reduced_edges,
+    total_time,
+)
+
+__all__ = [
+    "MODELS",
+    "PC",
+    "RC",
+    "SC",
+    "WO",
+    "ConsistencyModel",
+    "ProcessorConsistency",
+    "ReleaseConsistency",
+    "SequentialConsistency",
+    "WeakOrdering",
+    "earliest_completion_times",
+    "get_model",
+    "ordering_edges",
+    "reduced_edges",
+    "total_time",
+]

@@ -1,0 +1,74 @@
+"""Ordering analysis utilities over access sequences.
+
+These helpers make the consistency models concrete for tests, examples and
+the Figure-1 reproduction: given a program-order sequence of memory-access
+classes, they compute which pairs must be ordered under a model, and the
+earliest time each access could issue/complete on an idealised machine
+with unlimited overlap (the "best case" the processor simulators approach).
+"""
+
+from __future__ import annotations
+
+from ..isa import MemClass
+from .models import ConsistencyModel
+
+
+def ordering_edges(
+    model: ConsistencyModel, ops: list[MemClass]
+) -> set[tuple[int, int]]:
+    """All pairs ``(i, j)`` with ``i < j`` where ``j`` must wait for ``i``."""
+    edges = set()
+    for j in range(len(ops)):
+        for i in range(j):
+            if model.requires(ops[i], ops[j]):
+                edges.add((i, j))
+    return edges
+
+
+def reduced_edges(
+    model: ConsistencyModel, ops: list[MemClass]
+) -> set[tuple[int, int]]:
+    """Transitively reduced ordering edges (the arrows Figure 1 draws)."""
+    edges = ordering_edges(model, ops)
+    reduced = set(edges)
+    for i, j in edges:
+        for k in range(i + 1, j):
+            if (i, k) in edges and (k, j) in edges:
+                reduced.discard((i, j))
+                break
+    return reduced
+
+
+def earliest_completion_times(
+    model: ConsistencyModel,
+    ops: list[MemClass],
+    latencies: list[int],
+) -> list[tuple[int, int]]:
+    """Idealised ``(issue, complete)`` time per access.
+
+    Assumes unlimited bandwidth and lookahead: an access issues the moment
+    every access it is ordered after has completed, and completes
+    ``latency`` cycles later.  This is the bound that an infinitely
+    aggressive dynamically scheduled processor approaches, and the quantity
+    the Figure 1 reproduction reports per model.
+    """
+    if len(ops) != len(latencies):
+        raise ValueError("ops and latencies must have equal length")
+    times: list[tuple[int, int]] = []
+    for j, (op, latency) in enumerate(zip(ops, latencies)):
+        issue = 0
+        for i in range(j):
+            if model.requires(ops[i], op):
+                issue = max(issue, times[i][1])
+        times.append((issue, issue + latency))
+    return times
+
+
+def total_time(
+    model: ConsistencyModel,
+    ops: list[MemClass],
+    latencies: list[int],
+) -> int:
+    """Makespan of the idealised overlapped execution."""
+    times = earliest_completion_times(model, ops, latencies)
+    return max((complete for _, complete in times), default=0)

@@ -1,0 +1,111 @@
+"""Trace-driven processor models: BASE, SSBR, SS, and DS.
+
+The four architectures of the paper's §4.1, all consuming the annotated
+traces produced by :mod:`repro.tango`:
+
+* ``BASE`` — in-order, no overlap at all (the normalisation reference);
+* ``SSBR`` — statically scheduled, blocking reads, 16-deep write buffer;
+* ``SS`` — statically scheduled, non-blocking reads (stall at first use);
+* ``DS`` — dynamically scheduled with a reorder-buffer window of 16-256.
+
+Use :func:`simulate` with a :class:`ProcessorConfig` for a uniform entry
+point, or call the per-model functions directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..consistency import ConsistencyModel, get_model
+from ..tango import Trace
+from .base import simulate_base
+from .ds import BranchTargetBuffer, DSConfig, DSProcessor, simulate_ds
+from .multicontext import (
+    MultiContextConfig,
+    MultiContextProcessor,
+    simulate_multicontext,
+)
+from .scheduling import ScheduleStats, schedule_reads_early
+from .results import ExecutionBreakdown
+from .static import WriteBuffer, simulate_ss, simulate_ssbr
+
+
+@dataclass
+class ProcessorConfig:
+    """Uniform description of one processor/consistency configuration.
+
+    Attributes:
+        kind: "base", "ssbr", "ss" or "ds".
+        model: consistency model name ("SC", "PC", "WO", "RC"); ignored
+            for "base".
+        window: reorder-buffer size for the DS processor.
+        issue_width: instructions decoded/retired per cycle (DS only).
+        perfect_bp: perfect branch prediction (DS only, Figure 4).
+        ignore_deps: ignore register data dependences (DS only, Figure 4).
+        ds: extra knobs forwarded into :class:`DSConfig`.
+    """
+
+    kind: str = "ds"
+    model: str = "RC"
+    window: int = 64
+    issue_width: int = 1
+    perfect_bp: bool = False
+    ignore_deps: bool = False
+    ds: dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        if self.kind == "base":
+            return "BASE"
+        name = f"{self.kind.upper()}-{self.model.upper()}"
+        if self.kind == "ds":
+            name += f"-w{self.window}"
+            if self.issue_width != 1:
+                name += f"-i{self.issue_width}"
+            if self.perfect_bp:
+                name += "-pbp"
+            if self.ignore_deps:
+                name += "-nodep"
+        return name
+
+
+def simulate(trace: Trace, config: ProcessorConfig) -> ExecutionBreakdown:
+    """Run the configured processor model over ``trace``."""
+    kind = config.kind.lower()
+    if kind == "base":
+        return simulate_base(trace, label=config.label())
+    model = get_model(config.model)
+    if kind == "ssbr":
+        return simulate_ssbr(trace, model, label=config.label())
+    if kind == "ss":
+        return simulate_ss(trace, model, label=config.label())
+    if kind == "ds":
+        ds_config = DSConfig(
+            window=config.window,
+            issue_width=config.issue_width,
+            perfect_branch_prediction=config.perfect_bp,
+            ignore_data_dependences=config.ignore_deps,
+            **config.ds,
+        )
+        return simulate_ds(trace, model, ds_config, label=config.label())
+    raise ValueError(f"unknown processor kind {config.kind!r}")
+
+
+__all__ = [
+    "BranchTargetBuffer",
+    "ConsistencyModel",
+    "DSConfig",
+    "DSProcessor",
+    "ExecutionBreakdown",
+    "MultiContextConfig",
+    "MultiContextProcessor",
+    "ProcessorConfig",
+    "ScheduleStats",
+    "schedule_reads_early",
+    "simulate_multicontext",
+    "WriteBuffer",
+    "simulate",
+    "simulate_base",
+    "simulate_ds",
+    "simulate_ss",
+    "simulate_ssbr",
+]

@@ -1,0 +1,41 @@
+"""BASE — the fully serial in-order reference processor.
+
+The left-most column of every graph in the paper's Figure 3: an in-order
+processor that completes each operation before initiating the next one.
+There is no overlap of any kind, so execution time is simply the sum of
+one cycle per instruction plus every memory stall and every
+synchronization wait, and the breakdown attribution is exact by
+construction.
+"""
+
+from __future__ import annotations
+
+from ..isa import MemClass
+from ..tango import Trace
+from .results import ExecutionBreakdown
+
+
+def simulate_base(trace: Trace, label: str = "BASE") -> ExecutionBreakdown:
+    """Run the BASE model over a trace."""
+    busy = 0
+    sync = 0
+    read = 0
+    write = 0
+    for record in trace:
+        busy += 1
+        cls = record.mem_class
+        if cls == MemClass.READ:
+            read += record.stall
+        elif cls == MemClass.WRITE or cls == MemClass.RELEASE:
+            # Releases are folded into write time, as in the paper.
+            write += record.stall
+        elif cls == MemClass.ACQUIRE or cls == MemClass.BARRIER:
+            sync += record.wait + record.stall
+    return ExecutionBreakdown(
+        label=label,
+        busy=busy,
+        sync=sync,
+        read=read,
+        write=write,
+        instructions=len(trace),
+    )

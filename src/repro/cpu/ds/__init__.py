@@ -1,0 +1,12 @@
+"""The dynamically scheduled (Johnson-style) out-of-order processor."""
+
+from .btb import BranchTargetBuffer, predicted_correctly
+from .engine import DSConfig, DSProcessor, simulate_ds
+
+__all__ = [
+    "BranchTargetBuffer",
+    "DSConfig",
+    "DSProcessor",
+    "predicted_correctly",
+    "simulate_ds",
+]

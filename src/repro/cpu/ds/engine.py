@@ -1,0 +1,576 @@
+"""The dynamically scheduled processor (paper §3.1, after Johnson).
+
+A cycle-level, trace-driven model of the paper's out-of-order core:
+
+* a **reorder buffer** (the "lookahead window", 16–256 entries) into
+  which decoded instructions enter in program order and from which they
+  retire in program order (FIFO retirement, as the paper assumes);
+* **register renaming** through the reorder buffer: an instruction's
+  operands link directly to the producing in-flight entry, so WAR/WAW
+  hazards never stall anything and only true dependences delay issue;
+* **reservation stations / functional units** — one unit per class
+  (integer ALU, shifter, branch, load/store port, FP add/mul/div/cvt),
+  all single-cycle, each able to start one operation per cycle, with
+  out-of-order issue within each class;
+* **dynamic branch prediction** via a 2048-entry 4-way BTB with 2-bit
+  counters, and **speculative execution**: instructions past a predicted
+  branch enter the window immediately; a misprediction stalls fetch until
+  the branch executes (the trace contains only the correct path, so
+  wrong-path work is modelled as lost fetch slots, the standard
+  trace-driven treatment);
+* a **lockup-free cache** behind a single port (at most one memory
+  operation issued per cycle, arbitrary outstanding misses);
+* a **store buffer** with read bypassing and dependence checking: loads
+  may issue past buffered stores and forward a pending same-address
+  value; stores issue to memory only after retiring from the reorder
+  buffer, and only when the consistency model's constraints allow.
+
+The consistency model enters exactly once: a memory/synchronization
+operation may begin its access only when every earlier operation whose
+class the model orders before it has *performed*.
+
+Execution-time attribution: one cycle is "busy" when an instruction
+retires (retire bandwidth equals decode bandwidth, so busy == instruction
+count at single issue); every other cycle is attributed to the reorder
+buffer head's blocking reason — an unperformed load is read stall, an
+unperformed acquire/barrier is synchronization stall, a store stuck on a
+full store buffer is write stall, and the rare dependence/drain bubble is
+"other".
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ...consistency import ConsistencyModel
+from ...isa import FuClass, MemClass, Op, fu_class, is_control
+from ...tango import Trace
+from ..results import ExecutionBreakdown
+from .btb import BranchTargetBuffer
+
+_MEM_CLASSES = (
+    MemClass.READ,
+    MemClass.WRITE,
+    MemClass.ACQUIRE,
+    MemClass.RELEASE,
+    MemClass.BARRIER,
+)
+
+_ACQ = (MemClass.ACQUIRE, MemClass.BARRIER)
+_STORE_LIKE = (MemClass.WRITE, MemClass.RELEASE)
+
+
+@dataclass
+class DSConfig:
+    """Configuration of the dynamically scheduled processor."""
+
+    window: int = 64
+    issue_width: int = 1
+    #: Store buffer entries; ``None`` sizes it with the window (the paper
+    #: notes the DS processor uses a larger write buffer than the static
+    #: processors' 16 entries).
+    store_buffer_depth: int | None = None
+    perfect_branch_prediction: bool = False
+    ignore_data_dependences: bool = False
+    btb_entries: int = 2048
+    btb_assoc: int = 4
+    #: Collect per-read-miss issue-delay samples (§4.1.3 analysis).
+    collect_miss_stats: bool = False
+    #: [8]-style non-binding prefetch: a memory operation whose issue is
+    #: delayed by consistency constraints starts fetching its line as
+    #: soon as its address is known; by actual issue time, part (or all)
+    #: of the miss latency has already elapsed.
+    prefetch: bool = False
+    #: [8]-style speculative load execution: loads issue regardless of
+    #: consistency constraints (rollback on a detected violation is
+    #: assumed rare and free, as in the reference); stores and
+    #: synchronization stay constrained, and retirement order still
+    #: provides the memory model's guarantees.
+    speculative_loads: bool = False
+
+    def resolved_store_depth(self) -> int:
+        return self.window if self.store_buffer_depth is None else (
+            self.store_buffer_depth
+        )
+
+
+class _Entry:
+    """One reorder-buffer entry."""
+
+    __slots__ = (
+        "idx", "op", "fu", "mem_cls", "addr", "stall", "wait",
+        "decode_time", "ready_time", "complete_time", "performed",
+        "pending_srcs", "dependents", "in_store_buffer", "issued",
+        "needs_head_wait", "head_wait_start",
+    )
+
+    def __init__(self, idx: int, record, decode_time: int) -> None:
+        self.idx = idx
+        self.op = record.op
+        self.fu = fu_class(record.op)
+        self.mem_cls = record.mem_class
+        self.addr = record.addr
+        self.stall = record.stall
+        self.wait = record.wait
+        self.decode_time = decode_time
+        self.ready_time = -1          # operands not yet resolved
+        self.complete_time = -1       # not yet executed
+        self.performed = False
+        self.pending_srcs = 0
+        self.dependents: list[_Entry] | None = None
+        self.in_store_buffer = False
+        self.issued = False
+        # Acquire contention/imbalance wait cannot be hidden by lookahead
+        # (it is another processor's release time): it is charged only
+        # once the acquire reaches the reorder-buffer head.  The sync
+        # variable's *access latency* remains overlappable.
+        self.needs_head_wait = (
+            self.mem_cls in _ACQ and self.wait > 0
+        )
+        self.head_wait_start = -1
+
+
+class _UnperformedTracker:
+    """Earliest unperformed memory operation per class (lazy heaps)."""
+
+    def __init__(self) -> None:
+        self._heaps: dict[MemClass, list[int]] = {
+            cls: [] for cls in _MEM_CLASSES
+        }
+        self._performed: set[int] = set()
+
+    def add(self, cls: MemClass, idx: int) -> None:
+        heapq.heappush(self._heaps[cls], idx)
+
+    def perform(self, idx: int) -> None:
+        self._performed.add(idx)
+
+    def frontier(self, cls: MemClass) -> int:
+        """Smallest unperformed idx of class ``cls`` (or a huge number)."""
+        heap = self._heaps[cls]
+        while heap and heap[0] in self._performed:
+            self._performed.discard(heapq.heappop(heap))
+        return heap[0] if heap else 1 << 60
+
+    def blocking_frontier(
+        self, model: ConsistencyModel, cls: MemClass
+    ) -> int:
+        """An op of class ``cls`` may issue only if its program index is
+        below this frontier."""
+        frontier = 1 << 60
+        for earlier in _MEM_CLASSES:
+            if model.requires(earlier, cls):
+                f = self.frontier(earlier)
+                if f < frontier:
+                    frontier = f
+        return frontier
+
+
+class DSProcessor:
+    """Trace-driven simulation of the dynamically scheduled core."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        model: ConsistencyModel,
+        config: DSConfig | None = None,
+    ) -> None:
+        self.trace = trace
+        self.model = model
+        self.config = config or DSConfig()
+        self.btb = BranchTargetBuffer(
+            self.config.btb_entries, self.config.btb_assoc
+        )
+        #: Issue-delay (decode -> memory issue) of each read miss, and the
+        #: dynamic distance between consecutive read misses, collected when
+        #: config.collect_miss_stats is set.
+        self.read_miss_issue_delays: list[int] = []
+        self.read_miss_distances: list[int] = []
+
+    def run(self, label: str | None = None) -> ExecutionBreakdown:
+        cfg = self.config
+        model = self.model
+        records = self.trace.records
+        n = len(records)
+        window = cfg.window
+        store_depth = cfg.resolved_store_depth()
+        ignore_deps = cfg.ignore_data_dependences
+        perfect_bp = cfg.perfect_branch_prediction
+
+        t = 0
+        fetch_i = 0
+        fetch_stalled_on: _Entry | None = None
+        rob: list[_Entry] = []        # used as a deque via head index
+        rob_head = 0
+        last_writer: dict[int, _Entry] = {}
+        events: list[tuple[int, int, _Entry]] = []  # (time, idx, entry)
+        lsu_ready: list[_Entry] = []  # loads/acquires, kept sorted by idx
+        fu_ready: dict[int, list[tuple[int, int, _Entry]]] = {
+            fu.value: [] for fu in FuClass
+        }
+        unperformed = _UnperformedTracker()
+        store_buffer: list[_Entry] = []
+        store_head = 0
+        pending_stores: dict[int, list[int]] = {}  # addr -> [store idxs]
+
+        busy = sync = read = write = other = 0
+        last_miss_seen_idx = -1
+
+        def blocked_reason(head: _Entry, own: str) -> str:
+            """Attribute a stalled, un-issued memory head to the class of
+            the earlier operation blocking it (the paper charges, e.g.,
+            SC's write serialization to write time even though the
+            visible symptom is a load that cannot issue)."""
+            if head.issued:
+                return own
+            best_idx = head.idx
+            best_cls = None
+            for earlier in _MEM_CLASSES:
+                if model.requires(earlier, head.mem_cls):
+                    f = unperformed.frontier(earlier)
+                    if f < best_idx:
+                        best_idx = f
+                        best_cls = earlier
+            if best_cls is None:
+                return own
+            if best_cls in _STORE_LIKE:
+                return "write"
+            if best_cls in _ACQ:
+                return "sync"
+            return "read"
+
+        def wake(entry: _Entry, time: int) -> None:
+            """Operands resolved at ``time``; queue for issue."""
+            entry.ready_time = time
+            if entry.mem_cls in _STORE_LIKE:
+                # Stores need no functional unit before retirement; the
+                # address generation is folded into readiness.
+                entry.complete_time = time
+            elif entry.fu == FuClass.LOAD_STORE:
+                # Loads and acquire-type sync ops queue for the port.
+                lo, hi = 0, len(lsu_ready)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if lsu_ready[mid].idx < entry.idx:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                lsu_ready.insert(lo, entry)
+            else:
+                heapq.heappush(
+                    fu_ready[entry.fu.value],
+                    (entry.idx, entry.idx, entry),
+                )
+
+        def schedule(entry: _Entry, time: int) -> None:
+            heapq.heappush(events, (time, entry.idx, entry))
+
+        # ---- main cycle loop ------------------------------------------------
+        while True:
+            progressed = False
+
+            # Phase 1: completions / performs whose time has come.
+            while events and events[0][0] <= t:
+                etime, _, entry = heapq.heappop(events)
+                progressed = True
+                if entry.complete_time < 0:
+                    entry.complete_time = etime
+                if entry.needs_head_wait and entry.head_wait_start < 0:
+                    # Access completion of a contended acquire; the
+                    # head-wait (and hence "performed") comes later.
+                    continue
+                if entry.mem_cls != MemClass.NONE and not entry.performed:
+                    entry.performed = True
+                    unperformed.perform(entry.idx)
+                    if entry.mem_cls in _STORE_LIKE:
+                        idxs = pending_stores.get(entry.addr)
+                        if idxs:
+                            idxs.remove(entry.idx)
+                            if not idxs:
+                                del pending_stores[entry.addr]
+                        entry.in_store_buffer = False
+                if fetch_stalled_on is entry:
+                    fetch_stalled_on = None
+                if entry.dependents:
+                    for dep in entry.dependents:
+                        dep.pending_srcs -= 1
+                        if dep.pending_srcs == 0:
+                            wake(dep, etime)
+                    entry.dependents = None
+
+            # Drop performed stores from the buffer head.
+            while store_head < len(store_buffer) and (
+                store_buffer[store_head].performed
+            ):
+                store_head += 1
+                progressed = True
+            if store_head > 64:
+                del store_buffer[:store_head]
+                store_head = 0
+
+            # Phase 2: issue to functional units.  Each class starts up to
+            # issue_width operations per cycle (the multi-issue processor
+            # has correspondingly more units); the memory port stays
+            # single regardless (phase 2b).
+            for fu_val, heap in fu_ready.items():
+                started = 0
+                while (
+                    heap
+                    and started < cfg.issue_width
+                    and heap[0][2].ready_time <= t
+                ):
+                    _, _, entry = heapq.heappop(heap)
+                    # Single-cycle latency: result available next cycle.
+                    schedule(entry, t + 1)
+                    progressed = True
+                    started += 1
+
+            # Phase 2b: the memory port — one access per cycle, chosen as
+            # the oldest admissible among ready loads/acquires and
+            # unissued buffered stores.
+            port_candidate: _Entry | None = None
+            candidate_pos = -1
+            frontier_cache: dict[MemClass, int] = {}
+            rejected: set[MemClass] = set()
+            for pos, entry in enumerate(lsu_ready):
+                if entry.ready_time > t:
+                    continue
+                cls = entry.mem_cls
+                if (
+                    cfg.speculative_loads
+                    and cls == MemClass.READ
+                ):
+                    # Speculative load execution: issue past constraints.
+                    port_candidate = entry
+                    candidate_pos = pos
+                    break
+                if cls in rejected:
+                    # The list is idx-sorted, so once the oldest ready op
+                    # of a class is blocked, every younger one is too.
+                    continue
+                frontier = frontier_cache.get(cls)
+                if frontier is None:
+                    frontier = unperformed.blocking_frontier(model, cls)
+                    frontier_cache[cls] = frontier
+                # The op's own index is in the unperformed tracker, so
+                # equality means "no EARLIER blocker" and must admit it.
+                if entry.idx <= frontier:
+                    port_candidate = entry
+                    candidate_pos = pos
+                    break
+                rejected.add(cls)
+                if len(rejected) == 3:
+                    break
+            store_candidate: _Entry | None = None
+            for i in range(store_head, len(store_buffer)):
+                entry = store_buffer[i]
+                if entry.issued or entry.performed:
+                    continue
+                cls = entry.mem_cls
+                frontier = frontier_cache.get(cls)
+                if frontier is None:
+                    frontier = unperformed.blocking_frontier(model, cls)
+                    frontier_cache[cls] = frontier
+                if entry.idx <= frontier:
+                    store_candidate = entry
+                break  # only the oldest unissued store is considered
+
+            if port_candidate is not None and (
+                store_candidate is None
+                or port_candidate.idx < store_candidate.idx
+            ):
+                entry = port_candidate
+                lsu_ready.pop(candidate_pos)
+                stall = entry.stall
+                if cfg.prefetch and stall > 0 and entry.ready_time >= 0:
+                    # Non-binding prefetch started when the address became
+                    # known; the remaining miss latency has shrunk.
+                    stall = max(0, stall - max(0, t - entry.ready_time))
+                latency = 1 + stall
+                if entry.mem_cls == MemClass.READ:
+                    idxs = pending_stores.get(entry.addr)
+                    if idxs and min(idxs) < entry.idx:
+                        latency = 1  # store buffer forwards the value
+                    elif cfg.collect_miss_stats and entry.stall > 0:
+                        self.read_miss_issue_delays.append(
+                            t - entry.decode_time
+                        )
+                schedule(entry, t + latency)
+                entry.issued = True
+                progressed = True
+            elif store_candidate is not None:
+                entry = store_candidate
+                entry.issued = True
+                stall = entry.stall
+                if cfg.prefetch and stall > 0 and entry.ready_time >= 0:
+                    stall = max(0, stall - max(0, t - entry.ready_time))
+                schedule(entry, t + 1 + stall)
+                progressed = True
+
+            # Phase 3: decode up to issue_width instructions.
+            decoded = 0
+            while (
+                decoded < cfg.issue_width
+                and fetch_i < n
+                and (len(rob) - rob_head) < window
+                and fetch_stalled_on is None
+            ):
+                record = records[fetch_i]
+                entry = _Entry(fetch_i, record, t)
+                fetch_i += 1
+                decoded += 1
+                progressed = True
+                rob.append(entry)
+                cls = entry.mem_cls
+                if cls != MemClass.NONE:
+                    unperformed.add(cls, entry.idx)
+                    if cls in _STORE_LIKE and entry.addr >= 0:
+                        pending_stores.setdefault(
+                            entry.addr, []
+                        ).append(entry.idx)
+                    if cfg.collect_miss_stats and (
+                        cls == MemClass.READ and record.stall > 0
+                    ):
+                        if last_miss_seen_idx >= 0:
+                            self.read_miss_distances.append(
+                                entry.idx - last_miss_seen_idx
+                            )
+                        last_miss_seen_idx = entry.idx
+
+                if not ignore_deps:
+                    for src in (record.rs1, record.rs2):
+                        if src > 0:  # register 0 is hardwired zero
+                            producer = last_writer.get(src)
+                            if producer is not None and (
+                                producer.complete_time < 0
+                                or producer.complete_time > t
+                            ):
+                                entry.pending_srcs += 1
+                                if producer.dependents is None:
+                                    producer.dependents = []
+                                producer.dependents.append(entry)
+                    if record.rd > 0:
+                        last_writer[record.rd] = entry
+
+                if entry.pending_srcs == 0:
+                    wake(entry, t + 1)
+
+                if is_control(record.op) and not perfect_bp:
+                    fallthrough = record.pc + 1
+                    prediction = self.btb.predict(
+                        record.op, record.pc, fallthrough
+                    )
+                    taken = record.next_pc != fallthrough
+                    if prediction == -2:
+                        correct = True
+                    elif prediction == -1:
+                        correct = False
+                    else:
+                        correct = prediction == record.next_pc
+                    self.btb.update(
+                        record.op, record.pc, taken, record.next_pc
+                    )
+                    if not correct:
+                        fetch_stalled_on = entry
+                        break
+
+            # Phase 4: retire in order (bandwidth == issue width).
+            retired = 0
+            stall_reason = None
+            while retired < cfg.issue_width and rob_head < len(rob):
+                head = rob[rob_head]
+                cls = head.mem_cls
+                if cls in _STORE_LIKE:
+                    if head.complete_time < 0 or head.complete_time > t:
+                        stall_reason = "other"
+                        break
+                    if len(store_buffer) - store_head >= store_depth:
+                        stall_reason = "write"
+                        break
+                    head.in_store_buffer = True
+                    store_buffer.append(head)
+                elif cls in _ACQ and not head.performed:
+                    # The access latency may already have been overlapped;
+                    # the contention wait is charged serially from the
+                    # moment the acquire reaches the head.
+                    if (
+                        head.needs_head_wait
+                        and 0 <= head.complete_time <= t
+                        and head.head_wait_start < 0
+                    ):
+                        head.head_wait_start = t
+                        schedule(head, t + head.wait)
+                        stall_reason = "sync"
+                    else:
+                        stall_reason = blocked_reason(head, "sync")
+                    break
+                elif head.complete_time < 0 or head.complete_time > t:
+                    if cls == MemClass.READ:
+                        stall_reason = blocked_reason(head, "read")
+                    elif cls in _ACQ:
+                        stall_reason = blocked_reason(head, "sync")
+                    else:
+                        stall_reason = "other"
+                    break
+                rob_head += 1
+                retired += 1
+                progressed = True
+            if rob_head > 2 * window:
+                del rob[:rob_head]
+                rob_head = 0
+
+            # ---- attribution and time advance -------------------------------
+            if retired:
+                busy += 1
+                t += 1
+                continue
+
+            done = (
+                fetch_i >= n
+                and rob_head >= len(rob)
+                and store_head >= len(store_buffer)
+            )
+            if done:
+                break
+
+            if stall_reason is None:
+                if rob_head < len(rob):
+                    stall_reason = "other"
+                elif store_head < len(store_buffer):
+                    stall_reason = "write"  # draining the store buffer
+                else:
+                    stall_reason = "other"
+
+            if progressed or not events:
+                cycles = 1
+            else:
+                # Nothing can change until the next event: jump.
+                next_t = events[0][0]
+                cycles = max(1, next_t - t)
+            if stall_reason == "read":
+                read += cycles
+            elif stall_reason == "sync":
+                sync += cycles
+            elif stall_reason == "write":
+                write += cycles
+            else:
+                other += cycles
+            t += cycles
+
+        return ExecutionBreakdown(
+            label=label or f"DS-{model.name}-w{window}",
+            busy=busy, sync=sync, read=read, write=write, other=other,
+            instructions=n,
+            extras={"cycles": t},
+        )
+
+
+def simulate_ds(
+    trace: Trace,
+    model: ConsistencyModel,
+    config: DSConfig | None = None,
+    label: str | None = None,
+) -> ExecutionBreakdown:
+    """Convenience wrapper around :class:`DSProcessor`."""
+    return DSProcessor(trace, model, config).run(label=label)

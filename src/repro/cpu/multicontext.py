@@ -1,0 +1,150 @@
+"""Multiple hardware contexts — the competitive technique of §5.
+
+The paper's discussion names multiple-context processors (APRIL, HEP,
+MASA, Weber & Gupta) as an alternative way to hide memory latency: keep
+K register contexts resident and switch to another context whenever the
+current one misses in the cache, instead of looking ahead within one
+instruction stream.
+
+This model makes the comparison concrete.  A blocking-read, in-order
+processor holds K contexts (each fed by the trace of a *different*
+processor of the same multiprocessor run — the natural source of
+independent streams).  On a read miss or synchronization stall the
+processor pays a fixed context-switch penalty and resumes the next ready
+context; a context whose miss is outstanding becomes ready again when the
+miss completes.  Writes are buffered (release consistency on the host,
+like the trace generator), so only read/synchronization stalls trigger
+switches.
+
+The figure of merit mirrors the paper's: how much of the aggregate
+read-stall time does context interleaving hide, as a function of K and of
+the switch penalty — to be placed alongside the DS window sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import heapq
+
+from ..isa import MemClass
+from ..tango import Trace
+from .results import ExecutionBreakdown
+
+
+@dataclass
+class MultiContextConfig:
+    """Knobs of the multiple-context processor."""
+
+    #: Cycles lost on every context switch (register-bank swap, pipeline
+    #: refill).  The April paper assumes ~10 cycles; 0 models an ideal
+    #: zero-overhead switch (HEP-style).
+    switch_penalty: int = 4
+
+
+class MultiContextProcessor:
+    """Switch-on-miss interleaving of K blocking-read contexts."""
+
+    def __init__(
+        self,
+        traces: list[Trace],
+        config: MultiContextConfig | None = None,
+    ) -> None:
+        if not traces:
+            raise ValueError("need at least one context")
+        self.traces = traces
+        self.config = config or MultiContextConfig()
+
+    def run(self, label: str | None = None) -> ExecutionBreakdown:
+        """Simulate until every context's trace is exhausted."""
+        switch_penalty = self.config.switch_penalty
+        k = len(self.traces)
+        positions = [0] * k
+        #: contexts ready to run now (FIFO round-robin order).
+        ready = list(range(k))
+        #: min-heap of (wakeup_time, context) for stalled contexts.
+        sleeping: list[tuple[int, int]] = []
+
+        t = 0
+        busy = sync = read = write = other = 0
+        switches = 0
+
+        while ready or sleeping:
+            if not ready:
+                # Every context is waiting on memory: idle until the
+                # first wakeup.  This exposed time is the latency the
+                # technique failed to hide; attribute it by the class of
+                # the access the woken context stalled on.
+                wake_t, ctx = heapq.heappop(sleeping)
+                idle = max(0, wake_t - t)
+                pos = positions[ctx]
+                cls = self.traces[ctx].records[pos - 1].mem_class
+                if cls in (MemClass.ACQUIRE, MemClass.BARRIER):
+                    sync += idle
+                else:
+                    read += idle
+                t = max(t, wake_t)
+                if pos < len(self.traces[ctx]):
+                    ready.append(ctx)
+                while sleeping and sleeping[0][0] <= t:
+                    _, other_ctx = heapq.heappop(sleeping)
+                    if positions[other_ctx] < len(self.traces[other_ctx]):
+                        ready.append(other_ctx)
+                continue
+
+            ctx = ready.pop(0)
+            trace = self.traces[ctx].records
+            pos = positions[ctx]
+            n = len(trace)
+
+            # Run the context until it stalls or finishes.
+            stalled = False
+            while pos < n:
+                record = trace[pos]
+                pos += 1
+                busy += 1
+                t += 1
+                cls = record.mem_class
+                if cls == MemClass.NONE:
+                    continue
+                if cls == MemClass.WRITE or cls == MemClass.RELEASE:
+                    continue  # buffered; latency hidden on this host
+                stall = record.stall + record.wait
+                if stall == 0:
+                    continue
+                # Read miss or synchronization: switch away.
+                heapq.heappush(sleeping, (t + stall, ctx))
+                stalled = True
+                break
+            positions[ctx] = pos
+
+            # Collect any contexts whose stalls completed meanwhile.
+            while sleeping and sleeping[0][0] <= t:
+                _, other_ctx = heapq.heappop(sleeping)
+                if positions[other_ctx] < len(self.traces[other_ctx]):
+                    ready.append(other_ctx)
+
+            if stalled and switch_penalty and ready:
+                # Pay the switch cost only when actually resuming another
+                # context ('other': mechanism overhead, not memory time).
+                other += switch_penalty
+                t += switch_penalty
+                switches += 1
+
+        total_instructions = sum(len(tr) for tr in self.traces)
+        return ExecutionBreakdown(
+            label=label or f"MC-k{k}-p{switch_penalty}",
+            busy=busy, sync=sync, read=read, write=write, other=other,
+            instructions=total_instructions,
+            extras={"switches": switches, "contexts": k},
+        )
+
+
+def simulate_multicontext(
+    traces: list[Trace],
+    switch_penalty: int = 4,
+    label: str | None = None,
+) -> ExecutionBreakdown:
+    """Convenience wrapper around :class:`MultiContextProcessor`."""
+    return MultiContextProcessor(
+        traces, MultiContextConfig(switch_penalty=switch_penalty)
+    ).run(label=label)

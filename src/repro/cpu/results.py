@@ -1,0 +1,66 @@
+"""Execution-time breakdown — the quantity every figure in the paper plots.
+
+The paper's Figures 3 and 4 report, per configuration, execution time
+decomposed into four components (normalised to the BASE processor):
+
+* **busy** — cycles retiring useful instructions;
+* **sync** — cycles stalled on acquire synchronization (locks, event
+  waits, barriers), including both contention/imbalance wait and the sync
+  variable's access latency;
+* **read** — cycles stalled on read (load) latency;
+* **write** — cycles stalled on write latency, *including release
+  operations* (the paper folds releases into write miss time).
+
+Every processor model in :mod:`repro.cpu` returns an
+:class:`ExecutionBreakdown`; the components always sum to ``total``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionBreakdown:
+    """Cycle counts of one trace-driven processor simulation."""
+
+    label: str = ""
+    busy: int = 0
+    sync: int = 0
+    read: int = 0
+    write: int = 0
+    #: Residual scheduling stall not attributable to the above (dependence
+    #: bubbles at the reorder-buffer head, end-of-trace drain).  Kept
+    #: separate for honesty; it is small for every configuration.
+    other: int = 0
+    instructions: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.busy + self.sync + self.read + self.write + self.other
+
+    def normalized_to(self, base: "ExecutionBreakdown") -> dict[str, float]:
+        """Component percentages of this run relative to ``base.total``."""
+        scale = 100.0 / base.total if base.total else 0.0
+        return {
+            "busy": self.busy * scale,
+            "sync": self.sync * scale,
+            "read": self.read * scale,
+            "write": self.write * scale,
+            "other": self.other * scale,
+            "total": self.total * scale,
+        }
+
+    def read_latency_hidden_vs(self, base: "ExecutionBreakdown") -> float:
+        """Fraction of the BASE read stall this run eliminated (0..1)."""
+        if base.read == 0:
+            return 0.0
+        return max(0.0, min(1.0, 1.0 - self.read / base.read))
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label or 'run'}: total={self.total} busy={self.busy} "
+            f"sync={self.sync} read={self.read} write={self.write} "
+            f"other={self.other}"
+        )

@@ -1,0 +1,288 @@
+"""Statically scheduled processors: SSBR and SS (paper §4.1).
+
+Two in-order models sharing a consistency-aware write buffer:
+
+* **SSBR** — blocking reads.  The processor stalls for every read miss.
+  Writes go to a 16-deep write buffer whose behaviour the consistency
+  model governs: under SC the buffer must drain before a read may be
+  serviced and writes retire serially; under PC reads bypass pending
+  writes but buffered writes still retire one at a time (serialized miss
+  latencies — the source of OCEAN's write-buffer-full stalls); under
+  WO/RC buffered writes retire overlapped, so the buffer almost never
+  fills.
+* **SS** — non-blocking reads.  A read miss does not stall the processor;
+  the stall is deferred to the first *use* of the return value
+  (per-register ready times).  A 16-deep read buffer bounds outstanding
+  reads.  Under SC and PC reads are still serialized with respect to
+  previous reads, so only the read-to-use distance is hidden — which is
+  why the paper finds SS barely improves on SSBR without compiler
+  rescheduling.
+
+Both models retire exactly one instruction per cycle plus stalls, so
+``busy`` equals the instruction count and the attribution identity
+``total == busy + sync + read + write`` is exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..consistency import ConsistencyModel
+from ..isa import MemClass
+from ..tango import Trace, TraceRecord
+from .results import ExecutionBreakdown
+
+WRITE_BUFFER_DEPTH = 16
+READ_BUFFER_DEPTH = 16
+
+
+class WriteBuffer:
+    """A FIFO write buffer with consistency-governed retirement.
+
+    Entries are (perform_time, free_time, addr).  ``perform_time`` is when
+    the write becomes visible; ``free_time`` is when the FIFO slot frees
+    (entries free in order).  Under serializing models (SC, PC) a write
+    may not begin its memory access until the previous write performed;
+    under overlapping models (WO, RC) writes pipeline.
+    """
+
+    def __init__(self, model: ConsistencyModel,
+                 depth: int = WRITE_BUFFER_DEPTH) -> None:
+        self.model = model
+        self.depth = depth
+        self._entries: deque[tuple[int, int]] = deque()  # (free, addr)
+        self._pending_addrs: dict[int, int] = {}
+        self.last_perform = 0
+        self.last_free = 0
+
+    def _drain(self, now: int) -> None:
+        while self._entries and self._entries[0][0] <= now:
+            _, addr = self._entries.popleft()
+            if addr >= 0:
+                count = self._pending_addrs.get(addr, 0) - 1
+                if count <= 0:
+                    self._pending_addrs.pop(addr, None)
+                else:
+                    self._pending_addrs[addr] = count
+
+    def push(self, now: int, stall: int, addr: int = -1,
+             perform_floor: int = 0) -> tuple[int, int]:
+        """Buffer a write issued at ``now``.
+
+        ``perform_floor`` is the earliest the write may perform (used for
+        releases that must wait for prior accesses).  Returns
+        ``(new_now, full_stall)`` — the cycles the processor stalled
+        because the buffer was full.
+        """
+        self._drain(now)
+        full_stall = 0
+        if len(self._entries) >= self.depth:
+            wait_until = self._entries[0][0]
+            full_stall = wait_until - now
+            now = wait_until
+            self._drain(now)
+        if self.model.writes_overlap:
+            perform = max(now, perform_floor) + stall
+        else:
+            perform = max(now, self.last_perform, perform_floor) + stall
+        self.last_perform = max(self.last_perform, perform)
+        free = max(perform, self.last_free)
+        self.last_free = free
+        self._entries.append((free, addr))
+        if addr >= 0:
+            self._pending_addrs[addr] = self._pending_addrs.get(addr, 0) + 1
+        return now, full_stall
+
+    def holds_addr(self, addr: int, now: int) -> bool:
+        self._drain(now)
+        return addr in self._pending_addrs
+
+    def drain_time(self) -> int:
+        """Time at which every buffered write has performed and freed."""
+        return self.last_free if self._entries else 0
+
+
+def simulate_ssbr(
+    trace: Trace,
+    model: ConsistencyModel,
+    label: str | None = None,
+    write_buffer_depth: int = WRITE_BUFFER_DEPTH,
+) -> ExecutionBreakdown:
+    """Run the SSBR (static scheduling, blocking reads) model."""
+    buf = WriteBuffer(model, write_buffer_depth)
+    t = 0
+    busy = sync = read = write = 0
+    last_release_perform = 0
+    for record in trace:
+        t += 1
+        busy += 1
+        cls = record.mem_class
+        if cls == MemClass.NONE:
+            continue
+        if cls == MemClass.READ:
+            if not model.reads_bypass_writes:
+                drained = buf.drain_time()
+                if drained > t:
+                    write += drained - t
+                    t = drained
+            if record.stall and not buf.holds_addr(record.addr, t):
+                read += record.stall
+                t += record.stall
+        elif cls == MemClass.WRITE or cls == MemClass.RELEASE:
+            floor = 0
+            if cls == MemClass.RELEASE and model.name in ("WO", "RC"):
+                # A release may not perform before prior accesses; reads
+                # already completed (blocking), writes via the buffer's
+                # serialization floor.
+                floor = buf.last_perform
+            t, full_stall = buf.push(
+                t, record.stall, record.addr, perform_floor=floor
+            )
+            write += full_stall
+            if cls == MemClass.RELEASE:
+                last_release_perform = max(
+                    last_release_perform, buf.last_perform
+                )
+        else:  # acquire or barrier
+            if cls == MemClass.BARRIER or not model.reads_bypass_writes:
+                drained = buf.drain_time()
+                if drained > t:
+                    write += drained - t
+                    t = drained
+            elif (
+                model.requires(MemClass.RELEASE, MemClass.ACQUIRE)
+                and last_release_perform > t
+            ):
+                # WO keeps sync accesses ordered among themselves; RCpc
+                # lets an acquire bypass a pending release.
+                write += last_release_perform - t
+                t = last_release_perform
+            sync += record.wait + record.stall
+            t += record.wait + record.stall
+    # Final drain so configurations are comparable end-to-end.
+    drained = buf.drain_time()
+    if drained > t:
+        write += drained - t
+        t = drained
+    return ExecutionBreakdown(
+        label=label or f"SSBR-{model.name}",
+        busy=busy, sync=sync, read=read, write=write,
+        instructions=len(trace),
+    )
+
+
+def simulate_ss(
+    trace: Trace,
+    model: ConsistencyModel,
+    label: str | None = None,
+    write_buffer_depth: int = WRITE_BUFFER_DEPTH,
+    read_buffer_depth: int = READ_BUFFER_DEPTH,
+) -> ExecutionBreakdown:
+    """Run the SS (static scheduling, non-blocking reads) model."""
+    buf = WriteBuffer(model, write_buffer_depth)
+    reg_ready: dict[int, int] = {}
+    outstanding: deque[int] = deque()  # perform times of pending reads
+    t = 0
+    busy = sync = read = write = 0
+    last_read_perform = 0
+    last_release_perform = 0
+    serialize_reads = model.name in ("SC", "PC")
+
+    def wait_operands(record: TraceRecord) -> None:
+        nonlocal t, read
+        avail = t
+        if record.rs1 >= 0:
+            avail = max(avail, reg_ready.get(record.rs1, 0))
+        if record.rs2 >= 0:
+            avail = max(avail, reg_ready.get(record.rs2, 0))
+        if avail > t:
+            # Only loads produce late values on an in-order machine, so
+            # operand waits are read stalls.
+            read += avail - t
+            t = avail
+
+    def all_reads_done() -> int:
+        return max(outstanding) if outstanding else 0
+
+    for record in trace:
+        t += 1
+        busy += 1
+        cls = record.mem_class
+        wait_operands(record)
+        if cls == MemClass.NONE:
+            continue
+        if cls == MemClass.READ:
+            while outstanding and outstanding[0] <= t:
+                outstanding.popleft()
+            if len(outstanding) >= read_buffer_depth:
+                stall_until = outstanding[0]
+                read += stall_until - t
+                t = stall_until
+                while outstanding and outstanding[0] <= t:
+                    outstanding.popleft()
+            start = t
+            if not model.reads_bypass_writes:
+                start = max(start, buf.drain_time())
+                if start > t:
+                    write += start - t
+                    t = start
+            if serialize_reads and last_read_perform > start:
+                # SC/PC: this read may not begin until the previous read
+                # performed; the processor itself does not stall.
+                start = last_read_perform
+            if record.stall and not buf.holds_addr(record.addr, t):
+                perform = start + record.stall
+            else:
+                perform = start
+            last_read_perform = max(last_read_perform, perform)
+            if perform > t:
+                outstanding.append(perform)
+                if record.rd >= 0:
+                    reg_ready[record.rd] = perform
+        elif cls == MemClass.WRITE or cls == MemClass.RELEASE:
+            floor = 0
+            if cls == MemClass.RELEASE and model.name in ("WO", "RC"):
+                floor = max(buf.last_perform, all_reads_done())
+            t, full_stall = buf.push(
+                t, record.stall, record.addr, perform_floor=floor
+            )
+            write += full_stall
+            if cls == MemClass.RELEASE:
+                last_release_perform = max(
+                    last_release_perform, buf.last_perform
+                )
+        else:  # acquire or barrier
+            if cls == MemClass.BARRIER or not model.reads_bypass_writes:
+                reads_done = all_reads_done()
+                if reads_done > t:
+                    read += reads_done - t
+                    t = reads_done
+                drained = buf.drain_time()
+                if drained > t:
+                    write += drained - t
+                    t = drained
+            elif (
+                model.requires(MemClass.RELEASE, MemClass.ACQUIRE)
+                and last_release_perform > t
+            ):
+                write += last_release_perform - t
+                t = last_release_perform
+            elif serialize_reads and last_read_perform > t:
+                read += last_read_perform - t
+                t = last_read_perform
+            sync += record.wait + record.stall
+            t += record.wait + record.stall
+            outstanding.clear()
+    reads_done = all_reads_done()
+    if reads_done > t:
+        read += reads_done - t
+        t = reads_done
+    drained = buf.drain_time()
+    if drained > t:
+        write += drained - t
+        t = drained
+    return ExecutionBreakdown(
+        label=label or f"SS-{model.name}",
+        busy=busy, sync=sync, read=read, write=write,
+        instructions=len(trace),
+    )

@@ -1,0 +1,86 @@
+"""E11 — multiple hardware contexts as the competing technique (§5).
+
+The paper's discussion lists multiple-context processors among the
+alternative latency-hiding techniques.  This experiment runs the
+switch-on-miss multiple-context model over K traces of the same
+application (different processors of the multiprocessor run supply the
+independent streams) and reports the processor-efficiency curve
+(busy / total) versus K, next to the single-context BASE and the DS
+window-64 result.
+"""
+
+from __future__ import annotations
+
+from ..cpu import ProcessorConfig, simulate
+from ..cpu.multicontext import simulate_multicontext
+from ..tango import MultiprocessorConfig, TangoExecutor
+from ..apps import build_app
+from .report import format_table
+from .runner import TraceStore, default_store
+
+CONTEXT_COUNTS = (1, 2, 4, 8)
+
+
+def run_contexts(
+    store: TraceStore | None = None,
+    switch_penalty: int = 4,
+    apps: tuple[str, ...] | None = None,
+) -> dict[str, dict]:
+    """Per app: efficiency by context count, plus DS-w64 efficiency."""
+    store = store or default_store()
+    result: dict[str, dict] = {}
+    for run in store.all_apps():
+        if apps is not None and run.app not in apps:
+            continue
+        # Re-run the workload tracing the first max(K) processors so the
+        # contexts are genuinely independent streams of the same program.
+        workload = build_app(
+            run.app, n_procs=store.n_procs, preset=store.preset
+        )
+        config = MultiprocessorConfig(
+            n_cpus=store.n_procs,
+            cache_size=store.cache_size,
+            miss_penalty=store.miss_penalty,
+            trace_cpus=tuple(range(max(CONTEXT_COUNTS))),
+        )
+        mp = TangoExecutor(
+            workload.programs, config, memory=workload.memory
+        ).run()
+        traces = [mp.trace(c) for c in range(max(CONTEXT_COUNTS))]
+
+        efficiency = {}
+        for k in CONTEXT_COUNTS:
+            breakdown = simulate_multicontext(
+                traces[:k], switch_penalty=switch_penalty
+            )
+            efficiency[k] = breakdown.busy / breakdown.total
+        ds = simulate(
+            run.trace, ProcessorConfig(kind="ds", model="RC", window=64)
+        )
+        result[run.app] = {
+            "efficiency": efficiency,
+            "ds_efficiency": ds.busy / ds.total,
+            "base_efficiency": run.base.busy / run.base.total,
+        }
+    return result
+
+
+def format_contexts(result: dict[str, dict]) -> str:
+    rows = []
+    for app, data in result.items():
+        row = [app.upper()]
+        row.append(f"{100 * data['base_efficiency']:.0f}%")
+        for k in CONTEXT_COUNTS:
+            row.append(f"{100 * data['efficiency'][k]:.0f}%")
+        row.append(f"{100 * data['ds_efficiency']:.0f}%")
+        rows.append(row)
+    return format_table(
+        ["program", "BASE"]
+        + [f"MC k={k}" for k in CONTEXT_COUNTS]
+        + ["DS-RC w64"],
+        rows,
+        title=(
+            "Processor efficiency (busy/total): multiple contexts "
+            "(switch-on-miss) vs. dynamic scheduling"
+        ),
+    )

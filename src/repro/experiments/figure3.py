@@ -1,0 +1,66 @@
+"""Figure 3 — execution time vs. processor model and consistency model.
+
+For each application, the paper's Figure 3 plots normalised execution
+time (breakdown: busy / sync / read / write) for:
+
+* BASE — in-order, no overlap;
+* SC:  SSBR, SS, DS with window 256;
+* PC:  SSBR, SS, DS with window 256;
+* RC:  SSBR, SS, DS with windows 16, 32, 64, 128, 256;
+
+all at a 50-cycle miss penalty (the 100-cycle variant lives in
+:mod:`repro.experiments.latency100`).
+"""
+
+from __future__ import annotations
+
+from ..cpu import ExecutionBreakdown, ProcessorConfig, simulate
+from .report import format_breakdowns, format_stacked_bars
+from .runner import AppRun, TraceStore, default_store
+
+WINDOW_SIZES = (16, 32, 64, 128, 256)
+
+
+def figure3_configs() -> list[ProcessorConfig]:
+    configs: list[ProcessorConfig] = [ProcessorConfig(kind="base")]
+    for model in ("SC", "PC"):
+        configs.append(ProcessorConfig(kind="ssbr", model=model))
+        configs.append(ProcessorConfig(kind="ss", model=model))
+        configs.append(ProcessorConfig(kind="ds", model=model, window=256))
+    configs.append(ProcessorConfig(kind="ssbr", model="RC"))
+    configs.append(ProcessorConfig(kind="ss", model="RC"))
+    for window in WINDOW_SIZES:
+        configs.append(ProcessorConfig(kind="ds", model="RC", window=window))
+    return configs
+
+
+def run_figure3_app(run: AppRun) -> list[ExecutionBreakdown]:
+    """All Figure 3 bars for one application."""
+    return [simulate(run.trace, cfg) for cfg in figure3_configs()]
+
+
+def run_figure3(
+    store: TraceStore | None = None,
+    apps: tuple[str, ...] | None = None,
+) -> dict[str, list[ExecutionBreakdown]]:
+    store = store or default_store()
+    result = {}
+    for run in store.all_apps():
+        if apps is not None and run.app not in apps:
+            continue
+        result[run.app] = run_figure3_app(run)
+    return result
+
+
+def format_figure3(
+    results: dict[str, list[ExecutionBreakdown]],
+    bars: bool = True,
+) -> str:
+    sections = []
+    for app, runs in results.items():
+        base = runs[0]
+        title = f"Figure 3 — {app.upper()} (percent of BASE, 50-cycle miss)"
+        sections.append(format_breakdowns(title, runs, base))
+        if bars:
+            sections.append(format_stacked_bars("", runs, base))
+    return "\n\n".join(sections)

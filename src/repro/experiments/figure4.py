@@ -1,0 +1,67 @@
+"""Figure 4 — isolating branch prediction and data dependences (DS, RC).
+
+For each application: BASE, then the DS processor under RC at windows
+16-256 with *perfect branch prediction*, then the same windows with
+perfect branch prediction *and data dependences ignored* (consistency
+constraints are still respected, exactly as the paper's footnote 3
+specifies).
+"""
+
+from __future__ import annotations
+
+from ..cpu import ExecutionBreakdown, ProcessorConfig, simulate
+from .figure3 import WINDOW_SIZES
+from .report import format_breakdowns, format_stacked_bars
+from .runner import AppRun, TraceStore, default_store
+
+
+def figure4_configs() -> list[ProcessorConfig]:
+    configs: list[ProcessorConfig] = [ProcessorConfig(kind="base")]
+    for window in WINDOW_SIZES:
+        configs.append(
+            ProcessorConfig(
+                kind="ds", model="RC", window=window, perfect_bp=True
+            )
+        )
+    for window in WINDOW_SIZES:
+        configs.append(
+            ProcessorConfig(
+                kind="ds", model="RC", window=window,
+                perfect_bp=True, ignore_deps=True,
+            )
+        )
+    return configs
+
+
+def run_figure4_app(run: AppRun) -> list[ExecutionBreakdown]:
+    return [simulate(run.trace, cfg) for cfg in figure4_configs()]
+
+
+def run_figure4(
+    store: TraceStore | None = None,
+    apps: tuple[str, ...] | None = None,
+) -> dict[str, list[ExecutionBreakdown]]:
+    store = store or default_store()
+    result = {}
+    for run in store.all_apps():
+        if apps is not None and run.app not in apps:
+            continue
+        result[run.app] = run_figure4_app(run)
+    return result
+
+
+def format_figure4(
+    results: dict[str, list[ExecutionBreakdown]],
+    bars: bool = True,
+) -> str:
+    sections = []
+    for app, runs in results.items():
+        base = runs[0]
+        title = (
+            f"Figure 4 — {app.upper()}: perfect branch prediction and "
+            f"ignored data dependences (DS under RC, percent of BASE)"
+        )
+        sections.append(format_breakdowns(title, runs, base))
+        if bars:
+            sections.append(format_stacked_bars("", runs, base))
+    return "\n\n".join(sections)

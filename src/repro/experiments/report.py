@@ -1,0 +1,106 @@
+"""Plain-text table/figure rendering for experiment output.
+
+The original paper presents its results as tables and stacked-bar
+figures.  This module renders the same content as aligned text tables and
+ASCII stacked bars, so every experiment's output can be diffed, logged
+from a benchmark run, and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from ..cpu import ExecutionBreakdown
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    title: str = "",
+    float_fmt: str = "{:.1f}",
+) -> str:
+    """Render an aligned text table."""
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def breakdown_rows(
+    runs: list[ExecutionBreakdown],
+    base: ExecutionBreakdown,
+) -> list[list]:
+    """Rows of normalised execution-time components (percent of BASE)."""
+    rows = []
+    for run in runs:
+        nz = run.normalized_to(base)
+        rows.append([
+            run.label,
+            nz["busy"],
+            nz["sync"],
+            nz["read"],
+            nz["write"],
+            nz["other"],
+            nz["total"],
+        ])
+    return rows
+
+
+def format_breakdowns(
+    title: str,
+    runs: list[ExecutionBreakdown],
+    base: ExecutionBreakdown,
+) -> str:
+    """The paper's stacked-bar data as a table (percent of BASE time)."""
+    headers = ["config", "busy", "sync", "read", "write", "other", "total"]
+    return format_table(headers, breakdown_rows(runs, base), title=title)
+
+
+def format_stacked_bars(
+    title: str,
+    runs: list[ExecutionBreakdown],
+    base: ExecutionBreakdown,
+    width: int = 60,
+) -> str:
+    """ASCII rendition of the paper's stacked execution-time bars.
+
+    Each configuration is one horizontal bar scaled so that BASE fills
+    ``width`` characters: ``#`` busy, ``S`` sync stall, ``R`` read stall,
+    ``W`` write stall, ``.`` other.
+    """
+    label_w = max((len(r.label) for r in runs), default=5)
+    lines = [title] if title else []
+    for run in runs:
+        nz = run.normalized_to(base)
+        scale = width / 100.0
+        segments = (
+            ("#", nz["busy"]),
+            ("S", nz["sync"]),
+            ("R", nz["read"]),
+            ("W", nz["write"]),
+            (".", nz["other"]),
+        )
+        bar = "".join(ch * round(frac * scale) for ch, frac in segments)
+        lines.append(
+            f"{run.label.ljust(label_w)} |{bar}| {nz['total']:6.1f}%"
+        )
+    lines.append(
+        f"{''.ljust(label_w)}  legend: # busy  S sync  R read  W write"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Shared experiment infrastructure.
+
+Every table and figure consumes the same inputs: the multiprocessor run
+of each application (statistics + the traced processor's dynamic trace).
+Generating a trace takes seconds-to-minutes of functional simulation, so
+this module provides :class:`TraceStore` — an in-memory plus on-disk
+cache keyed by (application, processor count, miss penalty, preset).
+
+The defaults mirror the paper's simulation parameters: 16 processors,
+64 KB direct-mapped write-back caches with 16-byte lines, a 50-cycle miss
+penalty, and processor 0 as the traced processor.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..apps import APP_NAMES, build_app
+from ..cpu import ExecutionBreakdown, simulate_base
+from ..tango import (
+    MultiprocessorConfig,
+    RunStats,
+    TangoExecutor,
+    Trace,
+)
+
+DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache" / "traces"
+
+
+@dataclass
+class AppRun:
+    """Cached outcome of one multiprocessor run of one application."""
+
+    app: str
+    trace: Trace
+    stats: RunStats
+    base: ExecutionBreakdown
+    params: dict = field(default_factory=dict)
+
+
+class TraceStore:
+    """Builds, runs, verifies and caches application traces."""
+
+    def __init__(
+        self,
+        n_procs: int = 16,
+        miss_penalty: int = 50,
+        cache_size: int = 64 * 1024,
+        preset: str = "default",
+        trace_cpu: int = 0,
+        cache_dir: Path | str | None = DEFAULT_CACHE_DIR,
+        verify: bool = True,
+    ) -> None:
+        self.n_procs = n_procs
+        self.miss_penalty = miss_penalty
+        self.cache_size = cache_size
+        self.preset = preset
+        self.trace_cpu = trace_cpu
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.verify = verify
+        self._runs: dict[str, AppRun] = {}
+
+    def _cache_path(self, app: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        name = (
+            f"{app}_p{self.n_procs}_m{self.miss_penalty}"
+            f"_c{self.cache_size}_{self.preset}_t{self.trace_cpu}.pkl"
+        )
+        return self.cache_dir / name
+
+    def get(self, app: str) -> AppRun:
+        """Return the cached run for ``app``, generating it if needed."""
+        if app not in APP_NAMES:
+            raise ValueError(f"unknown application {app!r}")
+        run = self._runs.get(app)
+        if run is not None:
+            return run
+        path = self._cache_path(app)
+        if path is not None and path.exists():
+            with open(path, "rb") as f:
+                run = pickle.load(f)
+            self._runs[app] = run
+            return run
+        run = self._generate(app)
+        self._runs[app] = run
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "wb") as f:
+                pickle.dump(run, f, protocol=pickle.HIGHEST_PROTOCOL)
+        return run
+
+    def _generate(self, app: str) -> AppRun:
+        workload = build_app(app, n_procs=self.n_procs, preset=self.preset)
+        config = MultiprocessorConfig(
+            n_cpus=self.n_procs,
+            cache_size=self.cache_size,
+            miss_penalty=self.miss_penalty,
+            trace_cpus=(self.trace_cpu,),
+        )
+        result = TangoExecutor(
+            workload.programs, config, memory=workload.memory
+        ).run()
+        if self.verify:
+            workload.verify(result.memory)
+        trace = result.trace(self.trace_cpu)
+        return AppRun(
+            app=app,
+            trace=trace,
+            stats=result.stats,
+            base=simulate_base(trace),
+            params=dict(workload.params),
+        )
+
+    def all_apps(self) -> list[AppRun]:
+        return [self.get(app) for app in APP_NAMES]
+
+
+#: Process-wide default stores (50- and 100-cycle miss penalties), shared
+#: by the test suite and the benchmark harness so the expensive functional
+#: simulation happens once.
+_STORES: dict[int, TraceStore] = {}
+
+
+def default_store(miss_penalty: int = 50) -> TraceStore:
+    store = _STORES.get(miss_penalty)
+    if store is None:
+        store = TraceStore(miss_penalty=miss_penalty)
+        _STORES[miss_penalty] = store
+    return store

@@ -1,0 +1,88 @@
+"""Table 3 — statistics on branch behaviour.
+
+Per application: the fraction of instructions that are branches, the
+average distance between branches, the BTB prediction accuracy (2048
+entries, 4-way, 2-bit counters — the paper's configuration), and the
+average distance between mispredictions.
+
+Following the paper, "branches" here are the control-transfer
+instructions whose outcome prediction matters: conditional branches and
+indirect jumps.  Direct jumps always predict correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu import BranchTargetBuffer
+from ..cpu.ds.btb import predicted_correctly
+from ..isa import Op, is_cond_branch
+from ..tango import Trace
+from .report import format_table
+from .runner import TraceStore, default_store
+
+
+@dataclass
+class Table3Row:
+    app: str
+    instructions: int
+    branches: int
+    predicted: int
+
+    @property
+    def branch_pct(self) -> float:
+        return 100.0 * self.branches / self.instructions
+
+    @property
+    def avg_distance(self) -> float:
+        return self.instructions / self.branches if self.branches else 0.0
+
+    @property
+    def predicted_pct(self) -> float:
+        return 100.0 * self.predicted / self.branches if self.branches else 0.0
+
+    @property
+    def avg_mispredict_distance(self) -> float:
+        missed = self.branches - self.predicted
+        return self.instructions / missed if missed else float("inf")
+
+
+def analyze_trace(app: str, trace: Trace,
+                  btb_entries: int = 2048, btb_assoc: int = 4) -> Table3Row:
+    btb = BranchTargetBuffer(btb_entries, btb_assoc)
+    branches = 0
+    predicted = 0
+    for record in trace:
+        op = record.op
+        if is_cond_branch(op) or op is Op.JR:
+            branches += 1
+            if predicted_correctly(btb, op, record.pc, record.next_pc):
+                predicted += 1
+    return Table3Row(
+        app=app,
+        instructions=len(trace),
+        branches=branches,
+        predicted=predicted,
+    )
+
+
+def run_table3(store: TraceStore | None = None) -> list[Table3Row]:
+    store = store or default_store()
+    return [analyze_trace(run.app, run.trace) for run in store.all_apps()]
+
+
+def format_table3(rows: list[Table3Row]) -> str:
+    return format_table(
+        ["program", "% instrs", "avg dist", "% predicted", "avg mispred dist"],
+        [
+            [
+                r.app.upper(),
+                f"{r.branch_pct:.1f}%",
+                f"{r.avg_distance:.1f}",
+                f"{r.predicted_pct:.1f}%",
+                f"{r.avg_mispredict_distance:.1f}",
+            ]
+            for r in rows
+        ],
+        title="Table 3: branch behaviour (2048-entry 4-way BTB)",
+    )

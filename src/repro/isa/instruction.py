@@ -1,0 +1,78 @@
+"""The :class:`Instruction` container and its pretty-printer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ops import Op, is_cond_branch, is_mem, is_sync
+from .registers import reg_name
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One static instruction.
+
+    Fields that do not apply to an opcode are ``None``.  Branch and jump
+    targets are symbolic labels while a program is being built; the
+    assembler resolves them to absolute instruction indices (``target``)
+    when the program is sealed.
+
+    Attributes:
+        op: the opcode.
+        rd: flat id of the destination register, if any.
+        rs1: flat id of the first source register, if any.  For memory
+            operations this is the base address register; for
+            synchronization operations it holds the synchronization
+            variable's address.
+        rs2: flat id of the second source register, if any.  For stores
+            this is the register holding the value to be stored.
+        imm: immediate operand (integer for ALU/shift ops, byte offset for
+            loads and stores).
+        label: symbolic control-flow target, present until resolution.
+        target: absolute instruction index of the control-flow target,
+            filled in by :meth:`repro.isa.program.Program.seal`.
+    """
+
+    op: Op
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    imm: int | float | None = None
+    label: str | None = None
+    target: int | None = None
+
+    def sources(self) -> tuple[int, ...]:
+        """Flat ids of the registers this instruction reads."""
+        srcs = []
+        if self.rs1 is not None:
+            srcs.append(self.rs1)
+        if self.rs2 is not None:
+            srcs.append(self.rs2)
+        return tuple(srcs)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        op = self.op.name.lower()
+        if is_mem(self.op):
+            if self.op in (Op.LW, Op.FLD):
+                return f"{op} {reg_name(self.rd)}, {self.imm}({reg_name(self.rs1)})"
+            return f"{op} {reg_name(self.rs2)}, {self.imm}({reg_name(self.rs1)})"
+        if is_sync(self.op):
+            return f"{op} ({reg_name(self.rs1)})"
+        if is_cond_branch(self.op):
+            dest = self.label if self.target is None else f"@{self.target}"
+            return f"{op} {reg_name(self.rs1)}, {reg_name(self.rs2)}, {dest}"
+        if self.op in (Op.J, Op.JAL):
+            dest = self.label if self.target is None else f"@{self.target}"
+            return f"{op} {dest}"
+        if self.op is Op.JR:
+            return f"{op} {reg_name(self.rs1)}"
+        parts = []
+        if self.rd is not None:
+            parts.append(reg_name(self.rd))
+        if self.rs1 is not None:
+            parts.append(reg_name(self.rs1))
+        if self.rs2 is not None:
+            parts.append(reg_name(self.rs2))
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        return f"{op} {', '.join(parts)}" if parts else op

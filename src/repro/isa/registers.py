@@ -1,0 +1,56 @@
+"""Register-file layout for the simulated machine.
+
+There are 32 integer registers and 32 floating point registers, encoded in a
+single flat namespace: integer registers occupy ids ``0..31`` and floating
+point registers occupy ids ``32..63``.  Register 0 (``zero``) is hardwired
+to the integer value 0, as on MIPS; writes to it are discarded.
+
+The flat encoding lets every downstream consumer — the functional
+interpreter, the renaming logic in the reorder buffer, the dependence
+analyser — treat "a register" as a small integer without caring which file
+it lives in.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: The hardwired-zero integer register.
+ZERO = 0
+
+#: Conventional link register used by ``JAL`` (MIPS ``$ra``).
+RA = 31
+
+FP_BASE = NUM_INT_REGS
+
+
+def int_reg(n: int) -> int:
+    """Flat id of integer register ``n``."""
+    if not 0 <= n < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {n}")
+    return n
+
+
+def fp_reg(n: int) -> int:
+    """Flat id of floating point register ``n``."""
+    if not 0 <= n < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {n}")
+    return FP_BASE + n
+
+
+def is_fp(reg: int) -> bool:
+    """True if flat register id ``reg`` names a floating point register."""
+    return reg >= FP_BASE
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r7`` / ``f3``) for a flat register id."""
+    if reg is None:  # pragma: no cover - defensive
+        return "-"
+    if reg < 0 or reg >= NUM_REGS:
+        raise ValueError(f"register id out of range: {reg}")
+    if reg < FP_BASE:
+        return f"r{reg}"
+    return f"f{reg - FP_BASE}"

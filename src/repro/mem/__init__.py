@@ -1,0 +1,29 @@
+"""Memory substrate: functional memory, caches, and coherence."""
+
+from .cache import Cache, CacheStats, EXCLUSIVE, INVALID, MODIFIED, SHARED
+from .coherence import AccessResult, CoherentMemorySystem
+from .memory import (
+    DOUBLE,
+    LINE_SIZE,
+    WORD,
+    MemoryError_,
+    SegmentAllocator,
+    SharedMemory,
+)
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheStats",
+    "CoherentMemorySystem",
+    "DOUBLE",
+    "EXCLUSIVE",
+    "INVALID",
+    "LINE_SIZE",
+    "MODIFIED",
+    "MemoryError_",
+    "SegmentAllocator",
+    "SHARED",
+    "SharedMemory",
+    "WORD",
+]

@@ -1,0 +1,151 @@
+"""Invalidation-based cache coherence across the multiprocessor.
+
+This is the memory-system model of the paper's §3.2: per-processor
+direct-mapped write-back caches kept coherent with an invalidation
+protocol (MSI), a 1-cycle hit time, and a *fixed* miss penalty — queueing
+and contention in the interconnect and at the memory modules are not
+modelled, exactly as in the paper.
+
+Write misses include ownership upgrades (a write to a SHARED line must
+invalidate remote copies and therefore pays the full miss penalty), which
+is what makes write misses outnumber read misses in OCEAN-style
+read-modify-write stencil codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import Cache, CacheStats, EXCLUSIVE, INVALID, MODIFIED, SHARED
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of one data access.
+
+    Attributes:
+        hit: whether the access hit in the local cache.
+        stall: extra cycles beyond the 1-cycle pipeline occupancy
+            (0 on a hit, the miss penalty on a miss).
+    """
+
+    hit: bool
+    stall: int
+
+
+class CoherentMemorySystem:
+    """The set of per-processor caches plus the shared backing store model.
+
+    All latency numbers are in processor cycles.  The system is purely a
+    timing/accounting model: functional values live in
+    :class:`~repro.mem.memory.SharedMemory` and never pass through here.
+    """
+
+    def __init__(
+        self,
+        n_cpus: int,
+        cache_size: int = 64 * 1024,
+        line_size: int = 16,
+        miss_penalty: int = 50,
+    ) -> None:
+        if n_cpus < 1:
+            raise ValueError("need at least one processor")
+        self.n_cpus = n_cpus
+        self.line_size = line_size
+        self.miss_penalty = miss_penalty
+        self.caches = [
+            Cache(size=cache_size, line_size=line_size) for _ in range(n_cpus)
+        ]
+
+    # -- the single entry point used by the executor -------------------------
+
+    def access(self, cpu: int, addr: int, is_write: bool) -> AccessResult:
+        """Perform the timing/coherence side of one data access."""
+        cache = self.caches[cpu]
+        state = cache.state_of(addr)
+        if is_write:
+            cache.stats.writes += 1
+            if state == MODIFIED:
+                return AccessResult(hit=True, stall=0)
+            if state == EXCLUSIVE:
+                # Silent E -> M transition: the copy is already exclusive.
+                cache.set_state(addr, MODIFIED)
+                return AccessResult(hit=True, stall=0)
+            # SHARED needs an ownership upgrade; INVALID needs a full fill.
+            # Both invalidate every remote copy and pay the miss penalty.
+            self._invalidate_others(cpu, addr)
+            if state == SHARED:
+                cache.stats.upgrades += 1
+                cache.set_state(addr, MODIFIED)
+            else:
+                cache.install(addr, MODIFIED)
+            cache.stats.write_misses += 1
+            return AccessResult(hit=False, stall=self.miss_penalty)
+        cache.stats.reads += 1
+        if state != INVALID:
+            return AccessResult(hit=True, stall=0)
+        # Read miss: remote copies are downgraded to SHARED (a dirty one
+        # is written back); the line installs SHARED if anyone else holds
+        # it, EXCLUSIVE otherwise.
+        shared = self._downgrade_others(cpu, addr)
+        cache.install(addr, SHARED if shared else EXCLUSIVE)
+        cache.stats.read_misses += 1
+        return AccessResult(hit=False, stall=self.miss_penalty)
+
+    def would_hit(self, cpu: int, addr: int, is_write: bool) -> bool:
+        """Non-mutating lookup: would this access hit right now?"""
+        state = self.caches[cpu].state_of(addr)
+        if is_write:
+            return state in (MODIFIED, EXCLUSIVE)
+        return state != INVALID
+
+    # -- protocol helpers ---------------------------------------------------
+
+    def _invalidate_others(self, cpu: int, addr: int) -> None:
+        for other, cache in enumerate(self.caches):
+            if other != cpu and cache.holds(addr):
+                if cache.state_of(addr) == MODIFIED:
+                    cache.stats.writebacks += 1
+                cache.invalidate(addr)
+
+    def _downgrade_others(self, cpu: int, addr: int) -> bool:
+        """Downgrade remote copies to SHARED; True if any copy existed."""
+        shared = False
+        for other, cache in enumerate(self.caches):
+            if other != cpu:
+                if cache.holds(addr):
+                    shared = True
+                cache.downgrade(addr)
+        return shared
+
+    # -- invariants and reporting ---------------------------------------------
+
+    def check_coherence_invariant(self, addr: int) -> None:
+        """Assert single-writer / multiple-reader for the line of ``addr``.
+
+        Used by tests and debug runs: at most one cache may hold the line
+        MODIFIED or EXCLUSIVE, and if one does, no other cache may hold it
+        at all.
+        """
+        holders = [
+            (i, c.state_of(addr))
+            for i, c in enumerate(self.caches)
+            if c.holds(addr)
+        ]
+        owners = [i for i, s in holders if s in (MODIFIED, EXCLUSIVE)]
+        if len(owners) > 1:
+            raise AssertionError(
+                f"multiple owned copies of line {addr:#x}: {holders}"
+            )
+        if owners and len(holders) > 1:
+            raise AssertionError(
+                f"owned copy coexists with other copies of {addr:#x}: "
+                f"{holders}"
+            )
+
+    def total_stats(self) -> CacheStats:
+        """Aggregate counters across all caches."""
+        total = CacheStats()
+        for cache in self.caches:
+            total.merge(cache.stats)
+        return total

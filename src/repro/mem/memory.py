@@ -1,0 +1,110 @@
+"""Functional shared memory and segment allocation.
+
+The functional state of memory is held once, globally, in
+:class:`SharedMemory`.  Per-processor caches (:mod:`repro.mem.cache`) track
+*tags and coherence state only* — the data itself is always read from and
+written to this single backing store.  That is sound for a Tango-style
+trace generator: the interleaving produced by the functional execution is
+the golden ordering, and the cache simulation exists to attribute hit/miss
+latency and coherence traffic to each access, not to model stale data.
+
+Addresses are byte addresses.  Integer words are 4 bytes, doubles are
+8 bytes, and all accesses must be naturally aligned; the applications
+allocate their data structures through :class:`SegmentAllocator`, which
+hands out aligned, non-overlapping segments.
+"""
+
+from __future__ import annotations
+
+WORD = 4
+DOUBLE = 8
+LINE_SIZE = 16
+
+
+class MemoryError_(Exception):
+    """Raised on misaligned or out-of-segment accesses."""
+
+
+class SharedMemory:
+    """Byte-addressed functional memory storing ints and floats.
+
+    The store is sparse (a dict keyed by address), so an application can
+    use a naturally laid-out address space without paying for untouched
+    gaps.  Reads of never-written locations return 0 / 0.0, matching
+    zero-initialised shared segments.
+    """
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+        self._doubles: dict[int, float] = {}
+
+    def read_word(self, addr: int) -> int:
+        if addr % WORD:
+            raise MemoryError_(f"misaligned word read at {addr:#x}")
+        return self._words.get(addr, 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        if addr % WORD:
+            raise MemoryError_(f"misaligned word write at {addr:#x}")
+        self._words[addr] = value
+
+    def read_double(self, addr: int) -> float:
+        if addr % DOUBLE:
+            raise MemoryError_(f"misaligned double read at {addr:#x}")
+        return self._doubles.get(addr, 0.0)
+
+    def write_double(self, addr: int, value: float) -> None:
+        if addr % DOUBLE:
+            raise MemoryError_(f"misaligned double write at {addr:#x}")
+        self._doubles[addr] = value
+
+    def words_written(self) -> int:
+        """Number of distinct word locations ever written (for tests)."""
+        return len(self._words)
+
+
+class SegmentAllocator:
+    """Carves a flat address space into named, aligned segments.
+
+    The applications use this the way a linker lays out data sections:
+    each array, queue, lock or scalar gets its own segment.  Alignment
+    defaults to the cache line size so that independently allocated
+    structures never falsely share a line.
+    """
+
+    def __init__(self, base: int = 0x1000) -> None:
+        self._next = base
+        self._segments: dict[str, tuple[int, int]] = {}
+
+    def alloc(self, name: str, nbytes: int, align: int = LINE_SIZE) -> int:
+        """Reserve ``nbytes`` for ``name``; returns the base address."""
+        if nbytes < 0:
+            raise ValueError(f"negative segment size for {name!r}")
+        if align <= 0 or (align & (align - 1)):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        if name in self._segments:
+            raise ValueError(f"duplicate segment name {name!r}")
+        base = (self._next + align - 1) & ~(align - 1)
+        self._segments[name] = (base, nbytes)
+        self._next = base + nbytes
+        return base
+
+    def alloc_words(self, name: str, count: int, align: int = LINE_SIZE) -> int:
+        """Reserve ``count`` integer words."""
+        return self.alloc(name, count * WORD, align)
+
+    def alloc_doubles(self, name: str, count: int, align: int = LINE_SIZE) -> int:
+        """Reserve ``count`` doubles."""
+        return self.alloc(name, count * DOUBLE, align)
+
+    def segment(self, name: str) -> tuple[int, int]:
+        """Return ``(base, nbytes)`` of a named segment."""
+        return self._segments[name]
+
+    def segments(self) -> dict[str, tuple[int, int]]:
+        return dict(self._segments)
+
+    @property
+    def top(self) -> int:
+        """First address beyond all allocated segments."""
+        return self._next

@@ -1,0 +1,5 @@
+"""Synchronization substrate: ANL-macro style locks, barriers, events."""
+
+from .primitives import SyncError, SyncManager, Wakeup
+
+__all__ = ["SyncError", "SyncManager", "Wakeup"]

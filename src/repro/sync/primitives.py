@@ -1,0 +1,204 @@
+"""ANL-macro style synchronization: locks, barriers, events.
+
+The paper's applications synchronize through the Argonne National
+Laboratory macro package: mutual-exclusion locks, global barriers, and
+general events (``wait_event`` / ``set_event``) for producer/consumer
+interactions.  This module implements those primitives for the
+virtual-time executor in :mod:`repro.tango.executor`.
+
+Every primitive is identified by a memory address (the address of the
+synchronization variable), so application code simply embeds the address
+in a register and executes ``LOCK``/``UNLOCK``/``BARRIER``/``EVWAIT``/
+``EVSET`` instructions.
+
+Timing model
+------------
+
+Each synchronization operation has two latency components, recorded
+separately because the paper's analysis depends on the split (§4.1.2,
+footnote 4):
+
+* ``wait`` — cycles spent blocked on *other processors*: lock contention,
+  barrier load imbalance, waiting for an unset event.  This component
+  arises from imbalance/contention and cannot be hidden by processor
+  lookahead.
+* ``access`` — the memory latency of touching the (remote) synchronization
+  variable itself, one miss penalty.  This is the part a dynamically
+  scheduled processor can overlap with prior computation, which is how the
+  paper explains PTHOR hiding ~30% of its acquire overhead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class SyncError(Exception):
+    """Raised on protocol violations (unlocking a free lock, ...)."""
+
+
+@dataclass(slots=True)
+class Wakeup:
+    """A blocked thread being released.
+
+    Attributes:
+        tid: thread being woken.
+        grant_time: virtual time at which the primitive became available
+            to this thread (release time / last-arrival time / set time).
+        wait: cycles the thread spent blocked (``grant_time - request``).
+    """
+
+    tid: int
+    grant_time: int
+    wait: int
+
+
+@dataclass
+class _Lock:
+    holder: int | None = None
+    waiters: deque = field(default_factory=deque)  # of (tid, request_time)
+
+
+@dataclass
+class _Barrier:
+    arrived: list = field(default_factory=list)  # of (tid, arrival_time)
+    episodes: int = 0
+
+
+@dataclass
+class _Event:
+    is_set: bool = False
+    waiters: deque = field(default_factory=deque)  # of (tid, request_time)
+
+
+class SyncManager:
+    """Virtual-time lock/barrier/event state for one multiprocessor run."""
+
+    def __init__(self, n_threads: int) -> None:
+        if n_threads < 1:
+            raise ValueError("need at least one thread")
+        self.n_threads = n_threads
+        self._locks: dict[int, _Lock] = {}
+        self._barriers: dict[int, _Barrier] = {}
+        self._events: dict[int, _Event] = {}
+
+    # -- locks -----------------------------------------------------------
+
+    def acquire_lock(self, addr: int, tid: int, now: int) -> bool:
+        """Try to take the lock at ``addr`` at virtual time ``now``.
+
+        Returns True if acquired immediately (free lock); False if the
+        caller must block until a :class:`Wakeup` names it.
+        """
+        lock = self._locks.setdefault(addr, _Lock())
+        if lock.holder is None:
+            lock.holder = tid
+            return True
+        if lock.holder == tid:
+            raise SyncError(f"thread {tid} re-acquiring lock {addr:#x}")
+        lock.waiters.append((tid, now))
+        return False
+
+    def release_lock(self, addr: int, tid: int, now: int) -> Wakeup | None:
+        """Release the lock; hands it to the oldest waiter, FIFO."""
+        lock = self._locks.get(addr)
+        if lock is None or lock.holder is None:
+            raise SyncError(f"thread {tid} unlocking free lock {addr:#x}")
+        if lock.holder != tid:
+            raise SyncError(
+                f"thread {tid} unlocking lock {addr:#x} held by {lock.holder}"
+            )
+        if not lock.waiters:
+            lock.holder = None
+            return None
+        next_tid, requested = lock.waiters.popleft()
+        lock.holder = next_tid
+        grant = max(now, requested)
+        return Wakeup(tid=next_tid, grant_time=grant, wait=grant - requested)
+
+    def lock_holder(self, addr: int) -> int | None:
+        lock = self._locks.get(addr)
+        return lock.holder if lock else None
+
+    # -- barriers --------------------------------------------------------------
+
+    def barrier_arrive(
+        self, addr: int, tid: int, now: int
+    ) -> list[Wakeup] | None:
+        """Arrive at the barrier.
+
+        Returns ``None`` if the caller must block; otherwise (when the
+        caller is the last arrival) the full list of wakeups, *including
+        one for the caller itself*, all granted at the last arrival time.
+        """
+        barrier = self._barriers.setdefault(addr, _Barrier())
+        for waiting_tid, _ in barrier.arrived:
+            if waiting_tid == tid:
+                raise SyncError(
+                    f"thread {tid} arrived twice at barrier {addr:#x}"
+                )
+        barrier.arrived.append((tid, now))
+        if len(barrier.arrived) < self.n_threads:
+            return None
+        barrier.episodes += 1
+        wakeups = [
+            Wakeup(tid=t, grant_time=now, wait=now - arrived)
+            for t, arrived in barrier.arrived
+        ]
+        barrier.arrived.clear()
+        return wakeups
+
+    def barrier_episodes(self, addr: int) -> int:
+        barrier = self._barriers.get(addr)
+        return barrier.episodes if barrier else 0
+
+    # -- events --------------------------------------------------------------
+
+    def event_wait(self, addr: int, tid: int, now: int) -> bool:
+        """Wait for the event; True if already set, else the caller blocks."""
+        event = self._events.setdefault(addr, _Event())
+        if event.is_set:
+            return True
+        event.waiters.append((tid, now))
+        return False
+
+    def event_set(self, addr: int, tid: int, now: int) -> list[Wakeup]:
+        """Set the event, releasing every waiter."""
+        event = self._events.setdefault(addr, _Event())
+        event.is_set = True
+        wakeups = [
+            Wakeup(tid=t, grant_time=now, wait=now - requested)
+            for t, requested in event.waiters
+        ]
+        event.waiters.clear()
+        return wakeups
+
+    def event_clear(self, addr: int) -> None:
+        event = self._events.setdefault(addr, _Event())
+        if event.waiters:
+            raise SyncError(f"clearing event {addr:#x} with waiters blocked")
+        event.is_set = False
+
+    def event_is_set(self, addr: int) -> bool:
+        event = self._events.get(addr)
+        return bool(event and event.is_set)
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def blocked_threads(self) -> dict[int, str]:
+        """Map of blocked tid -> human-readable reason (deadlock reports)."""
+        blocked: dict[int, str] = {}
+        for addr, lock in self._locks.items():
+            for tid, _ in lock.waiters:
+                blocked[tid] = f"lock {addr:#x} held by {lock.holder}"
+        for addr, barrier in self._barriers.items():
+            for tid, _ in barrier.arrived:
+                blocked[tid] = (
+                    f"barrier {addr:#x} "
+                    f"({len(barrier.arrived)}/{self.n_threads} arrived)"
+                )
+        for addr, event in self._events.items():
+            for tid, _ in event.waiters:
+                blocked[tid] = f"event {addr:#x} (unset)"
+        return blocked

@@ -1,0 +1,30 @@
+"""Multiprocessor trace generation (the Tango Lite equivalent)."""
+
+from .executor import (
+    DeadlockError,
+    MultiprocessorConfig,
+    RunResult,
+    StepLimitExceeded,
+    TangoExecutor,
+    run_workload,
+)
+from .interp import ExecutionError, StepResult, ThreadState, execute_instruction
+from .stats import CpuStats, RunStats
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "CpuStats",
+    "DeadlockError",
+    "ExecutionError",
+    "MultiprocessorConfig",
+    "RunResult",
+    "RunStats",
+    "StepLimitExceeded",
+    "StepResult",
+    "TangoExecutor",
+    "ThreadState",
+    "Trace",
+    "TraceRecord",
+    "execute_instruction",
+    "run_workload",
+]

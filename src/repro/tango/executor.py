@@ -1,0 +1,370 @@
+"""The multiprocessor trace generator (the repo's Tango Lite equivalent).
+
+Runs P thread programs on a simulated shared-memory multiprocessor and
+produces, for each traced processor, a dynamic instruction trace annotated
+with effective addresses, memory latencies, and synchronization stall
+times — the input the trace-driven processor simulators consume.
+
+Architecture modelled (paper §3.2):
+
+* P in-order processors with blocking reads; writes go to a write buffer
+  and their latency is hidden (the host runs release consistency), but the
+  write's *miss penalty* is still recorded in the trace for the downstream
+  processor models;
+* per-processor direct-mapped write-back caches, invalidation coherence,
+  1-cycle hits, fixed miss penalty, no network contention;
+* ANL-macro synchronization handled by :class:`~repro.sync.SyncManager`.
+
+Scheduling uses per-thread virtual time: the runnable thread with the
+smallest clock executes next (batched up to the next thread's clock to cut
+scheduler overhead), which is deterministic and approximates the global
+interleaving a real machine would produce.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..isa import MemClass, Op, Program
+from ..mem import CoherentMemorySystem, SharedMemory
+from ..sync import SyncManager, Wakeup
+from .interp import ExecutionError, ThreadState, execute_instruction
+from .stats import CpuStats, RunStats
+from .trace import Trace, TraceRecord
+
+_SYNC_OPS = frozenset({
+    Op.LOCK, Op.UNLOCK, Op.BARRIER, Op.EVWAIT, Op.EVSET, Op.EVCLEAR,
+})
+_COND_BRANCHES = frozenset({
+    Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLE, Op.BGT,
+})
+
+
+class DeadlockError(Exception):
+    """All runnable threads are blocked on synchronization."""
+
+
+class StepLimitExceeded(Exception):
+    """The run exceeded the configured instruction budget."""
+
+
+@dataclass
+class MultiprocessorConfig:
+    """Knobs of the simulated multiprocessor (defaults = the paper's)."""
+
+    n_cpus: int = 16
+    cache_size: int = 64 * 1024
+    line_size: int = 16
+    miss_penalty: int = 50
+    #: Latency of touching a (remote) synchronization variable; the paper
+    #: charges one memory latency.  ``None`` means "same as miss_penalty".
+    sync_access_latency: int | None = None
+    #: Which processors get a full trace (all get statistics).
+    trace_cpus: tuple[int, ...] = (0,)
+    #: Global retired-instruction budget, a runaway-program backstop.
+    max_instructions: int = 100_000_000
+
+    @property
+    def sync_latency(self) -> int:
+        if self.sync_access_latency is None:
+            return self.miss_penalty
+        return self.sync_access_latency
+
+
+@dataclass
+class RunResult:
+    """Everything a multiprocessor run produces."""
+
+    config: MultiprocessorConfig
+    traces: dict[int, Trace]
+    stats: RunStats
+    memory: SharedMemory
+    memsys: CoherentMemorySystem
+    sync: SyncManager
+
+    def trace(self, cpu: int = 0) -> Trace:
+        return self.traces[cpu]
+
+
+class TangoExecutor:
+    """Executes thread programs and generates annotated traces."""
+
+    def __init__(
+        self,
+        programs: list[Program],
+        config: MultiprocessorConfig | None = None,
+        memory: SharedMemory | None = None,
+    ) -> None:
+        self.config = config or MultiprocessorConfig()
+        if len(programs) != self.config.n_cpus:
+            raise ValueError(
+                f"got {len(programs)} programs for "
+                f"{self.config.n_cpus} processors"
+            )
+        self.memory = memory if memory is not None else SharedMemory()
+        self.memsys = CoherentMemorySystem(
+            n_cpus=self.config.n_cpus,
+            cache_size=self.config.cache_size,
+            line_size=self.config.line_size,
+            miss_penalty=self.config.miss_penalty,
+        )
+        self.sync = SyncManager(self.config.n_cpus)
+        self.threads = [
+            ThreadState(tid=i, program=p.seal())
+            for i, p in enumerate(programs)
+        ]
+        self.cpu_stats = [CpuStats(cpu=i) for i in range(self.config.n_cpus)]
+        self.traces = {
+            cpu: Trace(cpu=cpu) for cpu in self.config.trace_cpus
+        }
+        self._steps = 0
+
+    # -- trace helpers ------------------------------------------------------
+
+    def _emit(
+        self,
+        tid: int,
+        instr,
+        pc: int,
+        next_pc: int,
+        addr: int = -1,
+        stall: int = 0,
+        wait: int = 0,
+        mem_class: MemClass = MemClass.NONE,
+    ) -> None:
+        trace = self.traces.get(tid)
+        if trace is None:
+            return
+        trace.append(
+            TraceRecord(
+                op=instr.op,
+                pc=pc,
+                next_pc=next_pc,
+                rd=-1 if instr.rd is None else instr.rd,
+                rs1=-1 if instr.rs1 is None else instr.rs1,
+                rs2=-1 if instr.rs2 is None else instr.rs2,
+                addr=addr,
+                stall=stall,
+                wait=wait,
+                mem_class=mem_class,
+            )
+        )
+
+    # -- synchronization completion --------------------------------------------
+
+    def _finish_acquire(
+        self,
+        tid: int,
+        clock: int,
+        wait: int,
+        op: Op,
+        addr: int,
+    ) -> int:
+        """Complete a granted acquire-type op; returns the new clock."""
+        state = self.threads[tid]
+        stats = self.cpu_stats[tid]
+        lat = self.config.sync_latency
+        instr = state.program.instructions[state.pc]
+        if op is Op.LOCK:
+            stats.locks += 1
+            mem_class = MemClass.ACQUIRE
+        elif op is Op.EVWAIT:
+            stats.wait_events += 1
+            mem_class = MemClass.ACQUIRE
+        else:  # BARRIER
+            stats.barriers += 1
+            mem_class = MemClass.BARRIER
+        stats.acquire_wait_cycles += wait
+        stats.acquire_access_cycles += lat
+        stats.busy_cycles += 1
+        state.instructions_executed += 1
+        self._emit(
+            tid, instr, state.pc, state.pc + 1,
+            addr=addr, stall=lat, wait=wait, mem_class=mem_class,
+        )
+        state.pc += 1
+        return clock + 1 + lat
+
+    def _wake(self, wakeup: Wakeup, op: Op, addr: int, heap: list) -> None:
+        """Resume a thread blocked on ``op`` at ``addr``."""
+        new_clock = self._finish_acquire(
+            wakeup.tid, wakeup.grant_time, wakeup.wait, op, addr
+        )
+        heapq.heappush(heap, (new_clock, wakeup.tid))
+
+    # -- the run loop ---------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute all threads to completion; returns the annotated result."""
+        config = self.config
+        lat = config.sync_latency
+        heap: list[tuple[int, int]] = [
+            (0, tid) for tid in range(config.n_cpus)
+        ]
+        heapq.heapify(heap)
+        memsys = self.memsys
+        memory = self.memory
+
+        while heap:
+            clock, tid = heapq.heappop(heap)
+            state = self.threads[tid]
+            stats = self.cpu_stats[tid]
+            program = state.program.instructions
+            limit = heap[0][0] if heap else float("inf")
+            blocked = False
+
+            while clock <= limit:
+                instr = program[state.pc]
+                op = instr.op
+
+                if op in _SYNC_OPS or op is Op.HALT:
+                    if op is Op.HALT:
+                        state.halted = True
+                        stats.end_time = clock
+                        blocked = True  # do not re-queue
+                        break
+                    addr = state.regs[instr.rs1]
+                    if op is Op.LOCK:
+                        if self.sync.acquire_lock(addr, tid, clock):
+                            clock = self._finish_acquire(
+                                tid, clock, 0, op, addr
+                            )
+                        else:
+                            blocked = True
+                            break
+                    elif op is Op.UNLOCK:
+                        wakeup = self.sync.release_lock(addr, tid, clock)
+                        stats.unlocks += 1
+                        stats.release_access_cycles += lat
+                        stats.busy_cycles += 1
+                        state.instructions_executed += 1
+                        self._emit(
+                            tid, instr, state.pc, state.pc + 1,
+                            addr=addr, stall=lat, mem_class=MemClass.RELEASE,
+                        )
+                        state.pc += 1
+                        clock += 1  # release latency hidden on the host
+                        if wakeup is not None:
+                            self._wake(wakeup, Op.LOCK, addr, heap)
+                    elif op is Op.BARRIER:
+                        wakeups = self.sync.barrier_arrive(addr, tid, clock)
+                        if wakeups is None:
+                            blocked = True
+                            break
+                        self_clock = None
+                        for wakeup in wakeups:
+                            if wakeup.tid == tid:
+                                self_clock = self._finish_acquire(
+                                    tid, wakeup.grant_time, wakeup.wait,
+                                    op, addr,
+                                )
+                            else:
+                                self._wake(wakeup, Op.BARRIER, addr, heap)
+                        clock = self_clock
+                    elif op is Op.EVWAIT:
+                        if self.sync.event_wait(addr, tid, clock):
+                            clock = self._finish_acquire(
+                                tid, clock, 0, op, addr
+                            )
+                        else:
+                            blocked = True
+                            break
+                    elif op is Op.EVSET:
+                        wakeups = self.sync.event_set(addr, tid, clock)
+                        stats.set_events += 1
+                        stats.release_access_cycles += lat
+                        stats.busy_cycles += 1
+                        state.instructions_executed += 1
+                        self._emit(
+                            tid, instr, state.pc, state.pc + 1,
+                            addr=addr, stall=lat, mem_class=MemClass.RELEASE,
+                        )
+                        state.pc += 1
+                        clock += 1
+                        for wakeup in wakeups:
+                            self._wake(wakeup, Op.EVWAIT, addr, heap)
+                    else:  # EVCLEAR
+                        self.sync.event_clear(addr)
+                        stats.busy_cycles += 1
+                        state.instructions_executed += 1
+                        self._emit(
+                            tid, instr, state.pc, state.pc + 1,
+                            addr=addr, stall=lat, mem_class=MemClass.RELEASE,
+                        )
+                        state.pc += 1
+                        clock += 1
+                    self._steps += 1
+                    continue
+
+                pc = state.pc
+                result = execute_instruction(state, memory)
+                stats.busy_cycles += 1
+                self._steps += 1
+                cost = 1
+
+                if result.addr >= 0:
+                    access = memsys.access(tid, result.addr, result.is_write)
+                    if result.is_write:
+                        if not access.hit:
+                            stats.write_misses += 1
+                            stats.write_stall_cycles += access.stall
+                        stats.writes += 1
+                        # Host write buffer + RC hide the write latency.
+                        mem_class = MemClass.WRITE
+                    else:
+                        if not access.hit:
+                            stats.read_misses += 1
+                            stats.read_stall_cycles += access.stall
+                            cost += access.stall  # host blocks on reads
+                        stats.reads += 1
+                        mem_class = MemClass.READ
+                    self._emit(
+                        tid, instr, pc, result.next_pc,
+                        addr=result.addr, stall=access.stall,
+                        mem_class=mem_class,
+                    )
+                else:
+                    if op in _COND_BRANCHES:
+                        stats.cond_branches += 1
+                    self._emit(tid, instr, pc, result.next_pc)
+
+                clock += cost
+                if self._steps > config.max_instructions:
+                    raise StepLimitExceeded(
+                        f"exceeded {config.max_instructions} instructions"
+                    )
+
+            if not blocked:
+                heapq.heappush(heap, (clock, tid))
+
+        unfinished = [t.tid for t in self.threads if not t.halted]
+        if unfinished:
+            reasons = self.sync.blocked_threads()
+            detail = ", ".join(
+                f"t{tid}: {reasons.get(tid, 'not blocked on sync?')}"
+                for tid in unfinished
+            )
+            raise DeadlockError(f"threads never finished — {detail}")
+
+        run_stats = RunStats(
+            cpus=self.cpu_stats,
+            total_cycles=max(s.end_time for s in self.cpu_stats),
+        )
+        return RunResult(
+            config=config,
+            traces=self.traces,
+            stats=run_stats,
+            memory=self.memory,
+            memsys=memsys,
+            sync=self.sync,
+        )
+
+
+def run_workload(
+    programs: list[Program],
+    memory: SharedMemory,
+    config: MultiprocessorConfig | None = None,
+) -> RunResult:
+    """Convenience wrapper: build an executor and run it."""
+    return TangoExecutor(programs, config=config, memory=memory).run()

@@ -1,0 +1,243 @@
+"""Functional interpreter for one thread of the simulated ISA.
+
+Executes the register/memory semantics of a single instruction.  Integer
+arithmetic uses unbounded Python integers with C-style truncating
+division; the applications keep their values in ranges where 32/64-bit
+wraparound would be unobservable, so this matches a real machine.
+
+Synchronization opcodes and ``HALT`` are *not* handled here — they have no
+register semantics and are intercepted by the executor before the
+functional step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..isa import NUM_INT_REGS, NUM_REGS, Op, Program
+from ..mem import SharedMemory
+
+
+class ExecutionError(Exception):
+    """Raised on runtime faults (division by zero, bad jump target, ...)."""
+
+
+@dataclass
+class ThreadState:
+    """Architectural state of one simulated thread."""
+
+    tid: int
+    program: Program
+    pc: int = 0
+    regs: list = field(default_factory=lambda: [0] * NUM_INT_REGS
+                       + [0.0] * (NUM_REGS - NUM_INT_REGS))
+    halted: bool = False
+    instructions_executed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.program.sealed:
+            raise ExecutionError(
+                f"thread {self.tid}: program {self.program.name!r} not sealed"
+            )
+
+
+def _trunc_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ExecutionError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _trunc_rem(a: int, b: int) -> int:
+    return a - b * _trunc_div(a, b)
+
+
+@dataclass(slots=True)
+class StepResult:
+    """Functional outcome of one instruction.
+
+    ``addr`` is -1 unless the instruction was a load or a store, in which
+    case it is the effective byte address and ``is_write`` distinguishes
+    the two.
+    """
+
+    next_pc: int
+    addr: int = -1
+    is_write: bool = False
+
+
+def execute_instruction(
+    state: ThreadState, mem: SharedMemory
+) -> StepResult:
+    """Execute the instruction at ``state.pc``; returns the outcome.
+
+    Updates registers, memory and ``state.pc``.  The caller is responsible
+    for timing, caching and trace emission.
+    """
+    program = state.program
+    if not 0 <= state.pc < len(program.instructions):
+        raise ExecutionError(
+            f"thread {state.tid}: pc {state.pc} out of range in "
+            f"{program.name!r}"
+        )
+    instr = program.instructions[state.pc]
+    op = instr.op
+    regs = state.regs
+    pc = state.pc
+    next_pc = pc + 1
+    addr = -1
+    is_write = False
+
+    try:
+        if op is Op.ADD:
+            val = regs[instr.rs1] + regs[instr.rs2]
+        elif op is Op.ADDI:
+            val = regs[instr.rs1] + instr.imm
+        elif op is Op.SUB:
+            val = regs[instr.rs1] - regs[instr.rs2]
+        elif op is Op.MUL:
+            val = regs[instr.rs1] * regs[instr.rs2]
+        elif op is Op.MULI:
+            val = regs[instr.rs1] * instr.imm
+        elif op is Op.DIV:
+            val = _trunc_div(regs[instr.rs1], regs[instr.rs2])
+        elif op is Op.REM:
+            val = _trunc_rem(regs[instr.rs1], regs[instr.rs2])
+        elif op is Op.AND:
+            val = regs[instr.rs1] & regs[instr.rs2]
+        elif op is Op.OR:
+            val = regs[instr.rs1] | regs[instr.rs2]
+        elif op is Op.XOR:
+            val = regs[instr.rs1] ^ regs[instr.rs2]
+        elif op is Op.ANDI:
+            val = regs[instr.rs1] & instr.imm
+        elif op is Op.ORI:
+            val = regs[instr.rs1] | instr.imm
+        elif op is Op.XORI:
+            val = regs[instr.rs1] ^ instr.imm
+        elif op is Op.SLT:
+            val = 1 if regs[instr.rs1] < regs[instr.rs2] else 0
+        elif op is Op.SLE:
+            val = 1 if regs[instr.rs1] <= regs[instr.rs2] else 0
+        elif op is Op.SEQ:
+            val = 1 if regs[instr.rs1] == regs[instr.rs2] else 0
+        elif op is Op.SLTI:
+            val = 1 if regs[instr.rs1] < instr.imm else 0
+        elif op is Op.SLL:
+            val = regs[instr.rs1] << regs[instr.rs2]
+        elif op is Op.SRL or op is Op.SRA:
+            val = regs[instr.rs1] >> regs[instr.rs2]
+        elif op is Op.SLLI:
+            val = regs[instr.rs1] << instr.imm
+        elif op is Op.SRLI or op is Op.SRAI:
+            val = regs[instr.rs1] >> instr.imm
+
+        elif op is Op.FADD:
+            val = regs[instr.rs1] + regs[instr.rs2]
+        elif op is Op.FSUB:
+            val = regs[instr.rs1] - regs[instr.rs2]
+        elif op is Op.FMUL:
+            val = regs[instr.rs1] * regs[instr.rs2]
+        elif op is Op.FDIV:
+            divisor = regs[instr.rs2]
+            if divisor == 0.0:
+                raise ExecutionError("floating point division by zero")
+            val = regs[instr.rs1] / divisor
+        elif op is Op.FSQRT:
+            operand = regs[instr.rs1]
+            if operand < 0.0:
+                raise ExecutionError("sqrt of negative value")
+            val = math.sqrt(operand)
+        elif op is Op.FNEG:
+            val = -regs[instr.rs1]
+        elif op is Op.FABS:
+            val = abs(regs[instr.rs1])
+        elif op is Op.FMOV:
+            val = regs[instr.rs1]
+        elif op is Op.FMIN:
+            val = min(regs[instr.rs1], regs[instr.rs2])
+        elif op is Op.FMAX:
+            val = max(regs[instr.rs1], regs[instr.rs2])
+        elif op is Op.FLT:
+            val = 1 if regs[instr.rs1] < regs[instr.rs2] else 0
+        elif op is Op.FLE:
+            val = 1 if regs[instr.rs1] <= regs[instr.rs2] else 0
+        elif op is Op.FEQ:
+            val = 1 if regs[instr.rs1] == regs[instr.rs2] else 0
+        elif op is Op.FLI:
+            val = instr.imm
+        elif op is Op.CVTIF:
+            val = float(regs[instr.rs1])
+        elif op is Op.CVTFI:
+            val = int(regs[instr.rs1])
+
+        elif op is Op.LW:
+            addr = regs[instr.rs1] + instr.imm
+            val = mem.read_word(addr)
+        elif op is Op.FLD:
+            addr = regs[instr.rs1] + instr.imm
+            val = mem.read_double(addr)
+        elif op is Op.SW:
+            addr = regs[instr.rs1] + instr.imm
+            mem.write_word(addr, regs[instr.rs2])
+            val = None
+            is_write = True
+        elif op is Op.FSD:
+            addr = regs[instr.rs1] + instr.imm
+            mem.write_double(addr, regs[instr.rs2])
+            val = None
+            is_write = True
+
+        elif op is Op.BEQ:
+            val = None
+            if regs[instr.rs1] == regs[instr.rs2]:
+                next_pc = instr.target
+        elif op is Op.BNE:
+            val = None
+            if regs[instr.rs1] != regs[instr.rs2]:
+                next_pc = instr.target
+        elif op is Op.BLT:
+            val = None
+            if regs[instr.rs1] < regs[instr.rs2]:
+                next_pc = instr.target
+        elif op is Op.BGE:
+            val = None
+            if regs[instr.rs1] >= regs[instr.rs2]:
+                next_pc = instr.target
+        elif op is Op.BLE:
+            val = None
+            if regs[instr.rs1] <= regs[instr.rs2]:
+                next_pc = instr.target
+        elif op is Op.BGT:
+            val = None
+            if regs[instr.rs1] > regs[instr.rs2]:
+                next_pc = instr.target
+        elif op is Op.J:
+            val = None
+            next_pc = instr.target
+        elif op is Op.JAL:
+            val = pc + 1
+            next_pc = instr.target
+        elif op is Op.JR:
+            val = None
+            next_pc = regs[instr.rs1]
+        elif op is Op.NOP:
+            val = None
+        else:
+            raise ExecutionError(
+                f"thread {state.tid}: opcode {op.name} has no functional "
+                f"semantics (sync ops and HALT are executor-handled)"
+            )
+    except ExecutionError:
+        raise
+    except (TypeError, IndexError) as exc:  # pragma: no cover - diagnostics
+        raise ExecutionError(
+            f"thread {state.tid}: fault at pc {pc} ({instr}): {exc}"
+        ) from exc
+
+    if val is not None and instr.rd is not None and instr.rd != 0:
+        regs[instr.rd] = val
+    state.pc = next_pc
+    state.instructions_executed += 1
+    return StepResult(next_pc=next_pc, addr=addr, is_write=is_write)

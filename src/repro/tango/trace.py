@@ -1,0 +1,104 @@
+"""Dynamic instruction traces.
+
+The multiprocessor executor emits one :class:`TraceRecord` per retired
+instruction of each traced processor.  A record carries everything the
+downstream trace-driven processor simulators need (§3.2 of the paper):
+
+* the opcode and its static register operands (for dependence tracking
+  and renaming in the dynamically scheduled model);
+* the effective address and observed memory stall for loads/stores;
+* actual control-flow outcome (``next_pc``) for branch-prediction
+  modelling;
+* the contention-wait / access-latency split for synchronization
+  operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import MemClass, Op
+
+
+@dataclass(slots=True)
+class TraceRecord:
+    """One retired dynamic instruction.
+
+    Attributes:
+        op: opcode executed.
+        pc: static instruction index.
+        next_pc: index of the dynamically following instruction (equals
+            ``pc + 1`` unless a control transfer happened).
+        rd: destination register flat id, or -1.
+        rs1: first source register flat id, or -1.
+        rs2: second source register flat id, or -1.
+        addr: effective byte address for memory/sync operations, else -1.
+        stall: memory stall in cycles beyond the 1-cycle occupancy
+            (0 on hits, the miss penalty on misses; for synchronization
+            operations this is the access latency of the sync variable —
+            the *hideable* component).
+        wait: synchronization contention/imbalance wait in cycles (the
+            component processor lookahead cannot hide); 0 for ordinary
+            instructions.
+        mem_class: consistency classification of the operation.
+    """
+
+    op: Op
+    pc: int
+    next_pc: int
+    rd: int = -1
+    rs1: int = -1
+    rs2: int = -1
+    addr: int = -1
+    stall: int = 0
+    wait: int = 0
+    mem_class: MemClass = MemClass.NONE
+
+
+@dataclass
+class Trace:
+    """The full dynamic trace of one simulated processor."""
+
+    cpu: int
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, idx):
+        return self.records[idx]
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    # -- summary helpers used by tests and experiments ----------------------
+
+    def count(self, predicate) -> int:
+        return sum(1 for r in self.records if predicate(r))
+
+    def read_misses(self) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.mem_class == MemClass.READ and r.stall > 0
+        )
+
+    def write_misses(self) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.mem_class == MemClass.WRITE and r.stall > 0
+        )
+
+    def total_read_stall(self) -> int:
+        return sum(
+            r.stall for r in self.records if r.mem_class == MemClass.READ
+        )
+
+    def total_write_stall(self) -> int:
+        return sum(
+            r.stall for r in self.records if r.mem_class == MemClass.WRITE
+        )

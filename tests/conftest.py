@@ -1,0 +1,33 @@
+"""Shared fixtures: tiny workloads, executed runs, synthetic traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MultiprocessorConfig, TangoExecutor, build_app
+from repro.apps import APP_NAMES
+
+
+@pytest.fixture(scope="session")
+def tiny_runs():
+    """Run every application at the tiny preset once per session.
+
+    Returns {app: (workload, RunResult)} with functional verification
+    already performed.
+    """
+    runs = {}
+    for app in APP_NAMES:
+        workload = build_app(app, preset="tiny")
+        config = MultiprocessorConfig(trace_cpus=(0, 1))
+        result = TangoExecutor(
+            workload.programs, config, memory=workload.memory
+        ).run()
+        workload.verify(result.memory)
+        runs[app] = (workload, result)
+    return runs
+
+
+@pytest.fixture(scope="session")
+def tiny_traces(tiny_runs):
+    """{app: cpu-0 trace} for the tiny runs."""
+    return {app: result.trace(0) for app, (_, result) in tiny_runs.items()}

@@ -1,0 +1,21 @@
+"""Single-thread program execution helper shared by the test modules."""
+
+from __future__ import annotations
+
+from repro.asm import AsmBuilder
+from repro.isa import Op
+from repro.mem import SharedMemory
+from repro.tango import ThreadState, execute_instruction
+
+
+def run_program(builder: AsmBuilder, memory: SharedMemory | None = None,
+                max_steps: int = 100_000) -> ThreadState:
+    """Execute a built program to HALT; returns the final thread state."""
+    program = builder.build()
+    memory = memory if memory is not None else SharedMemory()
+    state = ThreadState(tid=0, program=program)
+    for _ in range(max_steps):
+        if program.instructions[state.pc].op is Op.HALT:
+            return state
+        execute_instruction(state, memory)
+    raise AssertionError("program did not halt")

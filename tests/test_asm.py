@@ -1,0 +1,241 @@
+"""Tests for the structured assembler, executed through the interpreter."""
+
+import pytest
+
+from repro.asm import AsmBuilder, Reg, RegisterPressureError
+from repro.isa import NUM_INT_REGS, Op
+from repro.mem import SharedMemory
+from repro.tango import ThreadState, execute_instruction
+from exec_helpers import run_program
+
+
+
+
+class TestRegisterAllocation:
+    def test_regs_are_reg_type(self):
+        b = AsmBuilder()
+        assert isinstance(b.ireg(), Reg)
+        assert isinstance(b.freg(), Reg)
+        assert isinstance(b.zero, Reg)
+
+    def test_exhaustion_raises(self):
+        b = AsmBuilder()
+        for _ in range(30):  # r0 and r31 are reserved
+            b.ireg()
+        with pytest.raises(RegisterPressureError):
+            b.ireg()
+
+    def test_free_recycles(self):
+        b = AsmBuilder()
+        regs = [b.ireg() for _ in range(30)]
+        b.free(*regs)
+        again = [b.ireg() for _ in range(30)]
+        assert sorted(again) == sorted(regs)
+
+    def test_itemps_scope(self):
+        b = AsmBuilder()
+        with b.itemps(3) as (x, y, z):
+            assert len({x, y, z}) == 3
+        with b.itemps(1) as t:
+            assert t in (x, y, z)
+
+    def test_fp_regs_distinct_namespace(self):
+        b = AsmBuilder()
+        f = b.freg()
+        assert f >= 32
+
+    def test_zero_and_ra_not_allocatable(self):
+        b = AsmBuilder()
+        allocated = [b.ireg() for _ in range(30)]
+        assert 0 not in allocated
+        assert 31 not in allocated
+
+
+class TestArithmeticHelpers:
+    def test_li_and_add(self):
+        b = AsmBuilder()
+        x = b.ireg()
+        y = b.ireg()
+        b.li(x, 7)
+        b.li(y, 35)
+        b.add(x, x, y)
+        state = run_program(b)
+        assert state.regs[x] == 42
+
+    def test_mov(self):
+        b = AsmBuilder()
+        x, y = b.ireg(), b.ireg()
+        b.li(x, 9)
+        b.mov(y, x)
+        state = run_program(b)
+        assert state.regs[y] == 9
+
+    def test_fli(self):
+        b = AsmBuilder()
+        f = b.freg()
+        b.fli(f, 0.25)
+        state = run_program(b)
+        assert state.regs[f] == 0.25
+
+    def test_memory_roundtrip(self):
+        b = AsmBuilder()
+        addr, val = b.ireg(), b.ireg()
+        b.li(addr, 0x1000)
+        b.li(val, 123)
+        b.sw(val, addr, 4)
+        b.lw(val, addr, 4)
+        state = run_program(b)
+        assert state.regs[val] == 123
+
+    def test_fp_memory_roundtrip(self):
+        b = AsmBuilder()
+        addr = b.ireg()
+        f = b.freg()
+        b.li(addr, 0x2000)
+        b.fli(f, 3.5)
+        b.fsd(f, addr, 8)
+        g = b.freg()
+        b.fld(g, addr, 8)
+        state = run_program(b)
+        assert state.regs[g] == 3.5
+
+
+class TestControlFlow:
+    def test_for_range_constant_bounds(self):
+        b = AsmBuilder()
+        acc, i = b.ireg(), b.ireg()
+        b.li(acc, 0)
+        with b.for_range(i, 0, 10):
+            b.add(acc, acc, i)
+        state = run_program(b)
+        assert state.regs[acc] == sum(range(10))
+
+    def test_for_range_register_stop(self):
+        b = AsmBuilder()
+        acc, i, n = b.ireg(), b.ireg(), b.ireg()
+        b.li(acc, 0)
+        b.li(n, 7)
+        with b.for_range(i, 0, n):
+            b.addi(acc, acc, 1)
+        state = run_program(b)
+        assert state.regs[acc] == 7
+
+    def test_for_range_register_start(self):
+        b = AsmBuilder()
+        acc, i, s = b.ireg(), b.ireg(), b.ireg()
+        b.li(acc, 0)
+        b.li(s, 3)
+        with b.for_range(i, s, 6):
+            b.addi(acc, acc, 1)
+        state = run_program(b)
+        assert state.regs[acc] == 3
+
+    def test_for_range_negative_step(self):
+        b = AsmBuilder()
+        acc, i = b.ireg(), b.ireg()
+        b.li(acc, 0)
+        with b.for_range(i, 5, 0, step=-1):
+            b.add(acc, acc, i)
+        state = run_program(b)
+        assert state.regs[acc] == 5 + 4 + 3 + 2 + 1
+
+    def test_for_range_step_multiple(self):
+        b = AsmBuilder()
+        acc, i = b.ireg(), b.ireg()
+        b.li(acc, 0)
+        with b.for_range(i, 0, 10, step=3):
+            b.addi(acc, acc, 1)
+        state = run_program(b)
+        assert state.regs[acc] == 4  # 0, 3, 6, 9
+
+    def test_for_range_zero_step_rejected(self):
+        b = AsmBuilder()
+        i = b.ireg()
+        with pytest.raises(ValueError):
+            with b.for_range(i, 0, 10, step=0):
+                pass
+
+    def test_empty_for_range(self):
+        b = AsmBuilder()
+        acc, i = b.ireg(), b.ireg()
+        b.li(acc, 0)
+        with b.for_range(i, 5, 5):
+            b.addi(acc, acc, 1)
+        state = run_program(b)
+        assert state.regs[acc] == 0
+
+    def test_if_cmp_true(self):
+        b = AsmBuilder()
+        x, y = b.ireg(), b.ireg()
+        b.li(x, 1)
+        b.li(y, 0)
+        with b.if_cmp("gt", x, b.zero):
+            b.li(y, 42)
+        state = run_program(b)
+        assert state.regs[y] == 42
+
+    def test_if_cmp_false(self):
+        b = AsmBuilder()
+        x, y = b.ireg(), b.ireg()
+        b.li(x, -1)
+        b.li(y, 7)
+        with b.if_cmp("gt", x, b.zero):
+            b.li(y, 42)
+        state = run_program(b)
+        assert state.regs[y] == 7
+
+    def test_while_cmp(self):
+        b = AsmBuilder()
+        x, n = b.ireg(), b.ireg()
+        b.li(x, 0)
+        b.li(n, 12)
+        with b.while_cmp("lt", x, n):
+            b.addi(x, x, 5)
+        state = run_program(b)
+        assert state.regs[x] == 15
+
+    def test_nested_loops(self):
+        b = AsmBuilder()
+        acc, i, j = b.ireg(), b.ireg(), b.ireg()
+        b.li(acc, 0)
+        with b.for_range(i, 0, 4):
+            with b.for_range(j, 0, 3):
+                b.addi(acc, acc, 1)
+        state = run_program(b)
+        assert state.regs[acc] == 12
+
+    def test_jal_jr_subroutine(self):
+        b = AsmBuilder()
+        x = b.ireg()
+        b.li(x, 0)
+        b.jal("sub")
+        b.jal("sub")
+        b.j("end")
+        b.label("sub")
+        b.addi(x, x, 10)
+        b.jr()
+        b.label("end")
+        state = run_program(b)
+        assert state.regs[x] == 20
+
+    def test_branch_cc_table(self):
+        for cc, a, c, taken in [
+            ("eq", 3, 3, True), ("eq", 3, 4, False),
+            ("ne", 3, 4, True), ("ne", 3, 3, False),
+            ("lt", 2, 3, True), ("lt", 3, 3, False),
+            ("ge", 3, 3, True), ("ge", 2, 3, False),
+            ("le", 3, 3, True), ("le", 4, 3, False),
+            ("gt", 4, 3, True), ("gt", 3, 3, False),
+        ]:
+            b = AsmBuilder()
+            x, y, out = b.ireg(), b.ireg(), b.ireg()
+            b.li(x, a)
+            b.li(y, c)
+            b.li(out, 0)
+            b.branch(cc, x, y, "yes")
+            b.j("end")
+            b.label("yes")
+            b.li(out, 1)
+            b.label("end")
+            state = run_program(b)
+            assert state.regs[out] == (1 if taken else 0), (cc, a, c)

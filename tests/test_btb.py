@@ -1,0 +1,92 @@
+"""Tests for the branch target buffer."""
+
+import pytest
+
+from repro.cpu import BranchTargetBuffer
+from repro.cpu.ds.btb import predicted_correctly
+from repro.isa import Op
+
+
+class TestPrediction:
+    def test_cold_conditional_predicts_not_taken(self):
+        btb = BranchTargetBuffer()
+        assert btb.predict(Op.BNE, pc=10, fallthrough=11) == 11
+
+    def test_learns_taken_branch(self):
+        btb = BranchTargetBuffer()
+        btb.update(Op.BNE, 10, taken=True, target=5)
+        assert btb.predict(Op.BNE, 10, fallthrough=11) == 5
+
+    def test_two_bit_hysteresis(self):
+        btb = BranchTargetBuffer()
+        for _ in range(3):
+            btb.update(Op.BNE, 10, taken=True, target=5)
+        # One not-taken outcome should not flip a saturated counter.
+        btb.update(Op.BNE, 10, taken=False, target=5)
+        assert btb.predict(Op.BNE, 10, fallthrough=11) == 5
+        btb.update(Op.BNE, 10, taken=False, target=5)
+        btb.update(Op.BNE, 10, taken=False, target=5)
+        assert btb.predict(Op.BNE, 10, fallthrough=11) == 11
+
+    def test_not_taken_branches_not_allocated(self):
+        btb = BranchTargetBuffer()
+        btb.update(Op.BNE, 10, taken=False, target=5)
+        assert btb._lookup(10) is None
+
+    def test_jr_without_entry_is_mispredicted(self):
+        btb = BranchTargetBuffer()
+        assert btb.predict(Op.JR, 10, fallthrough=11) == -1
+
+    def test_jr_predicts_last_target(self):
+        btb = BranchTargetBuffer()
+        btb.update(Op.JR, 10, taken=True, target=99)
+        assert btb.predict(Op.JR, 10, fallthrough=11) == 99
+        btb.update(Op.JR, 10, taken=True, target=123)
+        assert btb.predict(Op.JR, 10, fallthrough=11) == 123
+
+    def test_direct_jumps_always_correct(self):
+        btb = BranchTargetBuffer()
+        assert btb.predict(Op.J, 10, fallthrough=11) == -2
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, assoc=4)
+
+
+class TestReplacement:
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(entries=8, assoc=2)  # 4 sets
+        # Three branches mapping to set 0 (pc % 4 == 0).
+        btb.update(Op.BNE, 0, taken=True, target=1)
+        btb.update(Op.BNE, 4, taken=True, target=2)
+        btb.update(Op.BNE, 0, taken=True, target=1)   # refresh pc 0
+        btb.update(Op.BNE, 8, taken=True, target=3)   # evicts pc 4
+        assert btb._lookup(0) is not None
+        assert btb._lookup(4) is None
+        assert btb._lookup(8) is not None
+
+
+class TestPredictedCorrectly:
+    def test_loop_branch_accuracy(self):
+        btb = BranchTargetBuffer()
+        correct = 0
+        for i in range(100):
+            taken = i < 99
+            next_pc = 0 if taken else 7
+            if predicted_correctly(btb, Op.BNE, 6, next_pc):
+                correct += 1
+        # Misses only on warmup and the final exit.
+        assert correct >= 97
+
+    def test_alternating_branch_is_hard(self):
+        btb = BranchTargetBuffer()
+        correct = sum(
+            predicted_correctly(btb, Op.BNE, 6, 0 if i % 2 else 7)
+            for i in range(100)
+        )
+        assert correct <= 60
+
+    def test_direct_jump_always_correct(self):
+        btb = BranchTargetBuffer()
+        assert predicted_correctly(btb, Op.J, 3, 77)
+        assert predicted_correctly(btb, Op.JAL, 3, 77)

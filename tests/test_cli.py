@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_command_parses(self):
+        args = build_parser().parse_args(
+            ["--preset", "tiny", "run", "mp3d"]
+        )
+        assert args.command == "run"
+        assert args.app == "mp3d"
+        assert args.preset == "tiny"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_all_experiments_have_subcommands(self):
+        parser = build_parser()
+        for name in ("table1", "table3", "figure3", "figure4",
+                     "headline", "latency100", "sc-boost", "contexts",
+                     "compiler-sched", "miss-analysis", "multi-issue"):
+            args = parser.parse_args([name])
+            assert args.command == name
+
+
+class TestExecution:
+    def test_run_verifies_and_reports(self, capsys, tmp_path):
+        rc = main(["--preset", "tiny", "--cache-dir", str(tmp_path),
+                   "run", "ocean"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "functional verification OK" in out
+        assert "read/write misses" in out
+
+    def test_figure1_prints_models(self, capsys, tmp_path):
+        rc = main(["--cache-dir", str(tmp_path), "figure1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for model in ("SC", "PC", "WO", "RC"):
+            assert model in out
+
+    def test_simulate_prints_breakdowns(self, capsys, tmp_path):
+        rc = main(["--preset", "tiny", "--cache-dir", str(tmp_path),
+                   "simulate", "mp3d"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BASE" in out and "DS-RC-w256" in out
+        assert "legend" in out

@@ -1,0 +1,189 @@
+"""Tests for the consistency models and ordering analysis (Figure 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency import (
+    MODELS,
+    PC,
+    RC,
+    SC,
+    WO,
+    earliest_completion_times,
+    get_model,
+    ordering_edges,
+    reduced_edges,
+    total_time,
+)
+from repro.isa import MemClass
+
+R, W = MemClass.READ, MemClass.WRITE
+ACQ, REL, BAR = MemClass.ACQUIRE, MemClass.RELEASE, MemClass.BARRIER
+ALL = (R, W, ACQ, REL, BAR)
+
+
+class TestSC:
+    def test_orders_everything(self):
+        for a in ALL:
+            for b in ALL:
+                assert SC.requires(a, b)
+
+    def test_capabilities(self):
+        assert not SC.reads_bypass_writes
+        assert not SC.writes_overlap
+
+
+class TestPC:
+    def test_read_bypasses_write(self):
+        assert not PC.requires(W, R)
+        assert not PC.requires(REL, R)   # releases are write-like
+        assert not PC.requires(W, ACQ)   # acquires are read-like
+
+    def test_everything_else_ordered(self):
+        assert PC.requires(R, R)
+        assert PC.requires(R, W)
+        assert PC.requires(W, W)
+        assert PC.requires(ACQ, R)
+        assert PC.requires(R, REL)
+
+    def test_barrier_never_bypasses(self):
+        assert PC.requires(W, BAR)
+        assert PC.requires(BAR, R)
+
+
+class TestWO:
+    def test_data_accesses_unordered(self):
+        assert not WO.requires(R, R)
+        assert not WO.requires(R, W)
+        assert not WO.requires(W, R)
+        assert not WO.requires(W, W)
+
+    def test_sync_orders_both_directions(self):
+        for sync in (ACQ, REL, BAR):
+            for data in (R, W):
+                assert WO.requires(sync, data)
+                assert WO.requires(data, sync)
+            assert WO.requires(sync, sync)
+
+
+class TestRC:
+    def test_data_accesses_unordered(self):
+        assert not RC.requires(R, W)
+        assert not RC.requires(W, R)
+        assert not RC.requires(W, W)
+        assert not RC.requires(R, R)
+
+    def test_acquire_gates_following(self):
+        for later in ALL:
+            assert RC.requires(ACQ, later)
+
+    def test_release_waits_for_preceding(self):
+        for earlier in ALL:
+            assert RC.requires(earlier, REL)
+
+    def test_release_does_not_gate_following_data(self):
+        assert not RC.requires(REL, R)
+        assert not RC.requires(REL, W)
+
+    def test_data_does_not_gate_acquire(self):
+        assert not RC.requires(R, ACQ)
+        assert not RC.requires(W, ACQ)
+
+    def test_sync_sync_processor_consistent(self):
+        # RCpc: specials follow PC among themselves -- only the
+        # release -> acquire pair relaxes.
+        for a in (ACQ, REL, BAR):
+            for b in (ACQ, REL, BAR):
+                expected = not (a is REL and b is ACQ)
+                assert RC.requires(a, b) == expected, (a, b)
+
+    def test_barrier_acts_as_acquire_and_release(self):
+        for cls in ALL:
+            assert RC.requires(BAR, cls)
+            assert RC.requires(cls, BAR)
+
+
+class TestRelaxationHierarchy:
+    """SC orders a superset of PC, which orders a superset of RC (the
+    RCpc result of Gharachorloo et al.); SC also covers WO.  PC/WO and
+    WO/RC are incomparable."""
+
+    @pytest.mark.parametrize("stronger,weaker", [
+        (SC, PC), (SC, WO), (SC, RC), (PC, RC), (WO, RC),
+    ])
+    def test_subset(self, stronger, weaker):
+        for a in ALL:
+            for b in ALL:
+                if weaker.requires(a, b):
+                    assert stronger.requires(a, b), (a, b)
+
+    def test_pc_and_wo_incomparable(self):
+        # PC orders read-read; WO does not.
+        assert PC.requires(R, R) and not WO.requires(R, R)
+        # WO orders write-like sync before a following read; PC lets the
+        # read bypass it.
+        assert WO.requires(REL, R) and not PC.requires(REL, R)
+
+    def test_rc_strictly_weaker_than_wo(self):
+        # RCpc drops WO's release -> acquire edge (and the data edges
+        # around sync that WO keeps), so the containment is strict.
+        assert WO.requires(REL, ACQ) and not RC.requires(REL, ACQ)
+
+    def test_lookup_by_name(self):
+        for name in ("sc", "PC", "wo", "Rc"):
+            assert get_model(name).name == name.upper()
+        with pytest.raises(ValueError):
+            get_model("tso")
+
+
+class TestOrderingAnalysis:
+    def test_sc_edges_are_total_order(self):
+        ops = [R, W, R]
+        edges = ordering_edges(SC, ops)
+        assert edges == {(0, 1), (0, 2), (1, 2)}
+
+    def test_sc_reduced_edges_are_chain(self):
+        ops = [R, W, R, W]
+        assert reduced_edges(SC, ops) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_rc_data_has_no_edges(self):
+        ops = [R, W, R, W]
+        assert ordering_edges(RC, ops) == set()
+
+    def test_makespan_ordering_across_models(self):
+        ops = [R, W, ACQ, R, W, REL, R, W]
+        lat = [50] * len(ops)
+        t_sc = total_time(SC, ops, lat)
+        t_pc = total_time(PC, ops, lat)
+        t_wo = total_time(WO, ops, lat)
+        t_rc = total_time(RC, ops, lat)
+        assert t_sc >= t_pc >= t_rc  # holds for this data-heavy sequence
+        assert t_sc >= t_wo >= t_rc
+        assert t_sc == len(ops) * 50
+
+    def test_earliest_times_respect_edges(self):
+        ops = [R, W, ACQ, R, W, REL, R, W]
+        lat = [50] * len(ops)
+        for model in MODELS.values():
+            times = earliest_completion_times(model, ops, lat)
+            for (i, j) in ordering_edges(model, ops):
+                assert times[j][0] >= times[i][1]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            earliest_completion_times(SC, [R], [1, 2])
+
+    def test_empty_sequence(self):
+        assert total_time(SC, [], []) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(ALL), min_size=1, max_size=12))
+def test_property_relaxation_never_slower(ops):
+    """For any access sequence, the idealised makespan is monotone along
+    the true relaxation chains SC >= PC and SC >= WO >= RC.  (PC and RC
+    are incomparable: RCsc orders sync-sync pairs PC relaxes.)"""
+    lat = [10] * len(ops)
+    t = {name: total_time(m, ops, lat) for name, m in MODELS.items()}
+    assert t["SC"] >= t["PC"]
+    assert t["SC"] >= t["WO"] >= t["RC"]

@@ -1,0 +1,162 @@
+"""End-to-end integration: applications -> traces -> processor models.
+
+These are the qualitative claims of the paper, checked on the tiny
+workloads so the whole suite stays fast.
+"""
+
+import pytest
+
+from repro.apps import APP_NAMES
+from repro.cpu import ProcessorConfig, simulate
+
+
+def breakdowns(trace, *configs):
+    return [simulate(trace, cfg) for cfg in configs]
+
+
+class TestFigure3Shapes:
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_base_is_slowest(self, tiny_traces, app):
+        trace = tiny_traces[app]
+        base = simulate(trace, ProcessorConfig(kind="base"))
+        for kind in ("ssbr", "ss", "ds"):
+            for model in ("SC", "PC", "RC"):
+                run = simulate(
+                    trace,
+                    ProcessorConfig(kind=kind, model=model, window=64),
+                )
+                assert run.total <= base.total * 1.03, run.label
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_rc_static_hides_write_latency(self, tiny_traces, app):
+        trace = tiny_traces[app]
+        base = simulate(trace, ProcessorConfig(kind="base"))
+        rc = simulate(trace, ProcessorConfig(kind="ssbr", model="RC"))
+        if base.write > 200:
+            # Lock-dense PTHOR keeps some release->acquire ordering cost;
+            # everything else hides nearly all of it.
+            limit = 0.65 if app == "pthor" else 0.3
+            assert rc.write < base.write * limit
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_sc_ds_gains_little(self, tiny_traces, app):
+        trace = tiny_traces[app]
+        ssbr = simulate(trace, ProcessorConfig(kind="ssbr", model="SC"))
+        ds = simulate(
+            trace, ProcessorConfig(kind="ds", model="SC", window=256)
+        )
+        # DS under SC is within ~20% of static scheduling: the window
+        # cannot be exploited when every access serializes.
+        assert ds.total > ssbr.total * 0.75
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_rc_ds_hides_read_latency_with_window(self, tiny_traces, app):
+        trace = tiny_traces[app]
+        base = simulate(trace, ProcessorConfig(kind="base"))
+        w16 = simulate(
+            trace, ProcessorConfig(kind="ds", model="RC", window=16)
+        )
+        w64 = simulate(
+            trace, ProcessorConfig(kind="ds", model="RC", window=64)
+        )
+        assert w64.read < w16.read
+        assert w64.read < base.read * 0.7
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_window_sweep_is_monotone(self, tiny_traces, app):
+        trace = tiny_traces[app]
+        totals = [
+            simulate(
+                trace, ProcessorConfig(kind="ds", model="RC", window=w)
+            ).total
+            for w in (16, 32, 64, 128, 256)
+        ]
+        for a, b in zip(totals, totals[1:]):
+            assert b <= a * 1.02
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_busy_identical_across_models(self, tiny_traces, app):
+        trace = tiny_traces[app]
+        busies = {
+            simulate(trace, cfg).busy
+            for cfg in (
+                ProcessorConfig(kind="base"),
+                ProcessorConfig(kind="ssbr", model="RC"),
+                ProcessorConfig(kind="ss", model="PC"),
+                ProcessorConfig(kind="ds", model="RC", window=64),
+            )
+        }
+        assert busies == {len(trace)}
+
+
+class TestFigure4Shapes:
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_perfect_bp_never_slower(self, tiny_traces, app):
+        trace = tiny_traces[app]
+        for window in (16, 64):
+            normal = simulate(
+                trace,
+                ProcessorConfig(kind="ds", model="RC", window=window),
+            )
+            perfect = simulate(
+                trace,
+                ProcessorConfig(kind="ds", model="RC", window=window,
+                                perfect_bp=True),
+            )
+            assert perfect.total <= normal.total * 1.01
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_ignoring_deps_never_slower(self, tiny_traces, app):
+        trace = tiny_traces[app]
+        perfect = simulate(
+            trace,
+            ProcessorConfig(kind="ds", model="RC", window=32,
+                            perfect_bp=True),
+        )
+        nodep = simulate(
+            trace,
+            ProcessorConfig(kind="ds", model="RC", window=32,
+                            perfect_bp=True, ignore_deps=True),
+        )
+        assert nodep.total <= perfect.total * 1.01
+
+
+class TestAttribution:
+    @pytest.mark.parametrize("app", APP_NAMES)
+    @pytest.mark.parametrize("kind,model", [
+        ("base", "RC"), ("ssbr", "SC"), ("ssbr", "PC"), ("ssbr", "RC"),
+        ("ss", "SC"), ("ss", "RC"), ("ds", "SC"), ("ds", "PC"),
+        ("ds", "RC"),
+    ])
+    def test_components_sum_to_total(self, tiny_traces, app, kind, model):
+        trace = tiny_traces[app]
+        r = simulate(
+            trace, ProcessorConfig(kind=kind, model=model, window=32)
+        )
+        assert r.total == r.busy + r.sync + r.read + r.write + r.other
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_ds_other_component_is_small(self, tiny_traces, app):
+        trace = tiny_traces[app]
+        r = simulate(
+            trace, ProcessorConfig(kind="ds", model="RC", window=64)
+        )
+        assert r.other <= r.total * 0.05
+
+
+class TestUnifiedInterface:
+    def test_unknown_kind_rejected(self, tiny_traces):
+        with pytest.raises(ValueError):
+            simulate(
+                tiny_traces["lu"], ProcessorConfig(kind="vliw")
+            )
+
+    def test_labels_are_descriptive(self):
+        assert ProcessorConfig(kind="base").label() == "BASE"
+        assert ProcessorConfig(kind="ssbr", model="PC").label() == "SSBR-PC"
+        label = ProcessorConfig(
+            kind="ds", model="RC", window=64, issue_width=4,
+            perfect_bp=True, ignore_deps=True,
+        ).label()
+        assert "w64" in label and "i4" in label
+        assert "pbp" in label and "nodep" in label

@@ -1,0 +1,230 @@
+"""Functional-semantics tests for the single-thread interpreter."""
+
+import math
+
+import pytest
+
+from repro.asm import AsmBuilder
+from repro.isa import Instruction, Op, Program
+from repro.mem import SharedMemory
+from repro.tango import ExecutionError, ThreadState, execute_instruction
+
+from exec_helpers import run_program
+
+
+def eval_int_op(emit, a, b_val):
+    """Build a two-operand integer op program and return rd."""
+    b = AsmBuilder()
+    x, y, z = b.ireg(), b.ireg(), b.ireg()
+    b.li(x, a)
+    b.li(y, b_val)
+    emit(b, z, x, y)
+    return run_program(b).regs[z]
+
+
+def eval_fp_op(emit, a, b_val):
+    b = AsmBuilder()
+    f, g, h = b.freg(), b.freg(), b.freg()
+    b.fli(f, a)
+    b.fli(g, b_val)
+    emit(b, h, f, g)
+    return run_program(b).regs[h]
+
+
+@pytest.mark.parametrize("method,a,b_val,expected", [
+    ("add", 3, 4, 7),
+    ("sub", 3, 4, -1),
+    ("mul", -3, 4, -12),
+    ("and_", 0b1100, 0b1010, 0b1000),
+    ("or_", 0b1100, 0b1010, 0b1110),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("slt", 2, 3, 1),
+    ("slt", 3, 2, 0),
+    ("sle", 3, 3, 1),
+    ("seq", 5, 5, 1),
+    ("seq", 5, 6, 0),
+    ("sll", 3, 4, 48),
+    ("srl", 48, 4, 3),
+])
+def test_int_reg_ops(method, a, b_val, expected):
+    assert eval_int_op(
+        lambda b, rd, rs1, rs2: getattr(b, method)(rd, rs1, rs2),
+        a, b_val,
+    ) == expected
+
+
+@pytest.mark.parametrize("a,b_val,q,r", [
+    (7, 2, 3, 1),
+    (-7, 2, -3, -1),     # truncation toward zero, C style
+    (7, -2, -3, 1),
+    (-7, -2, 3, -1),
+    (63, 16, 3, 15),
+    (-63, 16, -3, -15),
+])
+def test_div_rem_truncating(a, b_val, q, r):
+    assert eval_int_op(lambda b, rd, x, y: b.div(rd, x, y), a, b_val) == q
+    assert eval_int_op(lambda b, rd, x, y: b.rem(rd, x, y), a, b_val) == r
+
+
+def test_div_by_zero_raises():
+    with pytest.raises(ExecutionError):
+        eval_int_op(lambda b, rd, x, y: b.div(rd, x, y), 1, 0)
+
+
+@pytest.mark.parametrize("method,imm,a,expected", [
+    ("addi", 5, 10, 15),
+    ("muli", 3, 10, 30),
+    ("andi", 0b0110, 0b1100, 0b0100),
+    ("ori", 0b0110, 0b1000, 0b1110),
+    ("xori", 1, 0, 1),
+    ("slti", 5, 4, 1),
+    ("slti", 5, 5, 0),
+    ("slli", 2, 3, 12),
+    ("srli", 2, 12, 3),
+    ("srai", 2, 12, 3),
+])
+def test_int_imm_ops(method, imm, a, expected):
+    b = AsmBuilder()
+    x, z = b.ireg(), b.ireg()
+    b.li(x, a)
+    getattr(b, method)(z, x, imm)
+    assert run_program(b).regs[z] == expected
+
+
+@pytest.mark.parametrize("method,a,b_val,expected", [
+    ("fadd", 1.5, 2.25, 3.75),
+    ("fsub", 1.5, 2.25, -0.75),
+    ("fmul", 1.5, 2.0, 3.0),
+    ("fdiv", 3.0, 2.0, 1.5),
+    ("fmin", 1.0, 2.0, 1.0),
+    ("fmax", 1.0, 2.0, 2.0),
+])
+def test_fp_reg_ops(method, a, b_val, expected):
+    assert eval_fp_op(
+        lambda b, rd, rs1, rs2: getattr(b, method)(rd, rs1, rs2),
+        a, b_val,
+    ) == expected
+
+
+@pytest.mark.parametrize("method,a,b_val,expected", [
+    ("flt", 1.0, 2.0, 1),
+    ("flt", 2.0, 1.0, 0),
+    ("fle", 2.0, 2.0, 1),
+    ("feq", 2.0, 2.0, 1),
+    ("feq", 2.0, 2.5, 0),
+])
+def test_fp_compares_write_int_reg(method, a, b_val, expected):
+    b = AsmBuilder()
+    f, g = b.freg(), b.freg()
+    z = b.ireg()
+    b.fli(f, a)
+    b.fli(g, b_val)
+    getattr(b, method)(z, f, g)
+    assert run_program(b).regs[z] == expected
+
+
+def test_fp_unary_ops():
+    b = AsmBuilder()
+    f, g, h, k = b.freg(), b.freg(), b.freg(), b.freg()
+    b.fli(f, -2.25)
+    b.fneg(g, f)
+    b.fabs_(h, f)
+    b.fli(k, 9.0)
+    b.fsqrt(k, k)
+    state = run_program(b)
+    assert state.regs[g] == 2.25
+    assert state.regs[h] == 2.25
+    assert state.regs[k] == 3.0
+
+
+def test_fsqrt_negative_raises():
+    b = AsmBuilder()
+    f = b.freg()
+    b.fli(f, -1.0)
+    b.fsqrt(f, f)
+    with pytest.raises(ExecutionError):
+        run_program(b)
+
+
+def test_fdiv_by_zero_raises():
+    with pytest.raises(ExecutionError):
+        eval_fp_op(lambda b, rd, x, y: b.fdiv(rd, x, y), 1.0, 0.0)
+
+
+def test_conversions():
+    b = AsmBuilder()
+    x = b.ireg()
+    f = b.freg()
+    y = b.ireg()
+    b.li(x, 7)
+    b.cvtif(f, x)
+    b.fli(f2 := b.freg(), 2.0)
+    b.fdiv(f, f, f2)      # 3.5
+    b.cvtfi(y, f)         # truncate -> 3
+    state = run_program(b)
+    assert state.regs[y] == 3
+    assert state.regs[f] == 3.5
+
+
+def test_cvtfi_truncates_toward_zero():
+    b = AsmBuilder()
+    f = b.freg()
+    y = b.ireg()
+    b.fli(f, -3.7)
+    b.cvtfi(y, f)
+    assert run_program(b).regs[y] == -3
+
+
+def test_register_zero_is_immutable():
+    b = AsmBuilder()
+    x = b.ireg()
+    b.li(x, 5)
+    b.emit(Op.ADDI, rd=0, rs1=x, imm=0)  # attempt to write r0
+    b.add(x, b.zero, b.zero)
+    assert run_program(b).regs[x] == 0
+
+
+def test_jal_writes_link_register():
+    p = Program("t")
+    p.define_label("target")
+    p.append(Instruction(Op.JAL, rd=31, label="target"))
+    p.append(Instruction(Op.HALT))
+    p.seal()
+    state = ThreadState(tid=0, program=p)
+    execute_instruction(state, SharedMemory())
+    assert state.regs[31] == 1
+    assert state.pc == 0
+
+
+def test_pc_out_of_range_raises():
+    p = Program("t")
+    p.seal()
+    state = ThreadState(tid=0, program=p)
+    state.pc = 99
+    with pytest.raises(ExecutionError):
+        execute_instruction(state, SharedMemory())
+
+
+def test_sync_op_not_executable_functionally():
+    p = Program("t")
+    p.append(Instruction(Op.LOCK, rs1=1))
+    p.seal()
+    state = ThreadState(tid=0, program=p)
+    with pytest.raises(ExecutionError):
+        execute_instruction(state, SharedMemory())
+
+
+def test_unsealed_program_rejected():
+    p = Program("t")
+    p.append(Instruction(Op.NOP))
+    with pytest.raises(ExecutionError):
+        ThreadState(tid=0, program=p)
+
+
+def test_instruction_count_increments():
+    b = AsmBuilder()
+    x = b.ireg()
+    b.li(x, 1)
+    b.addi(x, x, 1)
+    state = run_program(b)
+    assert state.instructions_executed == 2

@@ -1,0 +1,192 @@
+"""Unit tests for the instruction set definitions."""
+
+import pytest
+
+from repro.isa import (
+    FuClass,
+    Instruction,
+    MemClass,
+    Op,
+    Program,
+    ProgramError,
+    fp_reg,
+    fu_class,
+    int_reg,
+    is_cond_branch,
+    is_control,
+    is_fp,
+    is_load,
+    is_mem,
+    is_store,
+    is_sync,
+    mem_class,
+    mem_width,
+    reg_name,
+)
+
+
+class TestOpClassification:
+    def test_every_op_has_a_functional_unit(self):
+        for op in Op:
+            assert isinstance(fu_class(op), FuClass)
+
+    def test_every_op_has_a_mem_class(self):
+        for op in Op:
+            assert isinstance(mem_class(op), MemClass)
+
+    @pytest.mark.parametrize("op,fu", [
+        (Op.ADD, FuClass.INT_ALU),
+        (Op.MUL, FuClass.INT_ALU),
+        (Op.SLLI, FuClass.SHIFTER),
+        (Op.FADD, FuClass.FP_ADD),
+        (Op.FMUL, FuClass.FP_MUL),
+        (Op.FDIV, FuClass.FP_DIV),
+        (Op.FSQRT, FuClass.FP_DIV),
+        (Op.CVTIF, FuClass.FP_CVT),
+        (Op.LW, FuClass.LOAD_STORE),
+        (Op.FSD, FuClass.LOAD_STORE),
+        (Op.LOCK, FuClass.LOAD_STORE),
+        (Op.BARRIER, FuClass.LOAD_STORE),
+        (Op.BEQ, FuClass.BRANCH),
+        (Op.J, FuClass.BRANCH),
+        (Op.JR, FuClass.BRANCH),
+        (Op.HALT, FuClass.BRANCH),
+    ])
+    def test_fu_assignments(self, op, fu):
+        assert fu_class(op) == fu
+
+    @pytest.mark.parametrize("op,cls", [
+        (Op.LW, MemClass.READ),
+        (Op.FLD, MemClass.READ),
+        (Op.SW, MemClass.WRITE),
+        (Op.FSD, MemClass.WRITE),
+        (Op.LOCK, MemClass.ACQUIRE),
+        (Op.EVWAIT, MemClass.ACQUIRE),
+        (Op.UNLOCK, MemClass.RELEASE),
+        (Op.EVSET, MemClass.RELEASE),
+        (Op.EVCLEAR, MemClass.RELEASE),
+        (Op.BARRIER, MemClass.BARRIER),
+        (Op.ADD, MemClass.NONE),
+        (Op.BEQ, MemClass.NONE),
+    ])
+    def test_mem_classes(self, op, cls):
+        assert mem_class(op) == cls
+
+    def test_load_store_predicates(self):
+        assert is_load(Op.LW) and is_load(Op.FLD)
+        assert is_store(Op.SW) and is_store(Op.FSD)
+        assert not is_load(Op.SW)
+        assert not is_store(Op.LW)
+        assert is_mem(Op.LW) and is_mem(Op.FSD)
+        assert not is_mem(Op.LOCK)  # sync is not a plain data access
+
+    def test_sync_predicate(self):
+        for op in (Op.LOCK, Op.UNLOCK, Op.BARRIER, Op.EVWAIT, Op.EVSET,
+                   Op.EVCLEAR):
+            assert is_sync(op)
+        assert not is_sync(Op.LW)
+
+    def test_control_predicates(self):
+        assert is_cond_branch(Op.BNE)
+        assert not is_cond_branch(Op.J)
+        assert is_control(Op.J) and is_control(Op.JR)
+        assert is_control(Op.HALT)
+        assert not is_control(Op.ADD)
+
+    def test_mem_width(self):
+        assert mem_width(Op.LW) == 4
+        assert mem_width(Op.SW) == 4
+        assert mem_width(Op.FLD) == 8
+        assert mem_width(Op.FSD) == 8
+        with pytest.raises(ValueError):
+            mem_width(Op.ADD)
+
+
+class TestRegisters:
+    def test_int_reg_range(self):
+        assert int_reg(0) == 0
+        assert int_reg(31) == 31
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            int_reg(-1)
+
+    def test_fp_reg_range(self):
+        assert fp_reg(0) == 32
+        assert fp_reg(31) == 63
+        with pytest.raises(ValueError):
+            fp_reg(32)
+
+    def test_is_fp(self):
+        assert not is_fp(int_reg(5))
+        assert is_fp(fp_reg(5))
+
+    def test_reg_names(self):
+        assert reg_name(0) == "r0"
+        assert reg_name(31) == "r31"
+        assert reg_name(32) == "f0"
+        assert reg_name(63) == "f31"
+        with pytest.raises(ValueError):
+            reg_name(64)
+
+
+class TestProgram:
+    def test_labels_resolve(self):
+        p = Program("t")
+        p.define_label("top")
+        p.append(Instruction(Op.ADDI, rd=1, rs1=0, imm=1))
+        p.append(Instruction(Op.J, label="top"))
+        p.seal()
+        assert p.instructions[1].target == 0
+
+    def test_seal_appends_halt(self):
+        p = Program("t")
+        p.append(Instruction(Op.NOP))
+        p.seal()
+        assert p.instructions[-1].op is Op.HALT
+
+    def test_seal_idempotent(self):
+        p = Program("t")
+        p.append(Instruction(Op.HALT))
+        p.seal()
+        n = len(p)
+        p.seal()
+        assert len(p) == n
+
+    def test_duplicate_label_rejected(self):
+        p = Program("t")
+        p.define_label("x")
+        with pytest.raises(ProgramError):
+            p.define_label("x")
+
+    def test_undefined_label_rejected(self):
+        p = Program("t")
+        p.append(Instruction(Op.J, label="nowhere"))
+        with pytest.raises(ProgramError):
+            p.seal()
+
+    def test_branch_without_target_rejected(self):
+        p = Program("t")
+        p.append(Instruction(Op.BEQ, rs1=1, rs2=2))
+        with pytest.raises(ProgramError):
+            p.seal()
+
+    def test_append_after_seal_rejected(self):
+        p = Program("t")
+        p.seal()
+        with pytest.raises(ProgramError):
+            p.append(Instruction(Op.NOP))
+
+    def test_disassemble_contains_labels(self):
+        p = Program("t")
+        p.define_label("loop")
+        p.append(Instruction(Op.J, label="loop"))
+        p.seal()
+        text = p.disassemble()
+        assert "loop:" in text
+        assert "j" in text
+
+    def test_sources(self):
+        i = Instruction(Op.ADD, rd=3, rs1=1, rs2=2)
+        assert i.sources() == (1, 2)
+        assert Instruction(Op.NOP).sources() == ()

@@ -1,0 +1,97 @@
+"""Tests for shared memory and the segment allocator."""
+
+import pytest
+
+from repro.mem import MemoryError_, SegmentAllocator, SharedMemory
+
+
+class TestSharedMemory:
+    def test_word_roundtrip(self):
+        m = SharedMemory()
+        m.write_word(0x100, 42)
+        assert m.read_word(0x100) == 42
+
+    def test_unwritten_reads_zero(self):
+        m = SharedMemory()
+        assert m.read_word(0x500) == 0
+        assert m.read_double(0x508) == 0.0
+
+    def test_double_roundtrip(self):
+        m = SharedMemory()
+        m.write_double(0x200, 3.125)
+        assert m.read_double(0x200) == 3.125
+
+    def test_negative_values(self):
+        m = SharedMemory()
+        m.write_word(0x10, -17)
+        assert m.read_word(0x10) == -17
+
+    @pytest.mark.parametrize("method,addr", [
+        ("read_word", 0x101),
+        ("write_word", 0x102),
+        ("read_double", 0x104),
+        ("write_double", 0x10C),
+    ])
+    def test_misaligned_rejected(self, method, addr):
+        m = SharedMemory()
+        with pytest.raises(MemoryError_):
+            fn = getattr(m, method)
+            if method.startswith("read"):
+                fn(addr)
+            else:
+                fn(addr, 1)
+
+    def test_words_written(self):
+        m = SharedMemory()
+        m.write_word(0, 1)
+        m.write_word(4, 1)
+        m.write_word(0, 2)
+        assert m.words_written() == 2
+
+
+class TestSegmentAllocator:
+    def test_segments_do_not_overlap(self):
+        a = SegmentAllocator()
+        b1 = a.alloc("one", 100)
+        b2 = a.alloc("two", 100)
+        assert b2 >= b1 + 100
+
+    def test_alignment(self):
+        a = SegmentAllocator()
+        a.alloc("odd", 13)
+        base = a.alloc("aligned", 16, align=64)
+        assert base % 64 == 0
+
+    def test_alloc_words_and_doubles(self):
+        a = SegmentAllocator()
+        w = a.alloc_words("w", 10)
+        d = a.alloc_doubles("d", 10)
+        assert a.segment("w") == (w, 40)
+        assert a.segment("d") == (d, 80)
+
+    def test_duplicate_name_rejected(self):
+        a = SegmentAllocator()
+        a.alloc("x", 4)
+        with pytest.raises(ValueError):
+            a.alloc("x", 4)
+
+    def test_bad_alignment_rejected(self):
+        a = SegmentAllocator()
+        with pytest.raises(ValueError):
+            a.alloc("x", 4, align=3)
+
+    def test_negative_size_rejected(self):
+        a = SegmentAllocator()
+        with pytest.raises(ValueError):
+            a.alloc("x", -1)
+
+    def test_top_advances(self):
+        a = SegmentAllocator(base=0)
+        a.alloc("x", 32)
+        assert a.top >= 32
+
+    def test_segments_listing(self):
+        a = SegmentAllocator()
+        a.alloc("x", 4)
+        a.alloc("y", 8)
+        assert set(a.segments()) == {"x", "y"}

@@ -1,0 +1,170 @@
+"""Property-based tests over randomly generated traces.
+
+A random-but-wellformed trace generator drives every processor model and
+checks the invariants that must hold for *any* workload: attribution sums,
+model orderings, window monotonicity, and the busy==instructions identity.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency import MODELS
+from repro.cpu import (
+    ProcessorConfig,
+    simulate,
+    simulate_base,
+    simulate_ss,
+    simulate_ssbr,
+)
+from repro.cpu.ds import DSConfig, DSProcessor
+from repro.isa import MemClass, Op
+from repro.tango import Trace, TraceRecord
+
+
+@st.composite
+def traces(draw, max_len=60):
+    """A random trace with plausible structure."""
+    n = draw(st.integers(1, max_len))
+    records = []
+    pc = 0
+    lock_held = False
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["alu", "alu", "alu", "load", "load", "store", "branch",
+             "sync"]
+        ))
+        if kind == "alu":
+            rd = draw(st.integers(1, 8))
+            rs1 = draw(st.integers(0, 8))
+            records.append(TraceRecord(
+                op=Op.ADD, pc=pc, next_pc=pc + 1, rd=rd, rs1=rs1,
+            ))
+        elif kind == "load":
+            stall = draw(st.sampled_from([0, 0, 50]))
+            records.append(TraceRecord(
+                op=Op.LW, pc=pc, next_pc=pc + 1,
+                rd=draw(st.integers(1, 8)),
+                rs1=draw(st.integers(0, 8)),
+                addr=draw(st.integers(0, 63)) * 16,
+                stall=stall, mem_class=MemClass.READ,
+            ))
+        elif kind == "store":
+            stall = draw(st.sampled_from([0, 50]))
+            records.append(TraceRecord(
+                op=Op.SW, pc=pc, next_pc=pc + 1,
+                rs1=draw(st.integers(0, 8)),
+                rs2=draw(st.integers(0, 8)),
+                addr=draw(st.integers(0, 63)) * 16,
+                stall=stall, mem_class=MemClass.WRITE,
+            ))
+        elif kind == "branch":
+            taken = draw(st.booleans())
+            records.append(TraceRecord(
+                op=Op.BNE, pc=pc,
+                next_pc=draw(st.integers(0, 40)) if taken else pc + 1,
+                rs1=draw(st.integers(0, 8)),
+            ))
+        else:
+            if lock_held:
+                records.append(TraceRecord(
+                    op=Op.UNLOCK, pc=pc, next_pc=pc + 1, addr=0x8000,
+                    stall=50, mem_class=MemClass.RELEASE,
+                ))
+                lock_held = False
+            else:
+                records.append(TraceRecord(
+                    op=Op.LOCK, pc=pc, next_pc=pc + 1, addr=0x8000,
+                    stall=50, wait=draw(st.sampled_from([0, 0, 30])),
+                    mem_class=MemClass.ACQUIRE,
+                ))
+                lock_held = True
+        pc = records[-1].next_pc
+    trace = Trace(cpu=0)
+    for r in records:
+        trace.append(r)
+    return trace
+
+
+@settings(max_examples=60, deadline=None)
+@given(traces())
+def test_attribution_sums_for_every_model(trace):
+    for kind in ("base", "ssbr", "ss", "ds"):
+        for model in ("SC", "PC", "WO", "RC"):
+            r = simulate(
+                trace,
+                ProcessorConfig(kind=kind, model=model, window=32),
+            )
+            assert r.total == r.busy + r.sync + r.read + r.write + r.other
+            assert r.busy == len(trace)
+            if kind == "base":
+                break  # BASE ignores the model
+
+
+@settings(max_examples=40, deadline=None)
+@given(traces())
+def test_base_is_upper_bound_for_static_models(trace):
+    base = simulate_base(trace)
+    for model in MODELS.values():
+        assert simulate_ssbr(trace, model).total <= base.total + 2
+        assert simulate_ss(trace, model).total <= base.total + 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces())
+def test_ds_window_monotonicity(trace):
+    prev = None
+    for window in (16, 64, 256):
+        total = DSProcessor(
+            trace, MODELS["RC"], DSConfig(window=window)
+        ).run().total
+        if prev is not None:
+            # Allow a sliver of scheduling noise.
+            assert total <= prev + 3
+        prev = total
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces())
+def test_ds_rc_never_slower_than_ds_sc(trace):
+    sc = DSProcessor(trace, MODELS["SC"], DSConfig(window=64)).run()
+    rc = DSProcessor(trace, MODELS["RC"], DSConfig(window=64)).run()
+    assert rc.total <= sc.total + 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces())
+def test_perfect_bp_and_nodep_never_slower(trace):
+    normal = DSProcessor(
+        trace, MODELS["RC"], DSConfig(window=32)
+    ).run()
+    pbp = DSProcessor(
+        trace, MODELS["RC"],
+        DSConfig(window=32, perfect_branch_prediction=True),
+    ).run()
+    nodep = DSProcessor(
+        trace, MODELS["RC"],
+        DSConfig(window=32, perfect_branch_prediction=True,
+                 ignore_data_dependences=True),
+    ).run()
+    assert pbp.total <= normal.total + 3
+    assert nodep.total <= pbp.total + 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces())
+def test_ds_beats_or_matches_base(trace):
+    base = simulate_base(trace)
+    ds = DSProcessor(trace, MODELS["RC"], DSConfig(window=256)).run()
+    # +small slack: pipeline-fill and port quantization.
+    assert ds.total <= base.total + len(trace) // 4 + 5
+
+
+@settings(max_examples=30, deadline=None)
+@given(traces())
+def test_wider_issue_never_slower(trace):
+    one = DSProcessor(
+        trace, MODELS["RC"], DSConfig(window=64, issue_width=1)
+    ).run()
+    four = DSProcessor(
+        trace, MODELS["RC"], DSConfig(window=64, issue_width=4)
+    ).run()
+    assert four.total <= one.total + 3

@@ -1,0 +1,65 @@
+"""Tests for ExecutionBreakdown and the text report helpers."""
+
+from repro.cpu import ExecutionBreakdown
+from repro.experiments import format_stacked_bars, format_table
+
+
+def make(label="x", busy=100, sync=10, read=40, write=20, other=0):
+    return ExecutionBreakdown(
+        label=label, busy=busy, sync=sync, read=read, write=write,
+        other=other, instructions=busy,
+    )
+
+
+class TestExecutionBreakdown:
+    def test_total_is_component_sum(self):
+        r = make()
+        assert r.total == 170
+
+    def test_normalized_to_self_is_100(self):
+        r = make()
+        nz = r.normalized_to(r)
+        assert abs(nz["total"] - 100.0) < 1e-9
+        assert abs(sum(
+            nz[k] for k in ("busy", "sync", "read", "write", "other")
+        ) - 100.0) < 1e-9
+
+    def test_normalized_to_zero_base(self):
+        empty = ExecutionBreakdown()
+        assert make().normalized_to(empty)["total"] == 0.0
+
+    def test_read_latency_hidden(self):
+        base = make(read=100)
+        faster = make(read=25)
+        assert faster.read_latency_hidden_vs(base) == 0.75
+        assert base.read_latency_hidden_vs(base) == 0.0
+
+    def test_read_latency_hidden_clamps(self):
+        base = make(read=10)
+        worse = make(read=50)
+        assert worse.read_latency_hidden_vs(base) == 0.0
+        assert make().read_latency_hidden_vs(make(read=0)) == 0.0
+
+    def test_str_mentions_components(self):
+        text = str(make(label="DS-RC"))
+        assert "DS-RC" in text and "busy=100" in text
+
+
+class TestFormatters:
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_format_table_float_formatting(self):
+        text = format_table(["v"], [[3.14159]], float_fmt="{:.2f}")
+        assert "3.14" in text
+
+    def test_stacked_bars_scale(self):
+        base = make()
+        half = make(busy=50, sync=5, read=20, write=10)
+        text = format_stacked_bars("T", [base, half], base, width=50)
+        lines = [l for l in text.splitlines() if "|" in l]
+        bar_base = lines[0].split("|")[1]
+        bar_half = lines[1].split("|")[1]
+        assert len(bar_half) < len(bar_base)
+        assert "100.0%" in lines[0]

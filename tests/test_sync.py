@@ -1,0 +1,178 @@
+"""Tests for the virtual-time synchronization manager."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sync import SyncError, SyncManager
+
+
+class TestLocks:
+    def test_free_lock_acquires_immediately(self):
+        m = SyncManager(4)
+        assert m.acquire_lock(0x10, tid=0, now=5)
+        assert m.lock_holder(0x10) == 0
+
+    def test_held_lock_blocks(self):
+        m = SyncManager(4)
+        m.acquire_lock(0x10, 0, 0)
+        assert not m.acquire_lock(0x10, 1, 3)
+
+    def test_release_hands_to_fifo_waiter(self):
+        m = SyncManager(4)
+        m.acquire_lock(0x10, 0, 0)
+        m.acquire_lock(0x10, 1, 5)
+        m.acquire_lock(0x10, 2, 7)
+        w = m.release_lock(0x10, 0, now=20)
+        assert w.tid == 1
+        assert w.grant_time == 20
+        assert w.wait == 15
+        assert m.lock_holder(0x10) == 1
+        w2 = m.release_lock(0x10, 1, now=30)
+        assert w2.tid == 2 and w2.wait == 23
+
+    def test_release_with_no_waiters_frees(self):
+        m = SyncManager(4)
+        m.acquire_lock(0x10, 0, 0)
+        assert m.release_lock(0x10, 0, 5) is None
+        assert m.lock_holder(0x10) is None
+        assert m.acquire_lock(0x10, 1, 6)
+
+    def test_grant_never_before_request(self):
+        m = SyncManager(4)
+        m.acquire_lock(0x10, 0, 0)
+        m.acquire_lock(0x10, 1, 50)
+        w = m.release_lock(0x10, 0, now=10)  # release "before" request
+        assert w.grant_time == 50
+        assert w.wait == 0
+
+    def test_reacquire_raises(self):
+        m = SyncManager(4)
+        m.acquire_lock(0x10, 0, 0)
+        with pytest.raises(SyncError):
+            m.acquire_lock(0x10, 0, 1)
+
+    def test_unlock_free_lock_raises(self):
+        m = SyncManager(4)
+        with pytest.raises(SyncError):
+            m.release_lock(0x10, 0, 0)
+
+    def test_unlock_by_non_holder_raises(self):
+        m = SyncManager(4)
+        m.acquire_lock(0x10, 0, 0)
+        with pytest.raises(SyncError):
+            m.release_lock(0x10, 1, 5)
+
+    def test_independent_locks(self):
+        m = SyncManager(4)
+        assert m.acquire_lock(0x10, 0, 0)
+        assert m.acquire_lock(0x20, 1, 0)
+
+
+class TestBarriers:
+    def test_all_but_last_block(self):
+        m = SyncManager(3)
+        assert m.barrier_arrive(0x30, 0, 10) is None
+        assert m.barrier_arrive(0x30, 1, 20) is None
+        wakeups = m.barrier_arrive(0x30, 2, 35)
+        assert wakeups is not None
+        by_tid = {w.tid: w for w in wakeups}
+        assert set(by_tid) == {0, 1, 2}
+        assert by_tid[0].wait == 25
+        assert by_tid[1].wait == 15
+        assert by_tid[2].wait == 0
+        assert all(w.grant_time == 35 for w in wakeups)
+
+    def test_barrier_reusable(self):
+        m = SyncManager(2)
+        m.barrier_arrive(0x30, 0, 0)
+        m.barrier_arrive(0x30, 1, 1)
+        assert m.barrier_episodes(0x30) == 1
+        m.barrier_arrive(0x30, 1, 5)
+        wakeups = m.barrier_arrive(0x30, 0, 9)
+        assert wakeups is not None
+        assert m.barrier_episodes(0x30) == 2
+
+    def test_double_arrival_raises(self):
+        m = SyncManager(3)
+        m.barrier_arrive(0x30, 0, 0)
+        with pytest.raises(SyncError):
+            m.barrier_arrive(0x30, 0, 1)
+
+    def test_single_thread_barrier_passes(self):
+        m = SyncManager(1)
+        wakeups = m.barrier_arrive(0x30, 0, 7)
+        assert wakeups is not None and wakeups[0].wait == 0
+
+
+class TestEvents:
+    def test_wait_on_unset_blocks(self):
+        m = SyncManager(2)
+        assert not m.event_wait(0x40, 0, 5)
+
+    def test_set_releases_all_waiters(self):
+        m = SyncManager(3)
+        m.event_wait(0x40, 0, 5)
+        m.event_wait(0x40, 1, 8)
+        wakeups = m.event_set(0x40, 2, 30)
+        assert {w.tid for w in wakeups} == {0, 1}
+        assert {w.wait for w in wakeups} == {25, 22}
+
+    def test_wait_on_set_event_passes(self):
+        m = SyncManager(2)
+        m.event_set(0x40, 0, 0)
+        assert m.event_wait(0x40, 1, 5)
+
+    def test_clear_resets(self):
+        m = SyncManager(2)
+        m.event_set(0x40, 0, 0)
+        m.event_clear(0x40)
+        assert not m.event_is_set(0x40)
+        assert not m.event_wait(0x40, 1, 5)
+
+    def test_clear_with_waiters_raises(self):
+        m = SyncManager(2)
+        m.event_wait(0x40, 0, 0)
+        with pytest.raises(SyncError):
+            m.event_clear(0x40)
+
+
+class TestDiagnostics:
+    def test_blocked_threads_report(self):
+        m = SyncManager(4)
+        m.acquire_lock(0x10, 0, 0)
+        m.acquire_lock(0x10, 1, 1)
+        m.barrier_arrive(0x30, 2, 2)
+        m.event_wait(0x40, 3, 3)
+        blocked = m.blocked_threads()
+        assert set(blocked) == {1, 2, 3}
+        assert "lock" in blocked[1]
+        assert "barrier" in blocked[2]
+        assert "event" in blocked[3]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=40))
+def test_property_lock_fifo_and_mutual_exclusion(tids):
+    """Interleave acquire/release arbitrarily: the lock is always held by
+    at most one thread and grants follow FIFO request order."""
+    m = SyncManager(4)
+    holder = None
+    waiting: list[int] = []
+    now = 0
+    for tid in tids:
+        now += 1
+        if holder is None:
+            assert m.acquire_lock(0xAA, tid, now)
+            holder = tid
+        elif tid == holder:
+            w = m.release_lock(0xAA, tid, now)
+            if waiting:
+                assert w is not None and w.tid == waiting.pop(0)
+                holder = w.tid
+            else:
+                assert w is None
+                holder = None
+        elif tid not in waiting:
+            assert not m.acquire_lock(0xAA, tid, now)
+            waiting.append(tid)
+    assert m.lock_holder(0xAA) == holder
