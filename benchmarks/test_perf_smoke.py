@@ -1,0 +1,71 @@
+"""Performance smoke test: record core throughput numbers.
+
+Times the two hot loops everything else is gated on — the functional
+interpreter (trace generation) and the dynamic-scheduling processor
+model (trace replay) — on the tiny LU workload, and writes the numbers
+to ``BENCH_core.json`` at the repository root so successive PRs leave a
+performance trajectory.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_smoke.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import MultiprocessorConfig, TangoExecutor, build_app
+from repro.cpu import ProcessorConfig, simulate
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def test_perf_smoke():
+    config = MultiprocessorConfig(trace_cpus=(0,))
+
+    workload = build_app("lu", preset="tiny")
+    compiled = TangoExecutor(
+        workload.programs, config, memory=workload.memory
+    )
+    result, gen_s = _timed(compiled.run)
+    workload.verify(result.memory)
+    instructions = result.stats.total_instructions()
+    trace = result.trace(0)
+
+    ref_workload = build_app("lu", preset="tiny")
+    reference = TangoExecutor(
+        ref_workload.programs, config, memory=ref_workload.memory,
+        compiled=False,
+    )
+    _, ref_s = _timed(reference.run)
+
+    ds_cfg = ProcessorConfig(kind="ds", model="RC", window=256)
+    _, ds_s = _timed(lambda: simulate(trace, ds_cfg))
+
+    payload = {
+        "app": "lu",
+        "preset": "tiny",
+        "interp_instructions": instructions,
+        "interp_seconds": round(gen_s, 4),
+        "interp_instr_per_s": round(instructions / gen_s),
+        "interp_reference_instr_per_s": round(instructions / ref_s),
+        "compiled_speedup": round(ref_s / gen_s, 2),
+        "ds_trace_instructions": len(trace),
+        "ds_seconds": round(ds_s, 4),
+        "ds_instr_per_s": round(len(trace) / ds_s),
+        "python": sys.version.split()[0],
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert payload["interp_instr_per_s"] > 0
+    assert payload["ds_instr_per_s"] > 0
+    # The compiled engine must never regress below the reference one.
+    assert payload["compiled_speedup"] > 1.0

@@ -20,7 +20,6 @@ from pathlib import Path
 
 from . import MultiprocessorConfig, TangoExecutor, build_app
 from .apps import APP_NAMES
-from .cpu import ProcessorConfig, simulate
 from . import experiments as exp
 
 
@@ -58,8 +57,10 @@ def cmd_run(args) -> None:
 
 def cmd_simulate(args) -> None:
     store = _store(args)
-    run = store.get(args.app)
-    runs = [simulate(run.trace, cfg) for cfg in exp.figure3_configs()]
+    results = exp.simulate_app_models(
+        store, exp.figure3_configs(), apps=(args.app,), jobs=args.jobs
+    )
+    runs = results[args.app]
     print(exp.format_breakdowns(
         f"{args.app.upper()} (percent of BASE, "
         f"{args.penalty}-cycle miss)",
@@ -70,46 +71,56 @@ def cmd_simulate(args) -> None:
 
 
 _SIMPLE = {
-    "table1": lambda s: exp.format_table1(exp.run_table1(s)),
-    "table2": lambda s: exp.format_table2(exp.run_table2(s)),
-    "table3": lambda s: exp.format_table3(exp.run_table3(s)),
-    "headline": lambda s: exp.format_headline(exp.run_headline(s)),
-    "figure1": lambda s: exp.format_figure1(exp.run_figure1()),
-    "figure3": lambda s: exp.format_figure3(exp.run_figure3(s)),
-    "figure4": lambda s: exp.format_figure4(exp.run_figure4(s)),
-    "multi-issue": lambda s: exp.format_multi_issue(
+    "table1": lambda s, j=1: exp.format_table1(exp.run_table1(s)),
+    "table2": lambda s, j=1: exp.format_table2(exp.run_table2(s)),
+    "table3": lambda s, j=1: exp.format_table3(exp.run_table3(s)),
+    "headline": lambda s, j=1: exp.format_headline(exp.run_headline(s)),
+    "figure1": lambda s, j=1: exp.format_figure1(exp.run_figure1()),
+    "figure3": lambda s, j=1: exp.format_figure3(
+        exp.run_figure3(s, jobs=j)
+    ),
+    "figure4": lambda s, j=1: exp.format_figure4(
+        exp.run_figure4(s, jobs=j)
+    ),
+    "multi-issue": lambda s, j=1: exp.format_multi_issue(
         exp.run_multi_issue(s)
     ),
-    "miss-analysis": lambda s: exp.format_miss_analysis(
+    "miss-analysis": lambda s, j=1: exp.format_miss_analysis(
         exp.run_miss_analysis(s)
     ),
-    "sc-boost": lambda s: exp.format_sc_boost(exp.run_sc_boost(s)),
-    "contexts": lambda s: exp.format_contexts(exp.run_contexts(s)),
-    "compiler-sched": lambda s: exp.format_compiler_sched(
+    "sc-boost": lambda s, j=1: exp.format_sc_boost(exp.run_sc_boost(s)),
+    "contexts": lambda s, j=1: exp.format_contexts(exp.run_contexts(s)),
+    "compiler-sched": lambda s, j=1: exp.format_compiler_sched(
         exp.run_compiler_sched(s)
     ),
 }
 
 
 def cmd_experiment(args) -> None:
+    jobs = getattr(args, "jobs", 1)
     if args.command == "latency100":
         store = exp.TraceStore(
             n_procs=args.procs, miss_penalty=100, preset=args.preset,
             cache_dir=args.cache_dir,
         )
-        print(exp.format_latency100(exp.run_latency100(store)))
+        print(exp.format_latency100(
+            exp.run_latency100(store, jobs=jobs)
+        ))
         return
-    print(_SIMPLE[args.command](_store(args)))
+    print(_SIMPLE[args.command](_store(args), jobs))
 
 
 def cmd_all(args) -> None:
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
     store = _store(args)
+    if args.jobs > 1:
+        # Warm the trace cache concurrently before the sweeps below.
+        exp.generate_traces(store, jobs=args.jobs)
     for name, fn in _SIMPLE.items():
         print(f"[{name}] ...", flush=True)
         (out / f"{name.replace('-', '_')}.txt").write_text(
-            fn(store) + "\n"
+            fn(store, args.jobs) + "\n"
         )
     print("[latency100] ...", flush=True)
     store100 = exp.TraceStore(
@@ -117,7 +128,9 @@ def cmd_all(args) -> None:
         cache_dir=args.cache_dir,
     )
     (out / "latency100.txt").write_text(
-        exp.format_latency100(exp.run_latency100(store100)) + "\n"
+        exp.format_latency100(
+            exp.run_latency100(store100, jobs=args.jobs)
+        ) + "\n"
     )
     print(f"wrote results to {out}/")
 
@@ -149,14 +162,23 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="sweep processor models over one application"
     )
     p_sim.add_argument("app", choices=APP_NAMES)
+    p_sim.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the model sweep")
     p_sim.set_defaults(func=cmd_simulate)
 
     for name in list(_SIMPLE) + ["latency100"]:
         p = sub.add_parser(name, help=f"regenerate {name}")
+        if name in ("figure3", "figure4", "latency100"):
+            p.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for trace generation "
+                                "and model sweeps")
         p.set_defaults(func=cmd_experiment)
 
     p_all = sub.add_parser("all", help="regenerate everything")
     p_all.add_argument("--output", default="results")
+    p_all.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for trace generation "
+                            "and model sweeps")
     p_all.set_defaults(func=cmd_all)
     return parser
 

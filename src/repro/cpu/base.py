@@ -14,26 +14,29 @@ from ..isa import MemClass
 from ..tango import Trace
 from .results import ExecutionBreakdown
 
+_MC_READ = int(MemClass.READ)
+_MC_WRITE = int(MemClass.WRITE)
+_MC_ACQUIRE = int(MemClass.ACQUIRE)
+_MC_RELEASE = int(MemClass.RELEASE)
+_MC_BARRIER = int(MemClass.BARRIER)
+
 
 def simulate_base(trace: Trace, label: str = "BASE") -> ExecutionBreakdown:
-    """Run the BASE model over a trace."""
-    busy = 0
+    """Run the BASE model over a trace (columnar: flat-int iteration)."""
     sync = 0
     read = 0
     write = 0
-    for record in trace:
-        busy += 1
-        cls = record.mem_class
-        if cls == MemClass.READ:
-            read += record.stall
-        elif cls == MemClass.WRITE or cls == MemClass.RELEASE:
+    for cls, stall, wait in zip(trace.mem_class, trace.stall, trace.wait):
+        if cls == _MC_READ:
+            read += stall
+        elif cls == _MC_WRITE or cls == _MC_RELEASE:
             # Releases are folded into write time, as in the paper.
-            write += record.stall
-        elif cls == MemClass.ACQUIRE or cls == MemClass.BARRIER:
-            sync += record.wait + record.stall
+            write += stall
+        elif cls == _MC_ACQUIRE or cls == _MC_BARRIER:
+            sync += wait + stall
     return ExecutionBreakdown(
         label=label,
-        busy=busy,
+        busy=len(trace),
         sync=sync,
         read=read,
         write=write,

@@ -36,11 +36,17 @@ buffer head's blocking reason — an unperformed load is read stall, an
 unperformed acquire/barrier is synchronization stall, a store stuck on a
 full store buffer is write stall, and the rare dependence/drain bubble is
 "other".
+
+The inner loop runs on flat ints: the trace is consumed column-wise
+(:meth:`repro.tango.trace.Trace.columns`), opcode properties come from
+tables indexed by opcode value, and the consistency matrix is folded
+into per-class blocker tuples once per run.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
 
 from ...consistency import ConsistencyModel
@@ -49,16 +55,30 @@ from ...tango import Trace
 from ..results import ExecutionBreakdown
 from .btb import BranchTargetBuffer
 
-_MEM_CLASSES = (
+_MC_NONE = int(MemClass.NONE)
+_MC_READ = int(MemClass.READ)
+
+_MEM_CLASSES = tuple(int(cls) for cls in (
     MemClass.READ,
     MemClass.WRITE,
     MemClass.ACQUIRE,
     MemClass.RELEASE,
     MemClass.BARRIER,
-)
+))
 
-_ACQ = (MemClass.ACQUIRE, MemClass.BARRIER)
-_STORE_LIKE = (MemClass.WRITE, MemClass.RELEASE)
+_ACQ = (int(MemClass.ACQUIRE), int(MemClass.BARRIER))
+_STORE_LIKE = (int(MemClass.WRITE), int(MemClass.RELEASE))
+
+# Opcode-indexed property tables (the per-decode fast path).
+_N_OPS = max(Op) + 1
+_OP_MEMBER = [None] * _N_OPS
+_FU_VAL = [0] * _N_OPS
+_IS_CONTROL = [False] * _N_OPS
+for _op in Op:
+    _OP_MEMBER[_op] = _op
+    _FU_VAL[_op] = fu_class(_op).value
+    _IS_CONTROL[_op] = is_control(_op)
+_FU_LOAD_STORE = FuClass.LOAD_STORE.value
 
 
 @dataclass
@@ -96,7 +116,7 @@ class DSConfig:
 
 
 class _Entry:
-    """One reorder-buffer entry."""
+    """One reorder-buffer entry (all fields are flat ints)."""
 
     __slots__ = (
         "idx", "op", "fu", "mem_cls", "addr", "stall", "wait",
@@ -105,63 +125,67 @@ class _Entry:
         "needs_head_wait", "head_wait_start",
     )
 
-    def __init__(self, idx: int, record, decode_time: int) -> None:
+    def __init__(
+        self, idx: int, op: int, fu: int, mem_cls: int,
+        addr: int, stall: int, wait: int, decode_time: int,
+    ) -> None:
         self.idx = idx
-        self.op = record.op
-        self.fu = fu_class(record.op)
-        self.mem_cls = record.mem_class
-        self.addr = record.addr
-        self.stall = record.stall
-        self.wait = record.wait
+        self.op = op
+        self.fu = fu
+        self.mem_cls = mem_cls
+        self.addr = addr
+        self.stall = stall
+        self.wait = wait
         self.decode_time = decode_time
         self.ready_time = -1          # operands not yet resolved
         self.complete_time = -1       # not yet executed
         self.performed = False
         self.pending_srcs = 0
-        self.dependents: list[_Entry] | None = None
+        self.dependents = None
         self.in_store_buffer = False
         self.issued = False
         # Acquire contention/imbalance wait cannot be hidden by lookahead
         # (it is another processor's release time): it is charged only
         # once the acquire reaches the reorder-buffer head.  The sync
         # variable's *access latency* remains overlappable.
-        self.needs_head_wait = (
-            self.mem_cls in _ACQ and self.wait > 0
-        )
+        self.needs_head_wait = mem_cls in _ACQ and wait > 0
         self.head_wait_start = -1
 
 
 class _UnperformedTracker:
-    """Earliest unperformed memory operation per class (lazy heaps)."""
+    """Earliest unperformed memory operation per class.
+
+    Decode adds entries in program order, so each class queue is already
+    idx-sorted: a plain deque with lazy head cleanup on the entry's own
+    ``performed`` flag replaces the seed's heap + tombstone set.
+    """
 
     def __init__(self) -> None:
-        self._heaps: dict[MemClass, list[int]] = {
-            cls: [] for cls in _MEM_CLASSES
-        }
-        self._performed: set[int] = set()
+        self._queues: list[deque[_Entry]] = [
+            deque() for _ in range(max(_MEM_CLASSES) + 1)
+        ]
 
-    def add(self, cls: MemClass, idx: int) -> None:
-        heapq.heappush(self._heaps[cls], idx)
+    def add(self, cls: int, entry: _Entry) -> None:
+        self._queues[cls].append(entry)
 
-    def perform(self, idx: int) -> None:
-        self._performed.add(idx)
-
-    def frontier(self, cls: MemClass) -> int:
+    def frontier(self, cls: int) -> int:
         """Smallest unperformed idx of class ``cls`` (or a huge number)."""
-        heap = self._heaps[cls]
-        while heap and heap[0] in self._performed:
-            self._performed.discard(heapq.heappop(heap))
-        return heap[0] if heap else 1 << 60
+        dq = self._queues[cls]
+        while dq and dq[0].performed:
+            dq.popleft()
+        return dq[0].idx if dq else 1 << 60
 
-    def blocking_frontier(
-        self, model: ConsistencyModel, cls: MemClass
-    ) -> int:
-        """An op of class ``cls`` may issue only if its program index is
-        below this frontier."""
+    def blocking_frontier(self, blockers: tuple[int, ...]) -> int:
+        """An op blocked by the given classes may issue only if its
+        program index is below this frontier."""
         frontier = 1 << 60
-        for earlier in _MEM_CLASSES:
-            if model.requires(earlier, cls):
-                f = self.frontier(earlier)
+        queues = self._queues
+        for earlier in blockers:
+            dq = queues[earlier]
+            while dq and dq[0].performed:
+                dq.popleft()
+            if dq:
+                f = dq[0].idx
                 if f < frontier:
                     frontier = f
         return frontier
@@ -191,12 +215,23 @@ class DSProcessor:
     def run(self, label: str | None = None) -> ExecutionBreakdown:
         cfg = self.config
         model = self.model
-        records = self.trace.records
-        n = len(records)
+        (col_op, col_pc, col_next_pc, col_rd, col_rs1, col_rs2,
+         col_addr, col_stall, col_wait, col_mc) = self.trace.columns()
+        n = len(col_op)
         window = cfg.window
         store_depth = cfg.resolved_store_depth()
         ignore_deps = cfg.ignore_data_dependences
         perfect_bp = cfg.perfect_branch_prediction
+
+        # Fold the consistency matrix into per-class blocker tuples: the
+        # classes an operation of each class must wait for.
+        blockers = {
+            cls: tuple(
+                earlier for earlier in _MEM_CLASSES
+                if model.requires(earlier, cls)
+            )
+            for cls in _MEM_CLASSES
+        }
 
         t = 0
         fetch_i = 0
@@ -206,13 +241,24 @@ class DSProcessor:
         last_writer: dict[int, _Entry] = {}
         events: list[tuple[int, int, _Entry]] = []  # (time, idx, entry)
         lsu_ready: list[_Entry] = []  # loads/acquires, kept sorted by idx
-        fu_ready: dict[int, list[tuple[int, int, _Entry]]] = {
-            fu.value: [] for fu in FuClass
-        }
+        fu_ready: list[list[tuple[int, _Entry]]] = [
+            [] for _ in range(max(fu.value for fu in FuClass) + 1)
+        ]
+        fu_heaps = tuple(fu_ready)
+        # Per-cycle caches, generation-stamped with the cycle number so no
+        # dict/set is allocated inside the loop (t is unique per
+        # iteration: every pass advances it by at least one).
+        n_cls = max(_MEM_CLASSES) + 1
+        frontier_val = [0] * n_cls
+        frontier_gen = [-1] * n_cls
+        rejected_gen = [-1] * n_cls
         unperformed = _UnperformedTracker()
         store_buffer: list[_Entry] = []
         store_head = 0
-        pending_stores: dict[int, list[int]] = {}  # addr -> [store idxs]
+        # addr -> deque of unperformed store-like entries in program
+        # order; heads are popped lazily once performed, so the front is
+        # always the earliest possibly-unperformed store to that address.
+        pending_stores: dict[int, deque[_Entry]] = {}
 
         busy = sync = read = write = other = 0
         last_miss_seen_idx = -1
@@ -226,12 +272,11 @@ class DSProcessor:
                 return own
             best_idx = head.idx
             best_cls = None
-            for earlier in _MEM_CLASSES:
-                if model.requires(earlier, head.mem_cls):
-                    f = unperformed.frontier(earlier)
-                    if f < best_idx:
-                        best_idx = f
-                        best_cls = earlier
+            for earlier in blockers[head.mem_cls]:
+                f = unperformed.frontier(earlier)
+                if f < best_idx:
+                    best_idx = f
+                    best_cls = earlier
             if best_cls is None:
                 return own
             if best_cls in _STORE_LIKE:
@@ -247,7 +292,7 @@ class DSProcessor:
                 # Stores need no functional unit before retirement; the
                 # address generation is folded into readiness.
                 entry.complete_time = time
-            elif entry.fu == FuClass.LOAD_STORE:
+            elif entry.fu == _FU_LOAD_STORE:
                 # Loads and acquire-type sync ops queue for the port.
                 lo, hi = 0, len(lsu_ready)
                 while lo < hi:
@@ -258,10 +303,7 @@ class DSProcessor:
                         hi = mid
                 lsu_ready.insert(lo, entry)
             else:
-                heapq.heappush(
-                    fu_ready[entry.fu.value],
-                    (entry.idx, entry.idx, entry),
-                )
+                heapq.heappush(fu_ready[entry.fu], (entry.idx, entry))
 
         def schedule(entry: _Entry, time: int) -> None:
             heapq.heappush(events, (time, entry.idx, entry))
@@ -280,14 +322,14 @@ class DSProcessor:
                     # Access completion of a contended acquire; the
                     # head-wait (and hence "performed") comes later.
                     continue
-                if entry.mem_cls != MemClass.NONE and not entry.performed:
+                if entry.mem_cls != _MC_NONE and not entry.performed:
                     entry.performed = True
-                    unperformed.perform(entry.idx)
                     if entry.mem_cls in _STORE_LIKE:
-                        idxs = pending_stores.get(entry.addr)
-                        if idxs:
-                            idxs.remove(entry.idx)
-                            if not idxs:
+                        dq = pending_stores.get(entry.addr)
+                        if dq:
+                            while dq and dq[0].performed:
+                                dq.popleft()
+                            if not dq:
                                 del pending_stores[entry.addr]
                         entry.in_store_buffer = False
                 if fetch_stalled_on is entry:
@@ -313,14 +355,16 @@ class DSProcessor:
             # issue_width operations per cycle (the multi-issue processor
             # has correspondingly more units); the memory port stays
             # single regardless (phase 2b).
-            for fu_val, heap in fu_ready.items():
+            for heap in fu_heaps:
+                if not heap:
+                    continue
                 started = 0
                 while (
                     heap
                     and started < cfg.issue_width
-                    and heap[0][2].ready_time <= t
+                    and heap[0][1].ready_time <= t
                 ):
-                    _, _, entry = heapq.heappop(heap)
+                    _, entry = heapq.heappop(heap)
                     # Single-cycle latency: result available next cycle.
                     schedule(entry, t + 1)
                     progressed = True
@@ -331,36 +375,38 @@ class DSProcessor:
             # unissued buffered stores.
             port_candidate: _Entry | None = None
             candidate_pos = -1
-            frontier_cache: dict[MemClass, int] = {}
-            rejected: set[MemClass] = set()
+            n_rejected = 0
             for pos, entry in enumerate(lsu_ready):
                 if entry.ready_time > t:
                     continue
                 cls = entry.mem_cls
                 if (
                     cfg.speculative_loads
-                    and cls == MemClass.READ
+                    and cls == _MC_READ
                 ):
                     # Speculative load execution: issue past constraints.
                     port_candidate = entry
                     candidate_pos = pos
                     break
-                if cls in rejected:
+                if rejected_gen[cls] == t:
                     # The list is idx-sorted, so once the oldest ready op
                     # of a class is blocked, every younger one is too.
                     continue
-                frontier = frontier_cache.get(cls)
-                if frontier is None:
-                    frontier = unperformed.blocking_frontier(model, cls)
-                    frontier_cache[cls] = frontier
+                if frontier_gen[cls] == t:
+                    frontier = frontier_val[cls]
+                else:
+                    frontier = unperformed.blocking_frontier(blockers[cls])
+                    frontier_val[cls] = frontier
+                    frontier_gen[cls] = t
                 # The op's own index is in the unperformed tracker, so
                 # equality means "no EARLIER blocker" and must admit it.
                 if entry.idx <= frontier:
                     port_candidate = entry
                     candidate_pos = pos
                     break
-                rejected.add(cls)
-                if len(rejected) == 3:
+                rejected_gen[cls] = t
+                n_rejected += 1
+                if n_rejected == 3:
                     break
             store_candidate: _Entry | None = None
             for i in range(store_head, len(store_buffer)):
@@ -368,10 +414,12 @@ class DSProcessor:
                 if entry.issued or entry.performed:
                     continue
                 cls = entry.mem_cls
-                frontier = frontier_cache.get(cls)
-                if frontier is None:
-                    frontier = unperformed.blocking_frontier(model, cls)
-                    frontier_cache[cls] = frontier
+                if frontier_gen[cls] == t:
+                    frontier = frontier_val[cls]
+                else:
+                    frontier = unperformed.blocking_frontier(blockers[cls])
+                    frontier_val[cls] = frontier
+                    frontier_gen[cls] = t
                 if entry.idx <= frontier:
                     store_candidate = entry
                 break  # only the oldest unissued store is considered
@@ -388,9 +436,14 @@ class DSProcessor:
                     # known; the remaining miss latency has shrunk.
                     stall = max(0, stall - max(0, t - entry.ready_time))
                 latency = 1 + stall
-                if entry.mem_cls == MemClass.READ:
-                    idxs = pending_stores.get(entry.addr)
-                    if idxs and min(idxs) < entry.idx:
+                if entry.mem_cls == _MC_READ:
+                    dq = pending_stores.get(entry.addr)
+                    if dq:
+                        while dq and dq[0].performed:
+                            dq.popleft()
+                        if not dq:
+                            del pending_stores[entry.addr]
+                    if dq and dq[0].idx < entry.idx:
                         latency = 1  # store buffer forwards the value
                     elif cfg.collect_miss_stats and entry.stall > 0:
                         self.read_miss_issue_delays.append(
@@ -416,61 +469,80 @@ class DSProcessor:
                 and (len(rob) - rob_head) < window
                 and fetch_stalled_on is None
             ):
-                record = records[fetch_i]
-                entry = _Entry(fetch_i, record, t)
+                i = fetch_i
+                op = col_op[i]
+                cls = col_mc[i]
+                stall = col_stall[i]
+                entry = _Entry(
+                    i, op, _FU_VAL[op], cls,
+                    col_addr[i], stall, col_wait[i], t,
+                )
                 fetch_i += 1
                 decoded += 1
                 progressed = True
                 rob.append(entry)
-                cls = entry.mem_cls
-                if cls != MemClass.NONE:
-                    unperformed.add(cls, entry.idx)
+                if cls != _MC_NONE:
+                    unperformed.add(cls, entry)
                     if cls in _STORE_LIKE and entry.addr >= 0:
-                        pending_stores.setdefault(
-                            entry.addr, []
-                        ).append(entry.idx)
+                        dq = pending_stores.get(entry.addr)
+                        if dq is None:
+                            pending_stores[entry.addr] = dq = deque()
+                        dq.append(entry)
                     if cfg.collect_miss_stats and (
-                        cls == MemClass.READ and record.stall > 0
+                        cls == _MC_READ and stall > 0
                     ):
                         if last_miss_seen_idx >= 0:
                             self.read_miss_distances.append(
-                                entry.idx - last_miss_seen_idx
+                                i - last_miss_seen_idx
                             )
-                        last_miss_seen_idx = entry.idx
+                        last_miss_seen_idx = i
 
                 if not ignore_deps:
-                    for src in (record.rs1, record.rs2):
-                        if src > 0:  # register 0 is hardwired zero
-                            producer = last_writer.get(src)
-                            if producer is not None and (
-                                producer.complete_time < 0
-                                or producer.complete_time > t
-                            ):
-                                entry.pending_srcs += 1
-                                if producer.dependents is None:
-                                    producer.dependents = []
-                                producer.dependents.append(entry)
-                    if record.rd > 0:
-                        last_writer[record.rd] = entry
+                    src = col_rs1[i]
+                    if src > 0:  # register 0 is hardwired zero
+                        producer = last_writer.get(src)
+                        if producer is not None and (
+                            producer.complete_time < 0
+                            or producer.complete_time > t
+                        ):
+                            entry.pending_srcs += 1
+                            if producer.dependents is None:
+                                producer.dependents = []
+                            producer.dependents.append(entry)
+                    src = col_rs2[i]
+                    if src > 0:
+                        producer = last_writer.get(src)
+                        if producer is not None and (
+                            producer.complete_time < 0
+                            or producer.complete_time > t
+                        ):
+                            entry.pending_srcs += 1
+                            if producer.dependents is None:
+                                producer.dependents = []
+                            producer.dependents.append(entry)
+                    rd = col_rd[i]
+                    if rd > 0:
+                        last_writer[rd] = entry
 
                 if entry.pending_srcs == 0:
                     wake(entry, t + 1)
 
-                if is_control(record.op) and not perfect_bp:
-                    fallthrough = record.pc + 1
+                if _IS_CONTROL[op] and not perfect_bp:
+                    op_member = _OP_MEMBER[op]
+                    pc = col_pc[i]
+                    next_pc = col_next_pc[i]
+                    fallthrough = pc + 1
                     prediction = self.btb.predict(
-                        record.op, record.pc, fallthrough
+                        op_member, pc, fallthrough
                     )
-                    taken = record.next_pc != fallthrough
+                    taken = next_pc != fallthrough
                     if prediction == -2:
                         correct = True
                     elif prediction == -1:
                         correct = False
                     else:
-                        correct = prediction == record.next_pc
-                    self.btb.update(
-                        record.op, record.pc, taken, record.next_pc
-                    )
+                        correct = prediction == next_pc
+                    self.btb.update(op_member, pc, taken, next_pc)
                     if not correct:
                         fetch_stalled_on = entry
                         break
@@ -506,7 +578,7 @@ class DSProcessor:
                         stall_reason = blocked_reason(head, "sync")
                     break
                 elif head.complete_time < 0 or head.complete_time > t:
-                    if cls == MemClass.READ:
+                    if cls == _MC_READ:
                         stall_reason = blocked_reason(head, "read")
                     elif cls in _ACQ:
                         stall_reason = blocked_reason(head, "sync")

@@ -59,6 +59,10 @@ class MultiContextProcessor:
         switch_penalty = self.config.switch_penalty
         k = len(self.traces)
         positions = [0] * k
+        # Columnar views: the run loop reads only these three fields.
+        mc_cols = [tr.mem_class for tr in self.traces]
+        stall_cols = [tr.stall for tr in self.traces]
+        wait_cols = [tr.wait for tr in self.traces]
         #: contexts ready to run now (FIFO round-robin order).
         ready = list(range(k))
         #: min-heap of (wakeup_time, context) for stalled contexts.
@@ -77,7 +81,7 @@ class MultiContextProcessor:
                 wake_t, ctx = heapq.heappop(sleeping)
                 idle = max(0, wake_t - t)
                 pos = positions[ctx]
-                cls = self.traces[ctx].records[pos - 1].mem_class
+                cls = mc_cols[ctx][pos - 1]
                 if cls in (MemClass.ACQUIRE, MemClass.BARRIER):
                     sync += idle
                 else:
@@ -92,23 +96,24 @@ class MultiContextProcessor:
                 continue
 
             ctx = ready.pop(0)
-            trace = self.traces[ctx].records
+            mc = mc_cols[ctx]
+            stalls = stall_cols[ctx]
+            waits = wait_cols[ctx]
             pos = positions[ctx]
-            n = len(trace)
+            n = len(mc)
 
             # Run the context until it stalls or finishes.
             stalled = False
             while pos < n:
-                record = trace[pos]
+                cls = mc[pos]
+                stall = stalls[pos] + waits[pos]
                 pos += 1
                 busy += 1
                 t += 1
-                cls = record.mem_class
                 if cls == MemClass.NONE:
                     continue
                 if cls == MemClass.WRITE or cls == MemClass.RELEASE:
                     continue  # buffered; latency hidden on this host
-                stall = record.stall + record.wait
                 if stall == 0:
                     continue
                 # Read miss or synchronization: switch away.

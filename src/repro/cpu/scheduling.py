@@ -115,6 +115,4 @@ def schedule_reads_early(
                 stats.loads_moved += 1
                 stats.total_hoist += i - j
         records[start:end] = region
-    out = Trace(cpu=trace.cpu)
-    out.records = records
-    return out, stats
+    return Trace.from_records(records, cpu=trace.cpu), stats

@@ -29,11 +29,17 @@ from collections import deque
 
 from ..consistency import ConsistencyModel
 from ..isa import MemClass
-from ..tango import Trace, TraceRecord
+from ..tango import Trace
 from .results import ExecutionBreakdown
 
 WRITE_BUFFER_DEPTH = 16
 READ_BUFFER_DEPTH = 16
+
+_MC_NONE = int(MemClass.NONE)
+_MC_READ = int(MemClass.READ)
+_MC_WRITE = int(MemClass.WRITE)
+_MC_RELEASE = int(MemClass.RELEASE)
+_MC_BARRIER = int(MemClass.BARRIER)
 
 
 class WriteBuffer:
@@ -113,38 +119,39 @@ def simulate_ssbr(
     t = 0
     busy = sync = read = write = 0
     last_release_perform = 0
-    for record in trace:
+    for cls, stall, wait, addr in zip(
+        trace.mem_class, trace.stall, trace.wait, trace.addr
+    ):
         t += 1
         busy += 1
-        cls = record.mem_class
-        if cls == MemClass.NONE:
+        if cls == _MC_NONE:
             continue
-        if cls == MemClass.READ:
+        if cls == _MC_READ:
             if not model.reads_bypass_writes:
                 drained = buf.drain_time()
                 if drained > t:
                     write += drained - t
                     t = drained
-            if record.stall and not buf.holds_addr(record.addr, t):
-                read += record.stall
-                t += record.stall
-        elif cls == MemClass.WRITE or cls == MemClass.RELEASE:
+            if stall and not buf.holds_addr(addr, t):
+                read += stall
+                t += stall
+        elif cls == _MC_WRITE or cls == _MC_RELEASE:
             floor = 0
-            if cls == MemClass.RELEASE and model.name in ("WO", "RC"):
+            if cls == _MC_RELEASE and model.name in ("WO", "RC"):
                 # A release may not perform before prior accesses; reads
                 # already completed (blocking), writes via the buffer's
                 # serialization floor.
                 floor = buf.last_perform
             t, full_stall = buf.push(
-                t, record.stall, record.addr, perform_floor=floor
+                t, stall, addr, perform_floor=floor
             )
             write += full_stall
-            if cls == MemClass.RELEASE:
+            if cls == _MC_RELEASE:
                 last_release_perform = max(
                     last_release_perform, buf.last_perform
                 )
         else:  # acquire or barrier
-            if cls == MemClass.BARRIER or not model.reads_bypass_writes:
+            if cls == _MC_BARRIER or not model.reads_bypass_writes:
                 drained = buf.drain_time()
                 if drained > t:
                     write += drained - t
@@ -157,8 +164,8 @@ def simulate_ssbr(
                 # lets an acquire bypass a pending release.
                 write += last_release_perform - t
                 t = last_release_perform
-            sync += record.wait + record.stall
-            t += record.wait + record.stall
+            sync += wait + stall
+            t += wait + stall
     # Final drain so configurations are comparable end-to-end.
     drained = buf.drain_time()
     if drained > t:
@@ -188,30 +195,28 @@ def simulate_ss(
     last_release_perform = 0
     serialize_reads = model.name in ("SC", "PC")
 
-    def wait_operands(record: TraceRecord) -> None:
-        nonlocal t, read
-        avail = t
-        if record.rs1 >= 0:
-            avail = max(avail, reg_ready.get(record.rs1, 0))
-        if record.rs2 >= 0:
-            avail = max(avail, reg_ready.get(record.rs2, 0))
-        if avail > t:
-            # Only loads produce late values on an in-order machine, so
-            # operand waits are read stalls.
-            read += avail - t
-            t = avail
-
     def all_reads_done() -> int:
         return max(outstanding) if outstanding else 0
 
-    for record in trace:
+    for cls, stall, wait, addr, rs1, rs2, rd in zip(
+        trace.mem_class, trace.stall, trace.wait, trace.addr,
+        trace.rs1, trace.rs2, trace.rd,
+    ):
         t += 1
         busy += 1
-        cls = record.mem_class
-        wait_operands(record)
-        if cls == MemClass.NONE:
+        # Operand availability: only loads produce late values on an
+        # in-order machine, so operand waits are read stalls.
+        avail = t
+        if rs1 >= 0:
+            avail = max(avail, reg_ready.get(rs1, 0))
+        if rs2 >= 0:
+            avail = max(avail, reg_ready.get(rs2, 0))
+        if avail > t:
+            read += avail - t
+            t = avail
+        if cls == _MC_NONE:
             continue
-        if cls == MemClass.READ:
+        if cls == _MC_READ:
             while outstanding and outstanding[0] <= t:
                 outstanding.popleft()
             if len(outstanding) >= read_buffer_depth:
@@ -230,29 +235,29 @@ def simulate_ss(
                 # SC/PC: this read may not begin until the previous read
                 # performed; the processor itself does not stall.
                 start = last_read_perform
-            if record.stall and not buf.holds_addr(record.addr, t):
-                perform = start + record.stall
+            if stall and not buf.holds_addr(addr, t):
+                perform = start + stall
             else:
                 perform = start
             last_read_perform = max(last_read_perform, perform)
             if perform > t:
                 outstanding.append(perform)
-                if record.rd >= 0:
-                    reg_ready[record.rd] = perform
-        elif cls == MemClass.WRITE or cls == MemClass.RELEASE:
+                if rd >= 0:
+                    reg_ready[rd] = perform
+        elif cls == _MC_WRITE or cls == _MC_RELEASE:
             floor = 0
-            if cls == MemClass.RELEASE and model.name in ("WO", "RC"):
+            if cls == _MC_RELEASE and model.name in ("WO", "RC"):
                 floor = max(buf.last_perform, all_reads_done())
             t, full_stall = buf.push(
-                t, record.stall, record.addr, perform_floor=floor
+                t, stall, addr, perform_floor=floor
             )
             write += full_stall
-            if cls == MemClass.RELEASE:
+            if cls == _MC_RELEASE:
                 last_release_perform = max(
                     last_release_perform, buf.last_perform
                 )
         else:  # acquire or barrier
-            if cls == MemClass.BARRIER or not model.reads_bypass_writes:
+            if cls == _MC_BARRIER or not model.reads_bypass_writes:
                 reads_done = all_reads_done()
                 if reads_done > t:
                     read += reads_done - t
@@ -270,8 +275,8 @@ def simulate_ss(
             elif serialize_reads and last_read_perform > t:
                 read += last_read_perform - t
                 t = last_read_perform
-            sync += record.wait + record.stall
-            t += record.wait + record.stall
+            sync += wait + stall
+            t += wait + stall
             outstanding.clear()
     reads_done = all_reads_done()
     if reads_done > t:

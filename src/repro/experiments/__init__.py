@@ -15,7 +15,13 @@ from .latency100 import format_latency100, run_latency100
 from .miss_analysis import format_miss_analysis, run_miss_analysis
 from .multi_issue import format_multi_issue, run_multi_issue
 from .report import format_breakdowns, format_stacked_bars, format_table
-from .runner import AppRun, TraceStore, default_store
+from .runner import (
+    AppRun,
+    TraceStore,
+    default_store,
+    generate_traces,
+    simulate_app_models,
+)
 from .sc_boost import format_sc_boost, run_sc_boost
 from .table1 import format_table1, run_table1
 from .table2 import format_table2, run_table2
@@ -46,6 +52,8 @@ __all__ = [
     "format_table1",
     "format_table2",
     "format_table3",
+    "generate_traces",
+    "simulate_app_models",
     "run_compiler_sched",
     "run_contexts",
     "run_figure1",

@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from ..cpu import ExecutionBreakdown, ProcessorConfig, simulate
 from .report import format_breakdowns, format_stacked_bars
-from .runner import AppRun, TraceStore, default_store
+from .runner import (
+    AppRun,
+    TraceStore,
+    default_store,
+    simulate_app_models,
+)
 
 WINDOW_SIZES = (16, 32, 64, 128, 256)
 
@@ -42,14 +47,12 @@ def run_figure3_app(run: AppRun) -> list[ExecutionBreakdown]:
 def run_figure3(
     store: TraceStore | None = None,
     apps: tuple[str, ...] | None = None,
+    jobs: int = 1,
 ) -> dict[str, list[ExecutionBreakdown]]:
     store = store or default_store()
-    result = {}
-    for run in store.all_apps():
-        if apps is not None and run.app not in apps:
-            continue
-        result[run.app] = run_figure3_app(run)
-    return result
+    return simulate_app_models(
+        store, figure3_configs(), apps=apps, jobs=jobs
+    )
 
 
 def format_figure3(

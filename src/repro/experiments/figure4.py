@@ -12,7 +12,12 @@ from __future__ import annotations
 from ..cpu import ExecutionBreakdown, ProcessorConfig, simulate
 from .figure3 import WINDOW_SIZES
 from .report import format_breakdowns, format_stacked_bars
-from .runner import AppRun, TraceStore, default_store
+from .runner import (
+    AppRun,
+    TraceStore,
+    default_store,
+    simulate_app_models,
+)
 
 
 def figure4_configs() -> list[ProcessorConfig]:
@@ -40,14 +45,12 @@ def run_figure4_app(run: AppRun) -> list[ExecutionBreakdown]:
 def run_figure4(
     store: TraceStore | None = None,
     apps: tuple[str, ...] | None = None,
+    jobs: int = 1,
 ) -> dict[str, list[ExecutionBreakdown]]:
     store = store or default_store()
-    result = {}
-    for run in store.all_apps():
-        if apps is not None and run.app not in apps:
-            continue
-        result[run.app] = run_figure4_app(run)
-    return result
+    return simulate_app_models(
+        store, figure4_configs(), apps=apps, jobs=jobs
+    )
 
 
 def format_figure4(

@@ -14,30 +14,29 @@ from __future__ import annotations
 from ..cpu import ExecutionBreakdown, ProcessorConfig, simulate
 from .figure3 import WINDOW_SIZES
 from .report import format_breakdowns
-from .runner import TraceStore, default_store
+from .runner import TraceStore, default_store, simulate_app_models
+
+
+def latency100_configs() -> list[ProcessorConfig]:
+    configs = [ProcessorConfig(kind="base")]
+    for window in WINDOW_SIZES:
+        configs.append(
+            ProcessorConfig(kind="ds", model="RC", window=window)
+        )
+    return configs
 
 
 def run_latency100(
     store: TraceStore | None = None,
     apps: tuple[str, ...] | None = None,
+    jobs: int = 1,
 ) -> dict[str, list[ExecutionBreakdown]]:
     store = store or default_store(miss_penalty=100)
     if store.miss_penalty != 100:
         raise ValueError("latency100 requires a 100-cycle store")
-    result = {}
-    for run in store.all_apps():
-        if apps is not None and run.app not in apps:
-            continue
-        runs = [simulate(run.trace, ProcessorConfig(kind="base"))]
-        for window in WINDOW_SIZES:
-            runs.append(
-                simulate(
-                    run.trace,
-                    ProcessorConfig(kind="ds", model="RC", window=window),
-                )
-            )
-        result[run.app] = runs
-    return result
+    return simulate_app_models(
+        store, latency100_configs(), apps=apps, jobs=jobs
+    )
 
 
 def format_latency100(

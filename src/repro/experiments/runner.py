@@ -4,27 +4,45 @@ Every table and figure consumes the same inputs: the multiprocessor run
 of each application (statistics + the traced processor's dynamic trace).
 Generating a trace takes seconds-to-minutes of functional simulation, so
 this module provides :class:`TraceStore` — an in-memory plus on-disk
-cache keyed by (application, processor count, miss penalty, preset).
+cache keyed by every parameter that shapes the trace (application,
+processor count, miss penalty, cache size, line size, sync latency,
+preset, traced processor) plus the on-disk trace schema version
+(:data:`repro.tango.trace.TRACE_FORMAT_VERSION`).  Stale or unreadable
+pickles are regenerated, never trusted.
 
 The defaults mirror the paper's simulation parameters: 16 processors,
 64 KB direct-mapped write-back caches with 16-byte lines, a 50-cycle miss
 penalty, and processor 0 as the traced processor.
+
+For multi-core hosts the module also provides process-pool fan-out:
+:func:`generate_traces` builds the five application traces concurrently
+and :func:`simulate_app_models` distributes independent (model, window)
+processor simulations across workers.  Results are collected in
+submission order, so output is byte-identical regardless of ``jobs``.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..apps import APP_NAMES, build_app
-from ..cpu import ExecutionBreakdown, simulate_base
+from ..cpu import (
+    ExecutionBreakdown,
+    ProcessorConfig,
+    simulate,
+    simulate_base,
+)
 from ..tango import (
     MultiprocessorConfig,
     RunStats,
     TangoExecutor,
     Trace,
 )
+from ..tango.trace import TRACE_FORMAT_VERSION, TraceFormatError
 
 DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache" / "traces"
 
@@ -52,10 +70,14 @@ class TraceStore:
         trace_cpu: int = 0,
         cache_dir: Path | str | None = DEFAULT_CACHE_DIR,
         verify: bool = True,
+        line_size: int = 16,
+        sync_access_latency: int | None = None,
     ) -> None:
         self.n_procs = n_procs
         self.miss_penalty = miss_penalty
         self.cache_size = cache_size
+        self.line_size = line_size
+        self.sync_access_latency = sync_access_latency
         self.preset = preset
         self.trace_cpu = trace_cpu
         self.cache_dir = Path(cache_dir) if cache_dir else None
@@ -65,11 +87,44 @@ class TraceStore:
     def _cache_path(self, app: str) -> Path | None:
         if self.cache_dir is None:
             return None
+        sync = (
+            "auto" if self.sync_access_latency is None
+            else str(self.sync_access_latency)
+        )
         name = (
-            f"{app}_p{self.n_procs}_m{self.miss_penalty}"
-            f"_c{self.cache_size}_{self.preset}_t{self.trace_cpu}.pkl"
+            f"{app}_v{TRACE_FORMAT_VERSION}_p{self.n_procs}"
+            f"_m{self.miss_penalty}_c{self.cache_size}_l{self.line_size}"
+            f"_s{sync}_{self.preset}_t{self.trace_cpu}.pkl"
         )
         return self.cache_dir / name
+
+    def _load(self, path: Path) -> AppRun | None:
+        """Read a cached run; any stale/corrupt pickle means 'miss'."""
+        try:
+            with open(path, "rb") as f:
+                run = pickle.load(f)
+        except FileNotFoundError:
+            return None
+        except (TraceFormatError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError, ValueError,
+                TypeError):
+            # A schema bump or a truncated/foreign pickle: regenerate.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(run, AppRun):
+            return None
+        return run
+
+    def _save(self, path: Path, run: AppRun) -> None:
+        """Atomic write: concurrent workers never see a partial pickle."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as f:
+            pickle.dump(run, f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
 
     def get(self, app: str) -> AppRun:
         """Return the cached run for ``app``, generating it if needed."""
@@ -79,17 +134,15 @@ class TraceStore:
         if run is not None:
             return run
         path = self._cache_path(app)
-        if path is not None and path.exists():
-            with open(path, "rb") as f:
-                run = pickle.load(f)
-            self._runs[app] = run
-            return run
+        if path is not None:
+            run = self._load(path)
+            if run is not None:
+                self._runs[app] = run
+                return run
         run = self._generate(app)
         self._runs[app] = run
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with open(path, "wb") as f:
-                pickle.dump(run, f, protocol=pickle.HIGHEST_PROTOCOL)
+            self._save(path, run)
         return run
 
     def _generate(self, app: str) -> AppRun:
@@ -97,7 +150,9 @@ class TraceStore:
         config = MultiprocessorConfig(
             n_cpus=self.n_procs,
             cache_size=self.cache_size,
+            line_size=self.line_size,
             miss_penalty=self.miss_penalty,
+            sync_access_latency=self.sync_access_latency,
             trace_cpus=(self.trace_cpu,),
         )
         result = TangoExecutor(
@@ -116,6 +171,114 @@ class TraceStore:
 
     def all_apps(self) -> list[AppRun]:
         return [self.get(app) for app in APP_NAMES]
+
+    def spec(self) -> dict:
+        """Picklable constructor arguments for pool workers."""
+        return dict(
+            n_procs=self.n_procs,
+            miss_penalty=self.miss_penalty,
+            cache_size=self.cache_size,
+            preset=self.preset,
+            trace_cpu=self.trace_cpu,
+            cache_dir=self.cache_dir,
+            verify=self.verify,
+            line_size=self.line_size,
+            sync_access_latency=self.sync_access_latency,
+        )
+
+
+def _gen_worker(spec: dict, app: str) -> AppRun:
+    """Pool worker: generate (or load) one application run."""
+    return TraceStore(**spec).get(app)
+
+
+def _sim_worker(
+    spec: dict, app: str, configs: list[ProcessorConfig]
+) -> list[ExecutionBreakdown]:
+    """Pool worker: run a batch of processor models over one trace."""
+    run = TraceStore(**spec).get(app)
+    return [simulate(run.trace, cfg) for cfg in configs]
+
+
+def _select_apps(apps: tuple[str, ...] | None) -> list[str]:
+    return [a for a in APP_NAMES if apps is None or a in apps]
+
+
+def generate_traces(
+    store: TraceStore,
+    apps: tuple[str, ...] | None = None,
+    jobs: int = 1,
+) -> list[AppRun]:
+    """Materialise application runs, fanning out across processes.
+
+    With ``jobs > 1`` each missing trace is generated in its own worker
+    process (workers share the on-disk cache); results are collected in
+    canonical application order, so the outcome is independent of worker
+    scheduling.  ``jobs <= 1`` is the plain serial path.
+    """
+    names = _select_apps(apps)
+    missing = [a for a in names if a not in store._runs]
+    if jobs > 1 and len(missing) > 1:
+        spec = store.spec()
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_gen_worker, spec, a) for a in missing]
+            for app, future in zip(missing, futures):
+                store._runs[app] = future.result()
+    return [store.get(a) for a in names]
+
+
+def _chunk(seq: list, n: int) -> list[list]:
+    """Split ``seq`` into at most ``n`` contiguous, order-preserving
+    chunks."""
+    n = max(1, min(n, len(seq)))
+    size, extra = divmod(len(seq), n)
+    chunks, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(seq[start:end])
+        start = end
+    return chunks
+
+
+def simulate_app_models(
+    store: TraceStore,
+    configs: list[ProcessorConfig],
+    apps: tuple[str, ...] | None = None,
+    jobs: int = 1,
+) -> dict[str, list[ExecutionBreakdown]]:
+    """Run every config over every app's trace, optionally in parallel.
+
+    The fan-out unit is one app (several apps) or one contiguous config
+    chunk (single app), whichever exposes parallelism.  Results are
+    assembled in input order — identical to the serial path, bar wall
+    time.  Requires an on-disk cache for ``jobs > 1`` (workers cannot
+    share in-memory traces); without one the sims run serially.
+    """
+    names = _select_apps(apps)
+    if jobs > 1 and store.cache_dir is not None and names:
+        generate_traces(store, tuple(names), jobs)
+        spec = store.spec()
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            if len(names) > 1:
+                futures = [
+                    pool.submit(_sim_worker, spec, a, configs)
+                    for a in names
+                ]
+                return {
+                    a: f.result() for a, f in zip(names, futures)
+                }
+            app = names[0]
+            futures = [
+                pool.submit(_sim_worker, spec, app, chunk)
+                for chunk in _chunk(list(configs), jobs)
+            ]
+            return {
+                app: [bd for f in futures for bd in f.result()]
+            }
+    return {
+        a: [simulate(store.get(a).trace, cfg) for cfg in configs]
+        for a in names
+    }
 
 
 #: Process-wide default stores (50- and 100-cycle miss penalties), shared

@@ -1,0 +1,331 @@
+"""Compiled instruction dispatch (classic threaded code).
+
+At :meth:`repro.isa.program.Program.seal` time every static instruction
+is translated into a small specialised closure with its operand indices,
+immediates and branch targets bound as locals.  The executor's inner loop
+then calls one closure per dynamic instruction instead of re-decoding the
+opcode through the interpreter's ~60-arm ``if/elif`` chain
+(:func:`repro.tango.interp.execute_instruction`, which remains the
+reference semantics the compiled path is differentially tested against).
+
+Each instruction compiles to ``(kind, closure)``:
+
+========  =============================  ==========================
+kind      closure signature              meaning of return value
+========  =============================  ==========================
+K_PLAIN   ``fn(regs)``                   none (falls through)
+K_CBR     ``fn(regs) -> int``            next pc (conditional branch)
+K_JMP     ``fn(regs) -> int``            next pc (J/JAL/JR)
+K_LOAD    ``fn(regs, words, doubles)``   effective address
+K_STORE   ``fn(regs, words, doubles)``   effective address
+K_SYNC    ``None``                       executor-handled
+K_HALT    ``None``                       executor-handled
+========  =============================  ==========================
+
+``words``/``doubles`` are the backing dicts of
+:class:`repro.mem.memory.SharedMemory`; binding them per run keeps the
+closures reusable across memories while skipping a method call per
+access.  Register 0 is hardwired to zero, so destinations of 0 (or
+``None``) compile to a compute-and-discard variant — faults (division by
+zero, misalignment) are still raised exactly as the reference does.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..mem.memory import MemoryError_
+from .ops import Op
+
+K_PLAIN = 0
+K_CBR = 1
+K_JMP = 2
+K_LOAD = 3
+K_STORE = 4
+K_SYNC = 5
+K_HALT = 6
+
+
+class CompileError(Exception):
+    """An instruction could not be translated (unclassified opcode)."""
+
+
+def _trunc_div(a: int, b: int) -> int:
+    # Mirrors repro.tango.interp._trunc_div (C-style truncating division).
+    if b == 0:
+        from ..tango.interp import ExecutionError
+        raise ExecutionError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _bin_rr(fn, rd, rs1, rs2):
+    if rd:
+        def run(regs):
+            regs[rd] = fn(regs[rs1], regs[rs2])
+    else:
+        def run(regs):
+            fn(regs[rs1], regs[rs2])
+    return run
+
+
+def _bin_ri(fn, rd, rs1, imm):
+    if rd:
+        def run(regs):
+            regs[rd] = fn(regs[rs1], imm)
+    else:
+        def run(regs):
+            fn(regs[rs1], imm)
+    return run
+
+
+def _unary(fn, rd, rs1):
+    if rd:
+        def run(regs):
+            regs[rd] = fn(regs[rs1])
+    else:
+        def run(regs):
+            fn(regs[rs1])
+    return run
+
+
+# Two-register ALU/FP bodies, written out so the result types match the
+# reference interpreter exactly (comparisons produce int 1/0, not bool).
+_RR = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.DIV: _trunc_div,
+    Op.REM: lambda a, b: a - b * _trunc_div(a, b),
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SLT: lambda a, b: 1 if a < b else 0,
+    Op.SLE: lambda a, b: 1 if a <= b else 0,
+    Op.SEQ: lambda a, b: 1 if a == b else 0,
+    Op.SLL: lambda a, b: a << b,
+    Op.SRL: lambda a, b: a >> b,
+    Op.SRA: lambda a, b: a >> b,
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+    Op.FMIN: min,
+    Op.FMAX: max,
+    Op.FLT: lambda a, b: 1 if a < b else 0,
+    Op.FLE: lambda a, b: 1 if a <= b else 0,
+    Op.FEQ: lambda a, b: 1 if a == b else 0,
+}
+
+_RI = {
+    Op.ADDI: lambda a, imm: a + imm,
+    Op.MULI: lambda a, imm: a * imm,
+    Op.ANDI: lambda a, imm: a & imm,
+    Op.ORI: lambda a, imm: a | imm,
+    Op.XORI: lambda a, imm: a ^ imm,
+    Op.SLTI: lambda a, imm: 1 if a < imm else 0,
+    Op.SLLI: lambda a, imm: a << imm,
+    Op.SRLI: lambda a, imm: a >> imm,
+    Op.SRAI: lambda a, imm: a >> imm,
+}
+
+_UNARY = {
+    Op.FNEG: lambda a: -a,
+    Op.FABS: abs,
+    Op.FMOV: lambda a: a,
+    Op.CVTIF: float,
+    Op.CVTFI: int,
+}
+
+_COND = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BGE: lambda a, b: a >= b,
+    Op.BLE: lambda a, b: a <= b,
+    Op.BGT: lambda a, b: a > b,
+}
+
+_SYNC_OPS = frozenset({
+    Op.LOCK, Op.UNLOCK, Op.BARRIER, Op.EVWAIT, Op.EVSET, Op.EVCLEAR,
+})
+
+
+def _compile_fdiv(rd, rs1, rs2):
+    from ..tango.interp import ExecutionError
+
+    def run(regs, rd=rd, rs1=rs1, rs2=rs2):
+        divisor = regs[rs2]
+        if divisor == 0.0:
+            raise ExecutionError("floating point division by zero")
+        val = regs[rs1] / divisor
+        if rd:
+            regs[rd] = val
+    return run
+
+
+def _compile_fsqrt(rd, rs1):
+    from ..tango.interp import ExecutionError
+    sqrt = math.sqrt
+
+    def run(regs, rd=rd, rs1=rs1):
+        operand = regs[rs1]
+        if operand < 0.0:
+            raise ExecutionError("sqrt of negative value")
+        val = sqrt(operand)
+        if rd:
+            regs[rd] = val
+    return run
+
+
+def _compile_load(op, rd, rs1, imm):
+    if op is Op.LW:
+        if rd:
+            def run(regs, words, doubles, rs1=rs1, imm=imm, rd=rd):
+                addr = regs[rs1] + imm
+                if addr % 4:
+                    raise MemoryError_(f"misaligned word read at {addr:#x}")
+                regs[rd] = words.get(addr, 0)
+                return addr
+        else:
+            def run(regs, words, doubles, rs1=rs1, imm=imm):
+                addr = regs[rs1] + imm
+                if addr % 4:
+                    raise MemoryError_(f"misaligned word read at {addr:#x}")
+                return addr
+    else:  # FLD
+        if rd:
+            def run(regs, words, doubles, rs1=rs1, imm=imm, rd=rd):
+                addr = regs[rs1] + imm
+                if addr % 8:
+                    raise MemoryError_(
+                        f"misaligned double read at {addr:#x}"
+                    )
+                regs[rd] = doubles.get(addr, 0.0)
+                return addr
+        else:
+            def run(regs, words, doubles, rs1=rs1, imm=imm):
+                addr = regs[rs1] + imm
+                if addr % 8:
+                    raise MemoryError_(
+                        f"misaligned double read at {addr:#x}"
+                    )
+                return addr
+    return run
+
+
+def _compile_store(op, rs1, rs2, imm):
+    if op is Op.SW:
+        def run(regs, words, doubles, rs1=rs1, rs2=rs2, imm=imm):
+            addr = regs[rs1] + imm
+            if addr % 4:
+                raise MemoryError_(f"misaligned word write at {addr:#x}")
+            words[addr] = regs[rs2]
+            return addr
+    else:  # FSD
+        def run(regs, words, doubles, rs1=rs1, rs2=rs2, imm=imm):
+            addr = regs[rs1] + imm
+            if addr % 8:
+                raise MemoryError_(f"misaligned double write at {addr:#x}")
+            doubles[addr] = regs[rs2]
+            return addr
+    return run
+
+
+def compile_instruction(instr, pc: int):
+    """Translate one sealed instruction into ``(kind, closure)``."""
+    op = instr.op
+    rd = instr.rd
+    # Destination 0 is the hardwired zero register: compute, discard.
+    rd = rd if rd else 0
+
+    if op in _RR:
+        return K_PLAIN, _bin_rr(_RR[op], rd, instr.rs1, instr.rs2)
+    if op in _RI:
+        return K_PLAIN, _bin_ri(_RI[op], rd, instr.rs1, instr.imm)
+    if op in _UNARY:
+        return K_PLAIN, _unary(_UNARY[op], rd, instr.rs1)
+    if op is Op.FLI:
+        imm = instr.imm
+        if rd:
+            def run(regs, rd=rd, imm=imm):
+                regs[rd] = imm
+        else:
+            def run(regs):
+                pass
+        return K_PLAIN, run
+    if op is Op.FDIV:
+        return K_PLAIN, _compile_fdiv(rd, instr.rs1, instr.rs2)
+    if op is Op.FSQRT:
+        return K_PLAIN, _compile_fsqrt(rd, instr.rs1)
+    if op is Op.NOP:
+        def run(regs):
+            pass
+        return K_PLAIN, run
+
+    if op in (Op.LW, Op.FLD):
+        return K_LOAD, _compile_load(op, rd, instr.rs1, instr.imm)
+    if op in (Op.SW, Op.FSD):
+        return K_STORE, _compile_store(op, instr.rs1, instr.rs2, instr.imm)
+
+    if op in _COND:
+        cond = _COND[op]
+        target = instr.target
+        fall = pc + 1
+
+        def run(regs, cond=cond, rs1=instr.rs1, rs2=instr.rs2,
+                target=target, fall=fall):
+            return target if cond(regs[rs1], regs[rs2]) else fall
+        return K_CBR, run
+    if op is Op.J:
+        target = instr.target
+
+        def run(regs, target=target):
+            return target
+        return K_JMP, run
+    if op is Op.JAL:
+        target = instr.target
+        link = pc + 1
+        if rd:
+            def run(regs, rd=rd, link=link, target=target):
+                regs[rd] = link
+                return target
+        else:
+            def run(regs, target=target):
+                return target
+        return K_JMP, run
+    if op is Op.JR:
+        # Bounds are checked by the executor at the next fetch, exactly
+        # where the reference interpreter faults on a wild jump.
+        def run(regs, rs1=instr.rs1):
+            return regs[rs1]
+        return K_JMP, run
+
+    if op in _SYNC_OPS:
+        return K_SYNC, None
+    if op is Op.HALT:
+        return K_HALT, None
+    raise CompileError(f"opcode {op.name} has no compiled semantics")
+
+
+def compile_program(program):
+    """Compile a sealed program; returns ``(kinds, code, trace_meta)``.
+
+    ``kinds[pc]`` is the dispatch class, ``code[pc]`` the specialised
+    closure (``None`` for sync/halt), and ``trace_meta[pc]`` the static
+    ``(op, rd, rs1, rs2)`` tuple the executor stamps into trace rows
+    (-1 for absent operands, matching :class:`repro.tango.trace.Trace`).
+    """
+    kinds = []
+    code = []
+    trace_meta = []
+    for pc, instr in enumerate(program.instructions):
+        kind, fn = compile_instruction(instr, pc)
+        kinds.append(kind)
+        code.append(fn)
+        trace_meta.append((
+            int(instr.op),
+            -1 if instr.rd is None else instr.rd,
+            -1 if instr.rs1 is None else instr.rs1,
+            -1 if instr.rs2 is None else instr.rs2,
+        ))
+    return kinds, code, trace_meta

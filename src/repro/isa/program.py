@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from .compiled import compile_program
 from .instruction import Instruction
 from .ops import Op, is_control
 
@@ -24,6 +25,12 @@ class Program:
         self.instructions: list[Instruction] = []
         self.labels: dict[str, int] = {}
         self._sealed = False
+        # Compiled-dispatch artifacts, populated by seal() (see
+        # repro.isa.compiled): per-pc dispatch kind, specialised closure,
+        # and the static (op, rd, rs1, rs2) tuple stamped into traces.
+        self.kinds: list[int] | None = None
+        self.code: list | None = None
+        self.trace_meta: list[tuple[int, int, int, int]] | None = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -75,6 +82,7 @@ class Program:
                     f"branch target out of range at {idx} of {self.name!r}"
                 )
         self._sealed = True
+        self.kinds, self.code, self.trace_meta = compile_program(self)
         return self
 
     def disassemble(self) -> str:

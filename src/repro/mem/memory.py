@@ -38,6 +38,16 @@ class SharedMemory:
         self._words: dict[int, int] = {}
         self._doubles: dict[int, float] = {}
 
+    @property
+    def words(self) -> dict[int, int]:
+        """The raw word store (compiled-dispatch closures bind this)."""
+        return self._words
+
+    @property
+    def doubles(self) -> dict[int, float]:
+        """The raw double store (compiled-dispatch closures bind this)."""
+        return self._doubles
+
     def read_word(self, addr: int) -> int:
         if addr % WORD:
             raise MemoryError_(f"misaligned word read at {addr:#x}")

@@ -10,7 +10,12 @@ from .executor import (
 )
 from .interp import ExecutionError, StepResult, ThreadState, execute_instruction
 from .stats import CpuStats, RunStats
-from .trace import Trace, TraceRecord
+from .trace import (
+    TRACE_FORMAT_VERSION,
+    Trace,
+    TraceFormatError,
+    TraceRecord,
+)
 
 __all__ = [
     "CpuStats",
@@ -21,9 +26,11 @@ __all__ = [
     "RunStats",
     "StepLimitExceeded",
     "StepResult",
+    "TRACE_FORMAT_VERSION",
     "TangoExecutor",
     "ThreadState",
     "Trace",
+    "TraceFormatError",
     "TraceRecord",
     "execute_instruction",
     "run_workload",

@@ -19,12 +19,22 @@ Scheduling uses per-thread virtual time: the runnable thread with the
 smallest clock executes next (batched up to the next thread's clock to cut
 scheduler overhead), which is deterministic and approximates the global
 interleaving a real machine would produce.
+
+Two execution engines produce identical results:
+
+* the **compiled** engine (default) dispatches through the specialised
+  closures :mod:`repro.isa.compiled` built at ``Program.seal()`` time —
+  one closure call per dynamic instruction, no opcode re-decoding, and
+  trace rows appended column-wise as flat ints;
+* the **reference** engine (``compiled=False``) steps
+  :func:`~repro.tango.interp.execute_instruction` per instruction.  It is
+  the semantic oracle the differential tests compare against.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..isa import MemClass, Op, Program
 from ..mem import CoherentMemorySystem, SharedMemory
@@ -39,6 +49,9 @@ _SYNC_OPS = frozenset({
 _COND_BRANCHES = frozenset({
     Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLE, Op.BGT,
 })
+
+_MC_READ = int(MemClass.READ)
+_MC_WRITE = int(MemClass.WRITE)
 
 
 class DeadlockError(Exception):
@@ -95,6 +108,7 @@ class TangoExecutor:
         programs: list[Program],
         config: MultiprocessorConfig | None = None,
         memory: SharedMemory | None = None,
+        compiled: bool = True,
     ) -> None:
         self.config = config or MultiprocessorConfig()
         if len(programs) != self.config.n_cpus:
@@ -102,6 +116,7 @@ class TangoExecutor:
                 f"got {len(programs)} programs for "
                 f"{self.config.n_cpus} processors"
             )
+        self.compiled = compiled
         self.memory = memory if memory is not None else SharedMemory()
         self.memsys = CoherentMemorySystem(
             n_cpus=self.config.n_cpus,
@@ -193,12 +208,289 @@ class TangoExecutor:
         )
         heapq.heappush(heap, (new_clock, wakeup.tid))
 
-    # -- the run loop ---------------------------------------------------------
+    def _sync_step(
+        self, tid: int, clock: int, heap: list
+    ) -> tuple[int, bool]:
+        """Execute the sync/HALT instruction at the thread's pc.
+
+        Returns ``(clock, blocked)``; ``blocked`` means the thread must
+        not be re-queued (it halted, or a wakeup will re-queue it later).
+        Shared verbatim by the compiled and reference engines.
+        """
+        state = self.threads[tid]
+        stats = self.cpu_stats[tid]
+        lat = self.config.sync_latency
+        instr = state.program.instructions[state.pc]
+        op = instr.op
+
+        if op is Op.HALT:
+            state.halted = True
+            stats.end_time = clock
+            return clock, True
+
+        addr = state.regs[instr.rs1]
+        if op is Op.LOCK:
+            if self.sync.acquire_lock(addr, tid, clock):
+                clock = self._finish_acquire(tid, clock, 0, op, addr)
+            else:
+                return clock, True
+        elif op is Op.UNLOCK:
+            wakeup = self.sync.release_lock(addr, tid, clock)
+            stats.unlocks += 1
+            stats.release_access_cycles += lat
+            stats.busy_cycles += 1
+            state.instructions_executed += 1
+            self._emit(
+                tid, instr, state.pc, state.pc + 1,
+                addr=addr, stall=lat, mem_class=MemClass.RELEASE,
+            )
+            state.pc += 1
+            clock += 1  # release latency hidden on the host
+            if wakeup is not None:
+                self._wake(wakeup, Op.LOCK, addr, heap)
+        elif op is Op.BARRIER:
+            wakeups = self.sync.barrier_arrive(addr, tid, clock)
+            if wakeups is None:
+                return clock, True
+            self_clock = None
+            for wakeup in wakeups:
+                if wakeup.tid == tid:
+                    self_clock = self._finish_acquire(
+                        tid, wakeup.grant_time, wakeup.wait, op, addr,
+                    )
+                else:
+                    self._wake(wakeup, Op.BARRIER, addr, heap)
+            clock = self_clock
+        elif op is Op.EVWAIT:
+            if self.sync.event_wait(addr, tid, clock):
+                clock = self._finish_acquire(tid, clock, 0, op, addr)
+            else:
+                return clock, True
+        elif op is Op.EVSET:
+            wakeups = self.sync.event_set(addr, tid, clock)
+            stats.set_events += 1
+            stats.release_access_cycles += lat
+            stats.busy_cycles += 1
+            state.instructions_executed += 1
+            self._emit(
+                tid, instr, state.pc, state.pc + 1,
+                addr=addr, stall=lat, mem_class=MemClass.RELEASE,
+            )
+            state.pc += 1
+            clock += 1
+            for wakeup in wakeups:
+                self._wake(wakeup, Op.EVWAIT, addr, heap)
+        else:  # EVCLEAR
+            self.sync.event_clear(addr)
+            stats.busy_cycles += 1
+            state.instructions_executed += 1
+            self._emit(
+                tid, instr, state.pc, state.pc + 1,
+                addr=addr, stall=lat, mem_class=MemClass.RELEASE,
+            )
+            state.pc += 1
+            clock += 1
+        self._steps += 1
+        return clock, False
+
+    # -- the run loops --------------------------------------------------------
 
     def run(self) -> RunResult:
         """Execute all threads to completion; returns the annotated result."""
+        if self.compiled:
+            self._run_compiled()
+        else:
+            self._run_reference()
+
+        unfinished = [t.tid for t in self.threads if not t.halted]
+        if unfinished:
+            reasons = self.sync.blocked_threads()
+            detail = ", ".join(
+                f"t{tid}: {reasons.get(tid, 'not blocked on sync?')}"
+                for tid in unfinished
+            )
+            raise DeadlockError(f"threads never finished — {detail}")
+
+        run_stats = RunStats(
+            cpus=self.cpu_stats,
+            total_cycles=max(s.end_time for s in self.cpu_stats),
+        )
+        return RunResult(
+            config=self.config,
+            traces=self.traces,
+            stats=run_stats,
+            memory=self.memory,
+            memsys=self.memsys,
+            sync=self.sync,
+        )
+
+    def _run_compiled(self) -> None:
+        """Fast engine: closure dispatch + columnar emission.
+
+        Timing, interleaving, statistics and traces are bit-identical to
+        :meth:`_run_reference`.  Counters accumulate in per-thread plain
+        lists and land in the :class:`CpuStats` objects once, at the end
+        of the run (the flush commutes with the direct updates the sync
+        helpers make mid-run); with lockstep threads the scheduler slices
+        average barely over one instruction, so the slice prologue and
+        epilogue are kept to a pc store and a retired-count flush.
+        """
         config = self.config
-        lat = config.sync_latency
+        max_steps = config.max_instructions
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+        access_ht = self.memsys.access_ht
+        words = self.memory.words
+        doubles = self.memory.doubles
+
+        ctxs = []
+        # Per-thread counter lists: [busy, branches, reads, writes,
+        # read_misses, read_stall, write_misses, write_stall].
+        counters = [[0] * 8 for _ in range(config.n_cpus)]
+        for tid in range(config.n_cpus):
+            state = self.threads[tid]
+            prog = state.program
+            trace = self.traces.get(tid)
+            ctxs.append((
+                prog.kinds, prog.code, prog.trace_meta, state.regs,
+                state, counters[tid],
+                None if trace is None else trace.append_row,
+                prog.name,
+            ))
+
+        heap = [(0, tid) for tid in range(config.n_cpus)]
+        heapq.heapify(heap)
+        item = heappop(heap)
+        inf = float("inf")
+        tid = item[1]
+        kinds, code, meta, regs, state, c, emit, name = ctxs[tid]
+        pc = state.pc
+        n = 0
+
+        try:
+            while True:
+                clock, tid = item
+                kinds, code, meta, regs, state, c, emit, name = ctxs[tid]
+                limit = heap[0][0] if heap else inf
+                blocked = False
+                pc = state.pc
+                n = 0  # instructions retired on the fast path this slice
+                steps_base = self._steps
+
+                while clock <= limit:
+                    kind = kinds[pc]
+                    if kind == 0:  # plain ALU/FP
+                        code[pc](regs)
+                        if emit is not None:
+                            m = meta[pc]
+                            emit(m[0], pc, pc + 1, m[1], m[2], m[3],
+                                 -1, 0, 0, 0)
+                        pc += 1
+                    elif kind == 3:  # load (host blocks on read misses)
+                        addr = code[pc](regs, words, doubles)
+                        hit, stall = access_ht(tid, addr, False)
+                        c[2] += 1
+                        if not hit:
+                            c[4] += 1
+                            c[5] += stall
+                            clock += stall
+                        if emit is not None:
+                            m = meta[pc]
+                            emit(m[0], pc, pc + 1, m[1], m[2], m[3],
+                                 addr, stall, 0, _MC_READ)
+                        pc += 1
+                    elif kind == 1:  # conditional branch
+                        nxt = code[pc](regs)
+                        c[1] += 1
+                        if emit is not None:
+                            m = meta[pc]
+                            emit(m[0], pc, nxt, m[1], m[2], m[3],
+                                 -1, 0, 0, 0)
+                        pc = nxt
+                    elif kind == 4:  # store (write buffer hides latency)
+                        addr = code[pc](regs, words, doubles)
+                        hit, stall = access_ht(tid, addr, True)
+                        c[3] += 1
+                        if not hit:
+                            c[6] += 1
+                            c[7] += stall
+                        if emit is not None:
+                            m = meta[pc]
+                            emit(m[0], pc, pc + 1, m[1], m[2], m[3],
+                                 addr, stall, 0, _MC_WRITE)
+                        pc += 1
+                    elif kind == 2:  # jump
+                        nxt = code[pc](regs)
+                        if nxt < 0:
+                            raise ExecutionError(
+                                f"thread {tid}: pc {nxt} out of range "
+                                f"in {name!r}"
+                            )
+                        if emit is not None:
+                            m = meta[pc]
+                            emit(m[0], pc, nxt, m[1], m[2], m[3],
+                                 -1, 0, 0, 0)
+                        pc = nxt
+                    else:  # sync / HALT: leave the fast path
+                        state.pc = pc
+                        clock, blocked = self._sync_step(tid, clock, heap)
+                        if blocked:
+                            break
+                        pc = state.pc
+                        steps_base = self._steps
+                        continue
+
+                    clock += 1
+                    n += 1
+                    if steps_base + n > max_steps:
+                        raise StepLimitExceeded(
+                            f"exceeded {max_steps} instructions"
+                        )
+
+                state.pc = pc
+                if n:
+                    c[0] += n
+                    self._steps += n
+                    n = 0
+                if blocked:
+                    if not heap:
+                        break
+                    item = heappop(heap)
+                else:
+                    # push-then-pop fused: same schedule, one heap op.
+                    item = heappushpop(heap, (clock, tid))
+        except (TypeError, IndexError) as exc:
+            if not 0 <= pc < len(kinds):
+                raise ExecutionError(
+                    f"thread {tid}: pc {pc} out of range in {name!r}"
+                ) from None
+            instr = state.program.instructions[pc]
+            raise ExecutionError(
+                f"thread {tid}: fault at pc {pc} ({instr}): {exc}"
+            ) from exc
+        finally:
+            # An exception leaves the faulting slice's progress
+            # unflushed; account for it before the final merge.
+            if n:
+                state.pc = pc
+                c[0] += n
+                self._steps += n
+            for t in range(config.n_cpus):
+                cnt = counters[t]
+                stats = self.cpu_stats[t]
+                stats.busy_cycles += cnt[0]
+                self.threads[t].instructions_executed += cnt[0]
+                stats.cond_branches += cnt[1]
+                stats.reads += cnt[2]
+                stats.writes += cnt[3]
+                stats.read_misses += cnt[4]
+                stats.read_stall_cycles += cnt[5]
+                stats.write_misses += cnt[6]
+                stats.write_stall_cycles += cnt[7]
+
+    def _run_reference(self) -> None:
+        """Oracle engine: one ``execute_instruction`` call per instruction."""
+        config = self.config
         heap: list[tuple[int, int]] = [
             (0, tid) for tid in range(config.n_cpus)
         ]
@@ -219,82 +511,9 @@ class TangoExecutor:
                 op = instr.op
 
                 if op in _SYNC_OPS or op is Op.HALT:
-                    if op is Op.HALT:
-                        state.halted = True
-                        stats.end_time = clock
-                        blocked = True  # do not re-queue
+                    clock, blocked = self._sync_step(tid, clock, heap)
+                    if blocked:
                         break
-                    addr = state.regs[instr.rs1]
-                    if op is Op.LOCK:
-                        if self.sync.acquire_lock(addr, tid, clock):
-                            clock = self._finish_acquire(
-                                tid, clock, 0, op, addr
-                            )
-                        else:
-                            blocked = True
-                            break
-                    elif op is Op.UNLOCK:
-                        wakeup = self.sync.release_lock(addr, tid, clock)
-                        stats.unlocks += 1
-                        stats.release_access_cycles += lat
-                        stats.busy_cycles += 1
-                        state.instructions_executed += 1
-                        self._emit(
-                            tid, instr, state.pc, state.pc + 1,
-                            addr=addr, stall=lat, mem_class=MemClass.RELEASE,
-                        )
-                        state.pc += 1
-                        clock += 1  # release latency hidden on the host
-                        if wakeup is not None:
-                            self._wake(wakeup, Op.LOCK, addr, heap)
-                    elif op is Op.BARRIER:
-                        wakeups = self.sync.barrier_arrive(addr, tid, clock)
-                        if wakeups is None:
-                            blocked = True
-                            break
-                        self_clock = None
-                        for wakeup in wakeups:
-                            if wakeup.tid == tid:
-                                self_clock = self._finish_acquire(
-                                    tid, wakeup.grant_time, wakeup.wait,
-                                    op, addr,
-                                )
-                            else:
-                                self._wake(wakeup, Op.BARRIER, addr, heap)
-                        clock = self_clock
-                    elif op is Op.EVWAIT:
-                        if self.sync.event_wait(addr, tid, clock):
-                            clock = self._finish_acquire(
-                                tid, clock, 0, op, addr
-                            )
-                        else:
-                            blocked = True
-                            break
-                    elif op is Op.EVSET:
-                        wakeups = self.sync.event_set(addr, tid, clock)
-                        stats.set_events += 1
-                        stats.release_access_cycles += lat
-                        stats.busy_cycles += 1
-                        state.instructions_executed += 1
-                        self._emit(
-                            tid, instr, state.pc, state.pc + 1,
-                            addr=addr, stall=lat, mem_class=MemClass.RELEASE,
-                        )
-                        state.pc += 1
-                        clock += 1
-                        for wakeup in wakeups:
-                            self._wake(wakeup, Op.EVWAIT, addr, heap)
-                    else:  # EVCLEAR
-                        self.sync.event_clear(addr)
-                        stats.busy_cycles += 1
-                        state.instructions_executed += 1
-                        self._emit(
-                            tid, instr, state.pc, state.pc + 1,
-                            addr=addr, stall=lat, mem_class=MemClass.RELEASE,
-                        )
-                        state.pc += 1
-                        clock += 1
-                    self._steps += 1
                     continue
 
                 pc = state.pc
@@ -338,33 +557,14 @@ class TangoExecutor:
             if not blocked:
                 heapq.heappush(heap, (clock, tid))
 
-        unfinished = [t.tid for t in self.threads if not t.halted]
-        if unfinished:
-            reasons = self.sync.blocked_threads()
-            detail = ", ".join(
-                f"t{tid}: {reasons.get(tid, 'not blocked on sync?')}"
-                for tid in unfinished
-            )
-            raise DeadlockError(f"threads never finished — {detail}")
-
-        run_stats = RunStats(
-            cpus=self.cpu_stats,
-            total_cycles=max(s.end_time for s in self.cpu_stats),
-        )
-        return RunResult(
-            config=config,
-            traces=self.traces,
-            stats=run_stats,
-            memory=self.memory,
-            memsys=memsys,
-            sync=self.sync,
-        )
-
 
 def run_workload(
     programs: list[Program],
     memory: SharedMemory,
     config: MultiprocessorConfig | None = None,
+    compiled: bool = True,
 ) -> RunResult:
     """Convenience wrapper: build an executor and run it."""
-    return TangoExecutor(programs, config=config, memory=memory).run()
+    return TangoExecutor(
+        programs, config=config, memory=memory, compiled=compiled
+    ).run()

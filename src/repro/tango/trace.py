@@ -1,8 +1,8 @@
-"""Dynamic instruction traces.
+"""Dynamic instruction traces, stored column-wise.
 
-The multiprocessor executor emits one :class:`TraceRecord` per retired
-instruction of each traced processor.  A record carries everything the
-downstream trace-driven processor simulators need (§3.2 of the paper):
+The multiprocessor executor emits one row per retired instruction of each
+traced processor.  A row carries everything the downstream trace-driven
+processor simulators need (§3.2 of the paper):
 
 * the opcode and its static register operands (for dependence tracking
   and renaming in the dynamically scheduled model);
@@ -11,18 +11,53 @@ downstream trace-driven processor simulators need (§3.2 of the paper):
   modelling;
 * the contention-wait / access-latency split for synchronization
   operations.
+
+Storage is **columnar**: one flat :mod:`array` of machine integers per
+field instead of a Python object per record.  That shrinks the on-disk
+pickles by ~10x, makes loading them near-instant (one ``frombytes`` per
+column), and lets the processor models iterate over plain ints instead of
+chasing attribute lookups through millions of heap objects.
+:class:`TraceRecord` remains available as a materialised *view* of one
+row for tests, debugging and the (cold) trace-transformation passes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 
 from ..isa import MemClass, Op
+
+#: Bump whenever the pickle layout of :class:`Trace` (or anything reachable
+#: from a cached ``AppRun``) changes.  The trace cache includes this in the
+#: cache key, so stale pickles are never even opened.
+TRACE_FORMAT_VERSION = 2
+
+#: (field name, array typecode) for every column, in row order.
+#: Narrow typecodes keep pickles small: opcodes and memory classes fit a
+#: byte, register ids a short, pc/stall an int32; addresses and waits get
+#: the full 64 bits.
+TRACE_COLUMNS = (
+    ("op", "B"),
+    ("pc", "i"),
+    ("next_pc", "i"),
+    ("rd", "h"),
+    ("rs1", "h"),
+    ("rs2", "h"),
+    ("addr", "q"),
+    ("stall", "i"),
+    ("wait", "q"),
+    ("mem_class", "B"),
+)
+
+
+class TraceFormatError(Exception):
+    """Raised when unpickling a trace written in an incompatible format."""
 
 
 @dataclass(slots=True)
 class TraceRecord:
-    """One retired dynamic instruction.
+    """One retired dynamic instruction (a materialised row view).
 
     Attributes:
         op: opcode executed.
@@ -55,50 +90,165 @@ class TraceRecord:
     mem_class: MemClass = MemClass.NONE
 
 
-@dataclass
 class Trace:
-    """The full dynamic trace of one simulated processor."""
+    """The full dynamic trace of one simulated processor.
 
-    cpu: int
-    records: list[TraceRecord] = field(default_factory=list)
+    Rows live in parallel integer arrays (one per ``TRACE_COLUMNS``
+    entry).  Indexing and iteration materialise :class:`TraceRecord`
+    views for compatibility; hot consumers should grab the raw columns
+    via :meth:`columns` and iterate flat ints.
+    """
 
-    def __len__(self) -> int:
-        return len(self.records)
+    __slots__ = ("cpu", "op", "pc", "next_pc", "rd", "rs1", "rs2",
+                 "addr", "stall", "wait", "mem_class")
 
-    def __iter__(self):
-        return iter(self.records)
+    def __init__(self, cpu: int = 0) -> None:
+        self.cpu = cpu
+        for name, typecode in TRACE_COLUMNS:
+            setattr(self, name, array(typecode))
 
-    def __getitem__(self, idx):
-        return self.records[idx]
+    # -- construction -------------------------------------------------------
 
     def append(self, record: TraceRecord) -> None:
-        self.records.append(record)
+        """Append one record (compatibility path for tests/builders)."""
+        self.append_row(
+            int(record.op), record.pc, record.next_pc,
+            record.rd, record.rs1, record.rs2,
+            record.addr, record.stall, record.wait, int(record.mem_class),
+        )
+
+    def append_row(
+        self, op: int, pc: int, next_pc: int, rd: int, rs1: int, rs2: int,
+        addr: int, stall: int, wait: int, mem_class: int,
+    ) -> None:
+        """Append one row of flat ints (the executor's fast path)."""
+        self.op.append(op)
+        self.pc.append(pc)
+        self.next_pc.append(next_pc)
+        self.rd.append(rd)
+        self.rs1.append(rs1)
+        self.rs2.append(rs2)
+        self.addr.append(addr)
+        self.stall.append(stall)
+        self.wait.append(wait)
+        self.mem_class.append(mem_class)
+
+    @classmethod
+    def from_records(cls, records, cpu: int = 0) -> "Trace":
+        """Build a trace from an iterable of :class:`TraceRecord`."""
+        trace = cls(cpu=cpu)
+        for record in records:
+            trace.append(record)
+        return trace
+
+    # -- access -------------------------------------------------------------
+
+    def columns(self) -> tuple:
+        """The raw column arrays, in ``TRACE_COLUMNS`` order."""
+        return (self.op, self.pc, self.next_pc, self.rd, self.rs1,
+                self.rs2, self.addr, self.stall, self.wait, self.mem_class)
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def __iter__(self):
+        for row in zip(*self.columns()):
+            yield TraceRecord(
+                Op(row[0]), row[1], row[2], row[3], row[4], row[5],
+                row[6], row[7], row[8], MemClass(row[9]),
+            )
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return [self[i] for i in range(*idx.indices(len(self)))]
+        return TraceRecord(
+            Op(self.op[idx]), self.pc[idx], self.next_pc[idx],
+            self.rd[idx], self.rs1[idx], self.rs2[idx], self.addr[idx],
+            self.stall[idx], self.wait[idx], MemClass(self.mem_class[idx]),
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.cpu == other.cpu and all(
+            a == b for a, b in zip(self.columns(), other.columns())
+        )
+
+    def __hash__(self):  # arrays are mutable; hash by identity
+        return id(self)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """Materialised record views (compatibility/debug helper)."""
+        return list(self)
+
+    def to_records(self) -> list[TraceRecord]:
+        """Alias of :attr:`records` with method-call syntax."""
+        return list(self)
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self):
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "cpu": self.cpu,
+            "columns": {
+                name: (typecode, getattr(self, name).tobytes())
+                for name, typecode in TRACE_COLUMNS
+            },
+        }
+
+    def __setstate__(self, state) -> None:
+        if not isinstance(state, dict) or "columns" not in state:
+            raise TraceFormatError(
+                "pickled trace predates columnar storage; regenerate it"
+            )
+        if state.get("version") != TRACE_FORMAT_VERSION:
+            raise TraceFormatError(
+                f"trace format {state.get('version')!r} != "
+                f"{TRACE_FORMAT_VERSION}; regenerate it"
+            )
+        self.cpu = state["cpu"]
+        for name, typecode in TRACE_COLUMNS:
+            col = array(typecode)
+            stored_typecode, raw = state["columns"][name]
+            if stored_typecode != typecode:
+                raise TraceFormatError(
+                    f"column {name!r} stored as {stored_typecode!r}, "
+                    f"expected {typecode!r}; regenerate the trace"
+                )
+            col.frombytes(raw)
+            setattr(self, name, col)
 
     # -- summary helpers used by tests and experiments ----------------------
 
     def count(self, predicate) -> int:
-        return sum(1 for r in self.records if predicate(r))
+        return sum(1 for r in self if predicate(r))
 
     def read_misses(self) -> int:
+        read = int(MemClass.READ)
         return sum(
-            1
-            for r in self.records
-            if r.mem_class == MemClass.READ and r.stall > 0
+            1 for cls, stall in zip(self.mem_class, self.stall)
+            if cls == read and stall > 0
         )
 
     def write_misses(self) -> int:
+        write = int(MemClass.WRITE)
         return sum(
-            1
-            for r in self.records
-            if r.mem_class == MemClass.WRITE and r.stall > 0
+            1 for cls, stall in zip(self.mem_class, self.stall)
+            if cls == write and stall > 0
         )
 
     def total_read_stall(self) -> int:
+        read = int(MemClass.READ)
         return sum(
-            r.stall for r in self.records if r.mem_class == MemClass.READ
+            stall for cls, stall in zip(self.mem_class, self.stall)
+            if cls == read
         )
 
     def total_write_stall(self) -> int:
+        write = int(MemClass.WRITE)
         return sum(
-            r.stall for r in self.records if r.mem_class == MemClass.WRITE
+            stall for cls, stall in zip(self.mem_class, self.stall)
+            if cls == write
         )

@@ -1,0 +1,122 @@
+"""Differential and determinism tests for the fast paths.
+
+The compiled-dispatch interpreter and the process-pool experiment
+fan-out are pure performance work: both must reproduce the reference
+results exactly — trace for trace, counter for counter, byte for byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MultiprocessorConfig, TangoExecutor, build_app
+from repro.apps import APP_NAMES
+from repro.cli import main
+from repro.experiments import (
+    TraceStore,
+    figure3_configs,
+    generate_traces,
+    simulate_app_models,
+)
+from repro.tango.trace import TRACE_FORMAT_VERSION
+
+
+def _run(app: str, compiled: bool):
+    workload = build_app(app, preset="tiny")
+    config = MultiprocessorConfig(trace_cpus=(0, 1))
+    result = TangoExecutor(
+        workload.programs, config, memory=workload.memory,
+        compiled=compiled,
+    ).run()
+    workload.verify(result.memory)
+    return result
+
+
+class TestCompiledDispatch:
+    """The threaded-code engine is an exact drop-in for the reference."""
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_traces_and_stats_match_reference(self, app):
+        fast = _run(app, compiled=True)
+        ref = _run(app, compiled=False)
+        assert fast.stats == ref.stats
+        for cpu in (0, 1):
+            assert fast.trace(cpu) == ref.trace(cpu)
+
+
+class TestParallelFanOut:
+    """`--jobs N` changes wall time only, never results."""
+
+    @pytest.fixture()
+    def cache_dir(self, tmp_path):
+        return tmp_path / "traces"
+
+    def test_parallel_generation_matches_serial(self, cache_dir):
+        parallel = TraceStore(preset="tiny", cache_dir=cache_dir)
+        runs_par = generate_traces(parallel, jobs=2)
+        serial = TraceStore(preset="tiny", cache_dir=None)
+        runs_ser = generate_traces(serial, jobs=1)
+        for par, ser in zip(runs_par, runs_ser):
+            assert par.app == ser.app
+            assert par.trace == ser.trace
+            assert par.stats == ser.stats
+            assert par.base == ser.base
+
+    def test_parallel_sims_match_serial(self, cache_dir):
+        store = TraceStore(preset="tiny", cache_dir=cache_dir)
+        configs = figure3_configs()
+        par = simulate_app_models(store, configs, jobs=2)
+        ser = simulate_app_models(store, configs, jobs=1)
+        assert list(par) == list(ser)
+        assert par == ser
+        # Single-app fan-out chunks the config list instead.
+        one_par = simulate_app_models(
+            store, configs, apps=("lu",), jobs=3
+        )
+        one_ser = simulate_app_models(
+            store, configs, apps=("lu",), jobs=1
+        )
+        assert one_par == one_ser
+
+    def test_cli_jobs_output_identical(self, cache_dir, capsys):
+        argv = ["--preset", "tiny", "--cache-dir", str(cache_dir)]
+        main(argv + ["figure3", "--jobs", "2"])
+        first = capsys.readouterr().out
+        main(argv + ["figure3", "--jobs", "2"])
+        second = capsys.readouterr().out
+        main(argv + ["figure3"])
+        serial = capsys.readouterr().out
+        assert first == second == serial
+
+
+class TestCacheVersioning:
+    """Trace pickles carry their schema + simulation parameters."""
+
+    def test_key_covers_all_parameters(self, tmp_path):
+        base = TraceStore(preset="tiny", cache_dir=tmp_path)
+        assert f"_v{TRACE_FORMAT_VERSION}_" in base._cache_path("lu").name
+        variants = [
+            TraceStore(preset="tiny", cache_dir=tmp_path, line_size=32),
+            TraceStore(preset="tiny", cache_dir=tmp_path,
+                       sync_access_latency=25),
+            TraceStore(preset="tiny", cache_dir=tmp_path, miss_penalty=100),
+            TraceStore(preset="tiny", cache_dir=tmp_path,
+                       cache_size=128 * 1024),
+            TraceStore(preset="default", cache_dir=tmp_path),
+            TraceStore(preset="tiny", cache_dir=tmp_path, n_procs=8),
+            TraceStore(preset="tiny", cache_dir=tmp_path, trace_cpu=1),
+        ]
+        paths = {s._cache_path("lu") for s in [base, *variants]}
+        assert len(paths) == len(variants) + 1
+
+    def test_corrupt_pickle_regenerates(self, tmp_path):
+        store = TraceStore(preset="tiny", cache_dir=tmp_path)
+        run = store.get("lu")
+        path = store._cache_path("lu")
+        path.write_bytes(b"not a pickle")
+        fresh = TraceStore(preset="tiny", cache_dir=tmp_path)
+        reloaded = fresh.get("lu")
+        assert reloaded.trace == run.trace
+        # The bad file was replaced with a good one.
+        third = TraceStore(preset="tiny", cache_dir=tmp_path)
+        assert third.get("lu").trace == run.trace
