@@ -18,6 +18,7 @@ from pathlib import Path
 
 from repro import MultiprocessorConfig, TangoExecutor, build_app
 from repro.cpu import ProcessorConfig, simulate
+from repro.verify import ExecutionRecorder, check_execution
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
@@ -50,6 +51,20 @@ def test_perf_smoke():
     ds_cfg = ProcessorConfig(kind="ds", model="RC", window=256)
     _, ds_s = _timed(lambda: simulate(trace, ds_cfg))
 
+    # Axiomatic-checker throughput over a freshly recorded run.
+    rec_workload = build_app("lu", preset="tiny")
+    recorder = ExecutionRecorder()
+    rec_result = TangoExecutor(
+        rec_workload.programs,
+        MultiprocessorConfig(trace_cpus=()),
+        memory=rec_workload.memory,
+        recorder=recorder,
+    ).run()
+    rec_workload.verify(rec_result.memory)
+    log = recorder.log()
+    check, verify_s = _timed(lambda: check_execution(log, "SC"))
+    assert check.ok
+
     payload = {
         "app": "lu",
         "preset": "tiny",
@@ -61,11 +76,15 @@ def test_perf_smoke():
         "ds_trace_instructions": len(trace),
         "ds_seconds": round(ds_s, 4),
         "ds_instr_per_s": round(len(trace) / ds_s),
+        "verify_events": len(log),
+        "verify_seconds": round(verify_s, 4),
+        "verify_events_per_s": round(len(log) / verify_s),
         "python": sys.version.split()[0],
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     assert payload["interp_instr_per_s"] > 0
     assert payload["ds_instr_per_s"] > 0
+    assert payload["verify_events_per_s"] > 0
     # The compiled engine must never regress below the reference one.
     assert payload["compiled_speedup"] > 1.0

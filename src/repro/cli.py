@@ -110,6 +110,47 @@ def cmd_experiment(args) -> None:
     print(_SIMPLE[args.command](_store(args), jobs))
 
 
+def cmd_verify(args) -> int:
+    from . import verify as v
+
+    models = (
+        v.ALL_MODELS if args.model == "all" else (args.model.upper(),)
+    )
+    failures = 0
+    target = args.target
+    litmus_names: tuple[str, ...] = ()
+    app_names: tuple[str, ...] = ()
+    if target in ("litmus", "all"):
+        litmus_names = tuple(v.CATALOG)
+    elif target in v.CATALOG:
+        litmus_names = (target,)
+    if target in ("apps", "all"):
+        app_names = tuple(APP_NAMES)
+    elif target in APP_NAMES:
+        app_names = (target,)
+    if litmus_names:
+        results = v.verify_litmus(
+            names=litmus_names, models=models,
+            schedules=args.schedules, seed=args.seed, jobs=args.jobs,
+        )
+        print(v.format_litmus_report(results))
+        failures += sum(not r.ok for r in results)
+    if app_names:
+        app_results = v.verify_apps(
+            app_names, models=models, n_procs=args.procs,
+            preset="tiny" if args.preset == "default" else args.preset,
+            miss_penalty=args.penalty, jobs=args.jobs,
+        )
+        for result in app_results:
+            print(result.format())
+        failures += sum(not r.ok for r in app_results)
+    print(
+        "verification "
+        + ("OK" if failures == 0 else f"FAILED ({failures} targets)")
+    )
+    return 0 if failures == 0 else 1
+
+
 def cmd_all(args) -> None:
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
@@ -174,6 +215,35 @@ def build_parser() -> argparse.ArgumentParser:
                                 "and model sweeps")
         p.set_defaults(func=cmd_experiment)
 
+    p_ver = sub.add_parser(
+        "verify",
+        help="check recorded executions against the consistency axioms",
+        description=(
+            "Record executions and check them against a model's "
+            "happens-before axioms.  Targets: an application name "
+            "(run on the Tango executor), a litmus-test name (run on "
+            "the model-aware store-buffer engine), or the groups "
+            "'litmus', 'apps', 'all'."
+        ),
+    )
+    from .verify import CATALOG as _CATALOG  # local to keep startup lazy
+
+    p_ver.add_argument(
+        "target",
+        choices=tuple(APP_NAMES) + tuple(_CATALOG)
+        + ("litmus", "apps", "all"),
+    )
+    p_ver.add_argument("--model", default="all",
+                       choices=("sc", "pc", "wo", "rc", "all"),
+                       help="consistency model(s) to check against")
+    p_ver.add_argument("--schedules", type=int, default=100,
+                       help="seeded schedules per litmus test and model")
+    p_ver.add_argument("--seed", type=int, default=0,
+                       help="base seed for the schedule sweep")
+    p_ver.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the verification sweep")
+    p_ver.set_defaults(func=cmd_verify)
+
     p_all = sub.add_parser("all", help="regenerate everything")
     p_all.add_argument("--output", default="results")
     p_all.add_argument("--jobs", type=int, default=1,
@@ -185,8 +255,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    rc = args.func(args)
+    return rc if isinstance(rc, int) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

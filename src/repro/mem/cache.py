@@ -72,6 +72,9 @@ class Cache:
         # Per-set: the full line address currently cached (or -1).
         self._line_addr = [-1] * self.num_lines
         self._state = [INVALID] * self.num_lines
+        # Optional ``tap(line, dirty)`` fired on each replacement —
+        # installed by CoherentMemorySystem.attach_listener().
+        self.evict_tap = None
 
     # -- geometry ---------------------------------------------------------
 
@@ -108,9 +111,12 @@ class Cache:
         victim = None
         if self._line_addr[idx] not in (-1, line):
             self.stats.evictions += 1
-            if self._state[idx] == MODIFIED:
+            dirty = self._state[idx] == MODIFIED
+            if dirty:
                 victim = self._line_addr[idx]
                 self.stats.writebacks += 1
+            if self.evict_tap is not None:
+                self.evict_tap(self._line_addr[idx], dirty)
         self._line_addr[idx] = line
         self._state[idx] = state
         return victim

@@ -19,6 +19,15 @@ from dataclasses import dataclass
 from .cache import Cache, CacheStats, EXCLUSIVE, INVALID, MODIFIED, SHARED
 
 
+def _make_evict_tap(listener, cpu: int):
+    """Closure a cache calls when it evicts a line (carries the cpu id)."""
+
+    def tap(line: int, dirty: bool) -> None:
+        listener.coherence_event("evict", cpu, line, dirty)
+
+    return tap
+
+
 @dataclass(slots=True)
 class AccessResult:
     """Outcome of one data access.
@@ -59,6 +68,19 @@ class CoherentMemorySystem:
         # All caches share one geometry; precompute it so the hot lookup
         # avoids two method calls and two divisions per access.
         self._line_mask = self.caches[0].num_lines - 1
+        self._listener = None
+
+    def attach_listener(self, listener) -> None:
+        """Register a protocol-event listener (consistency verification).
+
+        The listener's ``coherence_event(kind, cpu, line, extra)`` is
+        called on every install / upgrade / invalidate / downgrade /
+        evict.  Events fire on miss paths only, so cache hits stay as
+        cheap as without a listener.
+        """
+        self._listener = listener
+        for cpu, cache in enumerate(self.caches):
+            cache.evict_tap = _make_evict_tap(listener, cpu)
 
     # -- the single entry point used by the executor -------------------------
 
@@ -92,8 +114,14 @@ class CoherentMemorySystem:
             if state == SHARED:
                 stats.upgrades += 1
                 cache._state[idx] = MODIFIED
+                if self._listener is not None:
+                    self._listener.coherence_event("upgrade", cpu, line, None)
             else:
                 cache.install(addr, MODIFIED)
+                if self._listener is not None:
+                    self._listener.coherence_event(
+                        "install", cpu, line, MODIFIED
+                    )
             stats.write_misses += 1
             return False, self.miss_penalty
         stats.reads += 1
@@ -103,7 +131,10 @@ class CoherentMemorySystem:
         # is written back); the line installs SHARED if anyone else holds
         # it, EXCLUSIVE otherwise.
         shared = self._downgrade_others(cpu, addr)
-        cache.install(addr, SHARED if shared else EXCLUSIVE)
+        new_state = SHARED if shared else EXCLUSIVE
+        cache.install(addr, new_state)
+        if self._listener is not None:
+            self._listener.coherence_event("install", cpu, line, new_state)
         stats.read_misses += 1
         return False, self.miss_penalty
 
@@ -127,6 +158,10 @@ class CoherentMemorySystem:
                         cache.stats.writebacks += 1
                     cache._state[idx] = INVALID
                     cache.stats.invalidations_received += 1
+                    if self._listener is not None:
+                        self._listener.coherence_event(
+                            "invalidate", other, line, state == MODIFIED
+                        )
 
     def _downgrade_others(self, cpu: int, addr: int) -> bool:
         """Downgrade remote copies to SHARED; True if any copy existed."""
@@ -142,10 +177,18 @@ class CoherentMemorySystem:
                     stats = cache.stats
                     stats.downgrades_received += 1
                     stats.writebacks += 1
+                    if self._listener is not None:
+                        self._listener.coherence_event(
+                            "downgrade", other, line, True
+                        )
                 elif state == EXCLUSIVE:
                     shared = True
                     cache._state[idx] = SHARED
                     cache.stats.downgrades_received += 1
+                    if self._listener is not None:
+                        self._listener.coherence_event(
+                            "downgrade", other, line, False
+                        )
                 elif state == SHARED:
                     shared = True
         return shared

@@ -52,6 +52,9 @@ _COND_BRANCHES = frozenset({
 
 _MC_READ = int(MemClass.READ)
 _MC_WRITE = int(MemClass.WRITE)
+_MC_RELEASE = int(MemClass.RELEASE)
+_OP_LW = int(Op.LW)
+_OP_SW = int(Op.SW)
 
 
 class DeadlockError(Exception):
@@ -109,6 +112,7 @@ class TangoExecutor:
         config: MultiprocessorConfig | None = None,
         memory: SharedMemory | None = None,
         compiled: bool = True,
+        recorder=None,
     ) -> None:
         self.config = config or MultiprocessorConfig()
         if len(programs) != self.config.n_cpus:
@@ -134,6 +138,13 @@ class TangoExecutor:
             cpu: Trace(cpu=cpu) for cpu in self.config.trace_cpus
         }
         self._steps = 0
+        # Opt-in consistency-verification hook (repro.verify): records
+        # every performed load/store/sync and listens for coherence
+        # events.  None keeps the hot paths untouched.
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.bind(self.config.n_cpus)
+            self.memsys.attach_listener(recorder)
 
     # -- trace helpers ------------------------------------------------------
 
@@ -194,6 +205,10 @@ class TangoExecutor:
         stats.acquire_access_cycles += lat
         stats.busy_cycles += 1
         state.instructions_executed += 1
+        if self.recorder is not None:
+            self.recorder.record(
+                tid, state.pc, int(op), int(mem_class), addr
+            )
         self._emit(
             tid, instr, state.pc, state.pc + 1,
             addr=addr, stall=lat, wait=wait, mem_class=mem_class,
@@ -240,6 +255,12 @@ class TangoExecutor:
             stats.release_access_cycles += lat
             stats.busy_cycles += 1
             state.instructions_executed += 1
+            if self.recorder is not None:
+                # Recorded before the wakeup so the handed-off acquire
+                # sees this release as its synchronizes-with source.
+                self.recorder.record(
+                    tid, state.pc, int(op), _MC_RELEASE, addr
+                )
             self._emit(
                 tid, instr, state.pc, state.pc + 1,
                 addr=addr, stall=lat, mem_class=MemClass.RELEASE,
@@ -272,6 +293,10 @@ class TangoExecutor:
             stats.release_access_cycles += lat
             stats.busy_cycles += 1
             state.instructions_executed += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    tid, state.pc, int(op), _MC_RELEASE, addr
+                )
             self._emit(
                 tid, instr, state.pc, state.pc + 1,
                 addr=addr, stall=lat, mem_class=MemClass.RELEASE,
@@ -284,6 +309,10 @@ class TangoExecutor:
             self.sync.event_clear(addr)
             stats.busy_cycles += 1
             state.instructions_executed += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    tid, state.pc, int(op), _MC_RELEASE, addr
+                )
             self._emit(
                 tid, instr, state.pc, state.pc + 1,
                 addr=addr, stall=lat, mem_class=MemClass.RELEASE,
@@ -342,6 +371,7 @@ class TangoExecutor:
         access_ht = self.memsys.access_ht
         words = self.memory.words
         doubles = self.memory.doubles
+        rec = self.recorder
 
         ctxs = []
         # Per-thread counter lists: [busy, branches, reads, writes,
@@ -398,6 +428,15 @@ class TangoExecutor:
                             m = meta[pc]
                             emit(m[0], pc, pc + 1, m[1], m[2], m[3],
                                  addr, stall, 0, _MC_READ)
+                        if rec is not None:
+                            m = meta[pc]
+                            if m[0] == _OP_LW:
+                                rec.record(tid, pc, m[0], _MC_READ, addr,
+                                           value=words.get(addr, 0))
+                            else:
+                                rec.record(tid, pc, m[0], _MC_READ, addr,
+                                           value=doubles.get(addr, 0.0),
+                                           wide=True)
                         pc += 1
                     elif kind == 1:  # conditional branch
                         nxt = code[pc](regs)
@@ -418,6 +457,15 @@ class TangoExecutor:
                             m = meta[pc]
                             emit(m[0], pc, pc + 1, m[1], m[2], m[3],
                                  addr, stall, 0, _MC_WRITE)
+                        if rec is not None:
+                            m = meta[pc]
+                            if m[0] == _OP_SW:
+                                rec.record(tid, pc, m[0], _MC_WRITE, addr,
+                                           value=words.get(addr, 0))
+                            else:
+                                rec.record(tid, pc, m[0], _MC_WRITE, addr,
+                                           value=doubles.get(addr, 0.0),
+                                           wide=True)
                         pc += 1
                     elif kind == 2:  # jump
                         nxt = code[pc](regs)
@@ -543,6 +591,16 @@ class TangoExecutor:
                         addr=result.addr, stall=access.stall,
                         mem_class=mem_class,
                     )
+                    if self.recorder is not None:
+                        wide = op is Op.FLD or op is Op.FSD
+                        value = (
+                            memory.read_double(result.addr) if wide
+                            else memory.read_word(result.addr)
+                        )
+                        self.recorder.record(
+                            tid, pc, int(op), int(mem_class),
+                            result.addr, value=value, wide=wide,
+                        )
                 else:
                     if op in _COND_BRANCHES:
                         stats.cond_branches += 1

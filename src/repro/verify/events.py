@@ -1,0 +1,121 @@
+"""Memory-event logs: the execution witness the axiomatic checker consumes.
+
+A *memory event* is one performed memory or synchronization operation of
+one simulated processor: a data load or store (with its effective address
+and the value transferred), or a synchronization access (lock acquire /
+release, event wait / set / clear, barrier episode).  An
+:class:`EventLog` is the global record of one execution:
+
+* per-processor **program-order** streams (the ``po`` index within each
+  thread);
+* the global **completion order** (the ``completed`` sequence number —
+  the order in which operations became visible to the whole machine);
+* the **reads-from** relation (``rf``: which write a read observed, or
+  -1 for a location's initial value), and for acquires the
+  *synchronizes-with* source (the release that granted the primitive);
+* barrier **episodes** (all arrivals of one barrier generation share an
+  ``episode`` number, so the checker can order everything before the
+  episode ahead of everything after it);
+* the stream of cache-coherence protocol events (installs, upgrades,
+  invalidations, downgrades, evictions) observed by the recorder's
+  hooks in :mod:`repro.mem.coherence` and :mod:`repro.mem.cache`.
+
+Events deliberately store opcodes and memory classes as plain ints: logs
+of multi-million-instruction runs stay compact, and worker processes can
+ship them back through a pickle without dragging enum objects along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import MemClass, Op
+
+
+@dataclass(slots=True)
+class MemEvent:
+    """One performed memory/synchronization operation.
+
+    Attributes:
+        gid: global creation index (issue order across all threads).
+        tid: issuing processor.
+        po: program-order index within the thread's event stream.
+        pc: static instruction index of the operation.
+        op: opcode, as ``int(Op.*)``.
+        cls: consistency classification, as ``int(MemClass.*)``.
+        addr: effective byte address (data address or sync variable).
+        wide: True for 8-byte double accesses (doubles and words live in
+            disjoint stores, so ``(addr, wide)`` is the coherence key).
+        value: value read or written; ``None`` for synchronization ops.
+        completed: global completion sequence number (-1 while a store
+            sits unperformed in a relaxed-engine write buffer).
+        rf: for reads, the ``gid`` of the write whose value was observed
+            (-1 = the location's initial contents); for acquires, the
+            ``gid`` of the release that granted the primitive (-1 = the
+            primitive was free/never released before).
+        episode: barrier generation number (-1 for non-barrier events).
+    """
+
+    gid: int
+    tid: int
+    po: int
+    pc: int
+    op: int
+    cls: int
+    addr: int
+    wide: bool = False
+    value: object = None
+    completed: int = -1
+    rf: int = -1
+    episode: int = -1
+
+    @property
+    def key(self) -> tuple[int, bool]:
+        """Coherence key: address plus width class."""
+        return (self.addr, self.wide)
+
+    def describe(self) -> str:
+        """Compact human-readable rendering for violation reports."""
+        val = "" if self.value is None else f"={self.value!r}"
+        return (
+            f"t{self.tid}#{self.po} pc={self.pc} {Op(self.op).name} "
+            f"{self.addr:#x}{val} [{MemClass(self.cls).name}]"
+        )
+
+
+@dataclass
+class EventLog:
+    """The complete memory-event record of one execution."""
+
+    n_threads: int
+    events: list[MemEvent] = field(default_factory=list)
+    #: Coherence-protocol events, in observation order:
+    #: ``(kind, cpu, line, extra)`` with kind one of install / upgrade /
+    #: invalidate / downgrade / evict.
+    coherence: list[tuple] = field(default_factory=list)
+    #: Single-writer/multiple-reader violations found while mirroring the
+    #: coherence events (empty for a correct protocol).
+    audit_violations: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def threads(self) -> list[list[MemEvent]]:
+        """Per-thread program-order event streams."""
+        streams: list[list[MemEvent]] = [[] for _ in range(self.n_threads)]
+        for ev in self.events:
+            streams[ev.tid].append(ev)
+        for stream in streams:
+            stream.sort(key=lambda e: e.po)
+        return streams
+
+    def writes_by_key(self) -> dict[tuple[int, bool], list[MemEvent]]:
+        """Per-location write lists in completion (coherence) order."""
+        write = int(MemClass.WRITE)
+        by_key: dict[tuple[int, bool], list[MemEvent]] = {}
+        for ev in self.events:
+            if ev.cls == write and ev.completed >= 0:
+                by_key.setdefault(ev.key, []).append(ev)
+        for writes in by_key.values():
+            writes.sort(key=lambda e: e.completed)
+        return by_key

@@ -1,0 +1,439 @@
+"""Litmus-test catalog and harness for the consistency checker.
+
+Each litmus test is a tiny multi-threaded program written with
+:class:`~repro.asm.AsmBuilder`, annotated with the outcomes each
+consistency model forbids and the relaxed outcome we expect the
+model-aware engine to actually expose.  The harness runs a test across
+many seeded schedules of the :class:`~repro.verify.relaxed.RelaxedEngine`
+and asserts three things per (test, model) pair:
+
+1. no forbidden outcome ever appears operationally;
+2. the axiomatic checker accepts every recorded execution under the
+   model that produced it (the engine and the axioms agree);
+3. when a relaxed model exposes its tell-tale outcome, re-checking that
+   same execution under SC yields a happens-before **cycle** — the
+   printable proof that the outcome is genuinely non-SC.
+
+The catalog (addresses on distinct cache lines throughout):
+
+======  ==========================  ============================  =====================
+name    shape                       forbidden (outcome / models)  relaxed demo
+======  ==========================  ============================  =====================
+sb      store buffering             (0,0) under SC                PC/WO/RC observe it
+mp      message passing             (0,) under SC, PC             WO/RC observe it
+lb      load buffering              (1,1) under SC, PC            allowed WO/RC, never
+                                                                  generated (in-order
+                                                                  issue)
+iriw    independent reads of        (1,0,1,0) under SC, PC        allowed WO/RC, never
+        independent writes                                        generated (stores are
+                                                                  multi-copy atomic)
+inc     lock-protected increment    any total != n, all models    none (locks restore
+                                                                  order under RC)
+======  ==========================  ============================  =====================
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..asm import AsmBuilder
+from ..consistency.models import ConsistencyModel, get_model
+from .checker import check_execution
+from .relaxed import RelaxedEngine
+
+#: Data/sync variables, each on its own cache line.
+X = 0x1000
+Y = 0x1040
+LOCK_ADDR = 0x2000
+COUNTER = 0x2080
+
+#: Threads in the lock-protected increment test.
+INC_THREADS = 4
+
+#: Below this many schedules, a missing expected-relaxed outcome is not
+#: reported (too few interleavings to demand the behaviour shows up).
+MIN_SCHEDULES_FOR_EXPECT = 50
+
+#: Cap on distinct violation messages kept per (test, model) run.
+_MAX_VIOLATIONS = 8
+
+ALL_MODELS = ("SC", "PC", "WO", "RC")
+
+
+# -- program builders --------------------------------------------------------
+
+
+def _build_sb():
+    """Store buffering: each thread stores its flag, loads the other's."""
+    programs, observers = [], []
+    for tid, (mine, other) in enumerate(((X, Y), (Y, X))):
+        b = AsmBuilder(f"sb_t{tid}")
+        a_mine = b.ireg("a_mine")
+        a_other = b.ireg("a_other")
+        one = b.ireg("one")
+        r = b.ireg("r")
+        b.la(a_mine, mine)
+        b.la(a_other, other)
+        b.li(one, 1)
+        b.sw(one, a_mine)
+        b.lw(r, a_other)
+        b.halt()
+        programs.append(b.build())
+        observers.append(("reg", tid, int(r)))
+    return programs, observers
+
+
+def _build_mp():
+    """Message passing: write data then flag; spin on flag, read data."""
+    b0 = AsmBuilder("mp_writer")
+    a_data = b0.ireg("a_data")
+    a_flag = b0.ireg("a_flag")
+    v = b0.ireg("v")
+    b0.la(a_data, X)
+    b0.la(a_flag, Y)
+    b0.li(v, 42)
+    b0.sw(v, a_data)
+    b0.li(v, 1)
+    b0.sw(v, a_flag)
+    b0.halt()
+
+    b1 = AsmBuilder("mp_reader")
+    a_data = b1.ireg("a_data")
+    a_flag = b1.ireg("a_flag")
+    r_flag = b1.ireg("r_flag")
+    r_data = b1.ireg("r_data")
+    b1.la(a_data, X)
+    b1.la(a_flag, Y)
+    spin = b1.label(b1.newlabel("spin"))
+    b1.lw(r_flag, a_flag)
+    b1.beqz(r_flag, spin)
+    b1.lw(r_data, a_data)
+    b1.halt()
+    return [b0.build(), b1.build()], [("reg", 1, int(r_data))]
+
+
+def _build_lb():
+    """Load buffering: each thread loads its flag then stores the other's."""
+    programs, observers = [], []
+    for tid, (mine, other) in enumerate(((X, Y), (Y, X))):
+        b = AsmBuilder(f"lb_t{tid}")
+        a_mine = b.ireg("a_mine")
+        a_other = b.ireg("a_other")
+        one = b.ireg("one")
+        r = b.ireg("r")
+        b.la(a_mine, mine)
+        b.la(a_other, other)
+        b.li(one, 1)
+        b.lw(r, a_mine)
+        b.sw(one, a_other)
+        b.halt()
+        programs.append(b.build())
+        observers.append(("reg", tid, int(r)))
+    return programs, observers
+
+
+def _build_iriw():
+    """IRIW: two writers, two readers scanning in opposite orders."""
+    programs, observers = [], []
+    for tid, addr in ((0, X), (1, Y)):
+        b = AsmBuilder(f"iriw_w{tid}")
+        a = b.ireg("a")
+        one = b.ireg("one")
+        b.la(a, addr)
+        b.li(one, 1)
+        b.sw(one, a)
+        b.halt()
+        programs.append(b.build())
+    for tid, (first, second) in ((2, (X, Y)), (3, (Y, X))):
+        b = AsmBuilder(f"iriw_r{tid}")
+        a1 = b.ireg("a1")
+        a2 = b.ireg("a2")
+        r1 = b.ireg("r1")
+        r2 = b.ireg("r2")
+        b.la(a1, first)
+        b.la(a2, second)
+        b.lw(r1, a1)
+        b.lw(r2, a2)
+        b.halt()
+        programs.append(b.build())
+        observers.append(("reg", tid, int(r1)))
+        observers.append(("reg", tid, int(r2)))
+    return programs, observers
+
+
+def _build_inc():
+    """Lock-protected increment: n threads bump one counter under a lock."""
+    programs = []
+    for tid in range(INC_THREADS):
+        b = AsmBuilder(f"inc_t{tid}")
+        a_lock = b.ireg("a_lock")
+        a_ctr = b.ireg("a_ctr")
+        r = b.ireg("r")
+        b.la(a_lock, LOCK_ADDR)
+        b.la(a_ctr, COUNTER)
+        b.lock(a_lock)
+        b.lw(r, a_ctr)
+        b.addi(r, r, 1)
+        b.sw(r, a_ctr)
+        b.unlock(a_lock)
+        b.halt()
+        programs.append(b.build())
+    return programs, [("mem", COUNTER, False)]
+
+
+# -- catalog -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One litmus program plus its per-model outcome annotations."""
+
+    name: str
+    title: str
+    build: Callable
+    outcome: str  # what the observed tuple means, for reports/docs
+    #: model name -> outcomes that must never appear under that model.
+    forbidden: dict = field(default_factory=dict)
+    #: model name -> outcome the engine is expected to actually expose
+    #: (given enough schedules) — the demonstration that the model is
+    #: genuinely weaker.
+    expect_observed: dict = field(default_factory=dict)
+    #: The tell-tale relaxed outcome: when observed under a non-SC model,
+    #: the harness re-checks that execution under SC and records the
+    #: happens-before cycle as proof.
+    demo_outcome: tuple | None = None
+    #: If set, *any* other outcome is a violation under every model.
+    expected_only: tuple | None = None
+    notes: str = ""
+
+
+CATALOG: dict[str, LitmusTest] = {
+    t.name: t
+    for t in (
+        LitmusTest(
+            name="sb",
+            title="store buffering",
+            build=_build_sb,
+            outcome="(r0, r1) — each thread's read of the other's flag",
+            forbidden={"SC": frozenset({(0, 0)})},
+            expect_observed={m: (0, 0) for m in ("PC", "WO", "RC")},
+            demo_outcome=(0, 0),
+            notes="reads bypass the write buffer under PC/WO/RC",
+        ),
+        LitmusTest(
+            name="mp",
+            title="message passing",
+            build=_build_mp,
+            outcome="(data) read after the flag was observed set",
+            forbidden={
+                "SC": frozenset({(0,)}),
+                "PC": frozenset({(0,)}),
+            },
+            expect_observed={m: (0,) for m in ("WO", "RC")},
+            demo_outcome=(0,),
+            notes="WO/RC drain buffered stores out of order across lines",
+        ),
+        LitmusTest(
+            name="lb",
+            title="load buffering",
+            build=_build_lb,
+            outcome="(r0, r1) — each thread's read of its own flag",
+            forbidden={
+                "SC": frozenset({(1, 1)}),
+                "PC": frozenset({(1, 1)}),
+            },
+            notes=(
+                "(1,1) is axiomatically allowed under WO/RC but the "
+                "engine issues in program order, so it never generates it"
+            ),
+        ),
+        LitmusTest(
+            name="iriw",
+            title="independent reads of independent writes",
+            build=_build_iriw,
+            outcome="(t2.x, t2.y, t3.y, t3.x) as scanned by each reader",
+            forbidden={
+                "SC": frozenset({(1, 0, 1, 0)}),
+                "PC": frozenset({(1, 0, 1, 0)}),
+            },
+            notes=(
+                "(1,0,1,0) is allowed under WO/RC but unobservable here: "
+                "the single backing store makes stores multi-copy atomic"
+            ),
+        ),
+        LitmusTest(
+            name="inc",
+            title="lock-protected increment",
+            build=_build_inc,
+            outcome=f"final counter after {INC_THREADS} increments",
+            expected_only=(INC_THREADS,),
+            notes="locks restore atomicity under every model incl. RC",
+        ),
+    )
+}
+
+
+# -- harness -----------------------------------------------------------------
+
+
+@dataclass
+class LitmusResult:
+    """Outcome of running one litmus test under one model."""
+
+    test: str
+    model: str
+    schedules: int
+    outcomes: dict  # outcome tuple -> occurrence count
+    violations: list[str]
+    #: Formatted SC happens-before cycle proving the observed relaxed
+    #: outcome is non-SC (None when no demo outcome appeared).
+    demo_cycle: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        outs = ", ".join(
+            f"{o}x{n}"
+            for o, n in sorted(self.outcomes.items(), key=lambda kv: kv[0])
+        )
+        lines = [
+            f"[{self.test}/{self.model}] {status} "
+            f"({self.schedules} schedules): {outs}"
+        ]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def _observe(engine: RelaxedEngine, observers) -> tuple:
+    out = []
+    for kind, a, b in observers:
+        if kind == "reg":
+            out.append(engine.states[a].regs[b])
+        else:  # ("mem", addr, wide)
+            if b:
+                out.append(engine.memory.read_double(a))
+            else:
+                out.append(engine.memory.read_word(a))
+    return tuple(out)
+
+
+def run_litmus(
+    test, model="SC", schedules: int = 200, seed: int = 0
+) -> LitmusResult:
+    """Run one litmus test across many schedules under one model."""
+    if isinstance(test, str):
+        test = CATALOG[test]
+    if not isinstance(model, ConsistencyModel):
+        model = get_model(model)
+    name = model.name
+    forbidden = test.forbidden.get(name, frozenset())
+    outcomes: dict[tuple, int] = {}
+    violations: list[str] = []
+    demo_cycle = None
+
+    def flag(message: str) -> None:
+        if message not in violations and len(violations) < _MAX_VIOLATIONS:
+            violations.append(message)
+
+    for s in range(schedules):
+        programs, observers = test.build()
+        engine = RelaxedEngine(programs, model=model, seed=seed + s)
+        log = engine.run()
+        outcome = _observe(engine, observers)
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+
+        if outcome in forbidden:
+            flag(
+                f"forbidden outcome {outcome} appeared under {name} "
+                f"(seed {seed + s})"
+            )
+        if test.expected_only is not None and outcome != test.expected_only:
+            flag(
+                f"outcome {outcome} != required {test.expected_only} "
+                f"(seed {seed + s})"
+            )
+        result = check_execution(log, model)
+        if not result.ok:
+            flag(
+                f"checker rejected an execution the {name} engine "
+                f"produced (seed {seed + s}):\n{result.format()}"
+            )
+        if (
+            demo_cycle is None
+            and name != "SC"
+            and test.demo_outcome is not None
+            and outcome == test.demo_outcome
+        ):
+            sc_result = check_execution(log, "SC")
+            cyc = next(
+                (v for v in sc_result.violations if v.kind == "cycle"), None
+            )
+            if cyc is None:
+                flag(
+                    f"demo outcome {outcome} should be cyclic under SC "
+                    f"but the checker accepted it (seed {seed + s})"
+                )
+            else:
+                demo_cycle = cyc.format()
+
+    expected = test.expect_observed.get(name)
+    if (
+        expected is not None
+        and schedules >= MIN_SCHEDULES_FOR_EXPECT
+        and expected not in outcomes
+    ):
+        flag(
+            f"expected relaxed outcome {expected} never appeared in "
+            f"{schedules} schedules under {name}"
+        )
+    return LitmusResult(
+        test=test.name,
+        model=name,
+        schedules=schedules,
+        outcomes=outcomes,
+        violations=violations,
+        demo_cycle=demo_cycle,
+    )
+
+
+def _litmus_job(job) -> LitmusResult:
+    name, model, schedules, seed = job
+    return run_litmus(name, model, schedules=schedules, seed=seed)
+
+
+def verify_litmus(
+    names=None,
+    models=ALL_MODELS,
+    schedules: int = 200,
+    seed: int = 0,
+    jobs: int = 1,
+) -> list[LitmusResult]:
+    """Run (a subset of) the catalog across models; list of results."""
+    if names is None:
+        names = tuple(CATALOG)
+    jobs_list = [
+        (name, model, schedules, seed) for name in names for model in models
+    ]
+    if jobs > 1 and len(jobs_list) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(_litmus_job, jobs_list))
+    return [_litmus_job(job) for job in jobs_list]
+
+
+def format_litmus_report(results: list[LitmusResult]) -> str:
+    """Render harness results, including the first SC cycle proof."""
+    lines = [r.format() for r in results]
+    demo = next((r for r in results if r.demo_cycle), None)
+    if demo is not None:
+        lines.append("")
+        lines.append(
+            f"relaxed outcome witnessed under {demo.model} "
+            f"({demo.test}); the same execution is provably non-SC:"
+        )
+        lines.append(demo.demo_cycle)
+    return "\n".join(lines)

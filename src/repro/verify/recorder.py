@@ -1,0 +1,196 @@
+"""Execution recorder: the opt-in hook that captures memory-event logs.
+
+An :class:`ExecutionRecorder` is handed to
+:class:`~repro.tango.executor.TangoExecutor` (or to the model-aware
+:class:`~repro.verify.relaxed.RelaxedEngine`) before a run.  The executor
+calls :meth:`record` for every performed load, store and synchronization
+operation; the relaxed engine additionally uses the :meth:`begin` /
+:meth:`complete` pair so a buffered store can occupy its program-order
+slot at issue time but take its place in the global coherence order only
+when it drains.
+
+The recorder also registers itself as the coherence listener of the
+:class:`~repro.mem.coherence.CoherentMemorySystem`, mirroring every
+protocol transition (install / upgrade / invalidate / downgrade / evict)
+into a directory-style shadow state and auditing the single-writer /
+multiple-reader invariant as the events stream in.  A protocol bug
+therefore surfaces as an ``audit_violations`` entry even when the
+ordering axioms still hold.
+
+One recorder records exactly one execution; build a fresh one per run.
+"""
+
+from __future__ import annotations
+
+from ..isa import MemClass
+from ..mem.cache import EXCLUSIVE, MODIFIED, SHARED
+from .events import EventLog, MemEvent
+
+#: Sentinel for "derive reads-from automatically from the global store".
+AUTO_RF = object()
+
+_READ = int(MemClass.READ)
+_WRITE = int(MemClass.WRITE)
+_ACQUIRE = int(MemClass.ACQUIRE)
+_RELEASE = int(MemClass.RELEASE)
+_BARRIER = int(MemClass.BARRIER)
+
+_STATE_NAMES = {SHARED: "S", EXCLUSIVE: "E", MODIFIED: "M"}
+
+
+class RecorderError(Exception):
+    """Raised on recorder misuse (reuse across runs, bad bindings)."""
+
+
+class ExecutionRecorder:
+    """Captures the global memory-event log of one execution."""
+
+    def __init__(self) -> None:
+        self.events: list[MemEvent] = []
+        self.coherence: list[tuple] = []
+        self.audit_violations: list[str] = []
+        self._n_threads = 0
+        self._po: list[int] = []
+        self._completed = 0
+        #: (addr, wide) -> gid of the last write that performed globally.
+        self._last_write: dict[tuple[int, bool], int] = {}
+        #: sync addr -> gid of the last completed release-class event.
+        self._last_release: dict[int, int] = {}
+        #: barrier addr -> completed arrival count (drives episodes).
+        self._barrier_done: dict[int, int] = {}
+        #: line -> {cpu: MESI state}: the coherence mirror for the audit.
+        self._mirror: dict[int, dict[int, int]] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(self, n_threads: int) -> None:
+        """Size the per-thread program-order counters (executor calls)."""
+        if self._n_threads and self._n_threads != n_threads:
+            raise RecorderError(
+                "recorder already bound to a different run; "
+                "use one recorder per execution"
+            )
+        self._n_threads = n_threads
+        if len(self._po) < n_threads:
+            self._po.extend([0] * (n_threads - len(self._po)))
+
+    def log(self) -> EventLog:
+        """The captured execution witness."""
+        return EventLog(
+            n_threads=self._n_threads,
+            events=self.events,
+            coherence=self.coherence,
+            audit_violations=self.audit_violations,
+        )
+
+    # -- event capture -------------------------------------------------------
+
+    def begin(
+        self,
+        tid: int,
+        pc: int,
+        op: int,
+        cls: int,
+        addr: int,
+        value: object = None,
+        wide: bool = False,
+    ) -> MemEvent:
+        """Create an event in program order without completing it.
+
+        Used by the relaxed engine for stores entering a write buffer:
+        the event claims its program-order slot now, and joins the global
+        coherence order in :meth:`complete` when the store drains.
+        """
+        ev = MemEvent(
+            gid=len(self.events), tid=tid, po=self._po[tid], pc=pc,
+            op=op, cls=cls, addr=addr, wide=wide, value=value,
+        )
+        self._po[tid] += 1
+        self.events.append(ev)
+        return ev
+
+    def complete(self, ev: MemEvent) -> None:
+        """Mark the event globally performed (visible to all processors)."""
+        ev.completed = self._completed
+        self._completed += 1
+        cls = ev.cls
+        if cls == _WRITE:
+            self._last_write[ev.key] = ev.gid
+        elif cls == _RELEASE:
+            self._last_release[ev.addr] = ev.gid
+        elif cls == _BARRIER:
+            done = self._barrier_done.get(ev.addr, 0)
+            ev.episode = done // self._n_threads
+            self._barrier_done[ev.addr] = done + 1
+
+    def record(
+        self,
+        tid: int,
+        pc: int,
+        op: int,
+        cls: int,
+        addr: int,
+        value: object = None,
+        wide: bool = False,
+        rf_event: object = AUTO_RF,
+    ) -> MemEvent:
+        """Record an operation that issues and performs atomically.
+
+        This is the Tango executor's path (its functional host performs
+        every access against the shared store in virtual-time order), and
+        the relaxed engine's path for loads and synchronization.  For
+        reads, ``rf_event`` may name the forwarding store explicitly;
+        by default the reads-from edge points at the last write that
+        performed globally on the same location.
+        """
+        ev = self.begin(tid, pc, op, cls, addr, value, wide)
+        if cls == _READ:
+            if rf_event is AUTO_RF:
+                ev.rf = self._last_write.get(ev.key, -1)
+            elif rf_event is not None:
+                ev.rf = rf_event.gid  # type: ignore[union-attr]
+        elif cls == _ACQUIRE:
+            ev.rf = self._last_release.get(addr, -1)
+        self.complete(ev)
+        return ev
+
+    # -- coherence listener (installed by CoherentMemorySystem) --------------
+
+    def coherence_event(self, kind: str, cpu: int, line: int, extra) -> None:
+        """Observe one protocol transition and audit the SWMR invariant.
+
+        ``extra`` is the installed state for ``install``, and the dirty
+        flag for ``invalidate`` / ``downgrade`` / ``evict``.
+        """
+        self.coherence.append((kind, cpu, line, extra))
+        holders = self._mirror.setdefault(line, {})
+        if kind == "install":
+            holders[cpu] = extra
+            self._audit_line(line, holders)
+        elif kind == "upgrade":
+            if holders.get(cpu) != SHARED:
+                self._flag(
+                    f"cpu {cpu} upgraded line {line:#x} it held as "
+                    f"{_STATE_NAMES.get(holders.get(cpu), 'I')}"
+                )
+            holders[cpu] = MODIFIED
+            self._audit_line(line, holders)
+        elif kind == "invalidate" or kind == "evict":
+            holders.pop(cpu, None)
+        elif kind == "downgrade":
+            if cpu in holders:
+                holders[cpu] = SHARED
+
+    def _audit_line(self, line: int, holders: dict[int, int]) -> None:
+        owners = [c for c, s in holders.items() if s in (MODIFIED, EXCLUSIVE)]
+        if len(owners) > 1 or (owners and len(holders) > 1):
+            self._flag(
+                f"SWMR violated on line {line:#x}: "
+                + ", ".join(
+                    f"cpu{c}={_STATE_NAMES[s]}"
+                    for c, s in sorted(holders.items())
+                )
+            )
+
+    def _flag(self, message: str) -> None:
+        self.audit_violations.append(message)

@@ -1,0 +1,336 @@
+"""Model-aware operational engine with per-processor store buffers.
+
+The Tango executor in :mod:`repro.tango.executor` is *functionally
+sequentially consistent*: one global store, accesses performed atomically
+in virtual-time order.  Its recorded executions therefore satisfy every
+model's axioms — which makes it a regression oracle, but useless for
+demonstrating that relaxed models genuinely admit more behaviours.
+
+:class:`RelaxedEngine` closes that gap.  It executes the same programs
+against the same functional :class:`~repro.mem.memory.SharedMemory` and
+:class:`~repro.sync.primitives.SyncManager`, but gives every processor a
+FIFO *store buffer* whose visibility rules come straight from the
+consistency model's ``requires`` matrix:
+
+* an instruction of memory class ``cls`` may not issue while the buffer
+  is non-empty and ``model.requires(WRITE, cls)`` holds — so SC drains
+  before every access, PC lets reads (and acquires) slip past buffered
+  writes, WO drains only at synchronization, and RC drains only at
+  releases;
+* buffered stores drain one at a time, in FIFO order when the model
+  orders W->W (SC/PC) and oldest-per-location otherwise (WO/RC) — the
+  per-location restriction is cache coherence, which every model keeps;
+* a load first snoops its own buffer (store-to-load forwarding, youngest
+  matching entry) before reading the global store;
+* every buffered store draws a random *drain latency* (a variable miss
+  penalty): it becomes eligible to drain only after that many scheduler
+  steps.  Without this, back-to-back stores become drainable nearly
+  simultaneously and the tell-tale relaxed windows (message passing's
+  flag-before-data) are vanishingly rare; with it, one line's miss can
+  take much longer than another's, exactly the mechanism the paper's
+  relaxed models exploit.
+
+A seeded scheduler picks uniformly among all enabled actions (issue one
+instruction on some processor, or drain one buffered store), so running
+a litmus program across many seeds explores many legal interleavings and
+drain timings.  Every execution is recorded through an
+:class:`~repro.verify.recorder.ExecutionRecorder`; buffered stores claim
+their program-order slot at issue and their coherence-order slot at
+drain, which is exactly the split the axiomatic checker needs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..consistency.models import ConsistencyModel, get_model
+from ..isa import MemClass, Op, mem_class
+from ..mem import SharedMemory
+from ..sync import SyncManager
+from ..tango.interp import ThreadState, execute_instruction
+from .recorder import ExecutionRecorder
+
+_READ = int(MemClass.READ)
+_WRITE = int(MemClass.WRITE)
+_ACQUIRE = int(MemClass.ACQUIRE)
+_RELEASE = int(MemClass.RELEASE)
+_BARRIER = int(MemClass.BARRIER)
+
+
+class RelaxedExecutionError(Exception):
+    """Deadlock or runaway execution inside the relaxed engine."""
+
+
+class _BufferedStore:
+    """One store sitting in a write buffer, awaiting drain."""
+
+    __slots__ = ("event", "addr", "wide", "value", "ready_at")
+
+    def __init__(self, event, addr, wide, value, ready_at) -> None:
+        self.event = event
+        self.addr = addr
+        self.wide = wide
+        self.value = value
+        self.ready_at = ready_at
+
+    @property
+    def key(self):
+        return (self.addr, self.wide)
+
+
+class RelaxedEngine:
+    """Executes programs under a consistency model with store buffers."""
+
+    def __init__(
+        self,
+        programs,
+        memory: SharedMemory | None = None,
+        model="SC",
+        seed: int = 0,
+        recorder: ExecutionRecorder | None = None,
+        max_steps: int = 200_000,
+        drain_latency_max: int = 16,
+    ) -> None:
+        if not isinstance(model, ConsistencyModel):
+            model = get_model(model)
+        self.model = model
+        self.memory = memory if memory is not None else SharedMemory()
+        self.recorder = recorder if recorder is not None else ExecutionRecorder()
+        self.recorder.bind(len(programs))
+        self.max_steps = max_steps
+        self._lat_max = drain_latency_max
+        self._rng = random.Random(seed)
+        self.states = [
+            ThreadState(tid=tid, program=prog.seal())
+            for tid, prog in enumerate(programs)
+        ]
+        self.sync = SyncManager(len(programs))
+        self._buffers: list[list[_BufferedStore]] = [[] for _ in programs]
+        #: tid -> ("lock"|"event"|"barrier", addr, pc) while blocked.
+        self._blocked: dict[int, tuple[str, int, int]] = {}
+        self.steps = 0
+        # The issue gate per memory class: may this class issue while
+        # stores are buffered?  NONE (ALU/branch) always may.
+        self._gated = {
+            int(c): model.requires(MemClass.WRITE, c)
+            for c in (
+                MemClass.READ, MemClass.WRITE, MemClass.ACQUIRE,
+                MemClass.RELEASE, MemClass.BARRIER,
+            )
+        }
+        self._gated[int(MemClass.NONE)] = False
+        self._fifo_drain = model.requires(MemClass.WRITE, MemClass.WRITE)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _issuable(self, tid: int) -> bool:
+        state = self.states[tid]
+        if state.halted or tid in self._blocked:
+            return False
+        if not self._buffers[tid]:
+            return True
+        op = state.program.instructions[state.pc].op
+        return not self._gated[int(mem_class(op))]
+
+    def _drain_candidates(self, tid: int) -> list[int]:
+        """Buffer indices allowed to drain next, ignoring readiness."""
+        buffer = self._buffers[tid]
+        if not buffer:
+            return []
+        if self._fifo_drain:
+            return [0]
+        # Per-location FIFO (coherence): only the oldest store to each
+        # location is a candidate.
+        seen: set = set()
+        indices = []
+        for i, entry in enumerate(buffer):
+            if entry.key not in seen:
+                indices.append(i)
+                seen.add(entry.key)
+        return indices
+
+    def _drainable(self, tid: int) -> list[int]:
+        buffer = self._buffers[tid]
+        now = self.steps
+        return [
+            i for i in self._drain_candidates(tid)
+            if buffer[i].ready_at <= now
+        ]
+
+    def run(self):
+        """Execute to completion; returns the recorded event log."""
+        while True:
+            if all(s.halted for s in self.states) and not any(
+                self._buffers
+            ):
+                break
+            actions = [
+                ("exec", tid, 0)
+                for tid in range(len(self.states))
+                if self._issuable(tid)
+            ]
+            actions.extend(
+                ("drain", tid, idx)
+                for tid in range(len(self.states))
+                for idx in self._drainable(tid)
+            )
+            if not actions:
+                # No issuable instruction and no ready drain.  If stores
+                # are merely waiting out their drain latency, fast-forward
+                # to the earliest readiness; otherwise it is a deadlock.
+                pending = [
+                    self._buffers[tid][i].ready_at
+                    for tid in range(len(self.states))
+                    for i in self._drain_candidates(tid)
+                ]
+                if pending:
+                    self.steps = max(self.steps, min(pending))
+                    continue
+                blocked = self.sync.blocked_threads()
+                raise RelaxedExecutionError(
+                    f"deadlock under {self.model.name}: "
+                    f"blocked={blocked or self._blocked}"
+                )
+            if self.steps >= self.max_steps:
+                raise RelaxedExecutionError(
+                    f"exceeded {self.max_steps} steps under "
+                    f"{self.model.name}"
+                )
+            kind, tid, idx = actions[self._rng.randrange(len(actions))]
+            self.steps += 1
+            if kind == "drain":
+                self._drain(tid, idx)
+            else:
+                self._exec(tid)
+        return self.recorder.log()
+
+    # -- actions -------------------------------------------------------------
+
+    def _drain(self, tid: int, idx: int) -> None:
+        entry = self._buffers[tid].pop(idx)
+        if entry.wide:
+            self.memory.write_double(entry.addr, entry.value)
+        else:
+            self.memory.write_word(entry.addr, entry.value)
+        self.recorder.complete(entry.event)
+
+    def _exec(self, tid: int) -> None:
+        state = self.states[tid]
+        instr = state.program.instructions[state.pc]
+        op = instr.op
+        if op is Op.HALT:
+            state.halted = True
+            return
+        if op is Op.LW or op is Op.FLD:
+            self._load(state, instr, wide=op is Op.FLD)
+            return
+        if op is Op.SW or op is Op.FSD:
+            self._store(state, instr, wide=op is Op.FSD)
+            return
+        cls = mem_class(op)
+        if cls is not MemClass.NONE:
+            self._sync_op(state, instr, op)
+            return
+        execute_instruction(state, self.memory)
+
+    def _load(self, state: ThreadState, instr, wide: bool) -> None:
+        addr = state.regs[instr.rs1] + instr.imm
+        op = Op.FLD if wide else Op.LW
+        key = (addr, wide)
+        forwarded = None
+        for entry in reversed(self._buffers[state.tid]):
+            if entry.key == key:
+                forwarded = entry
+                break
+        if forwarded is not None:
+            value = forwarded.value
+            self.recorder.record(
+                state.tid, state.pc, int(op), _READ, addr,
+                value=value, wide=wide, rf_event=forwarded.event,
+            )
+        else:
+            if wide:
+                value = self.memory.read_double(addr)
+            else:
+                value = self.memory.read_word(addr)
+            self.recorder.record(
+                state.tid, state.pc, int(op), _READ, addr,
+                value=value, wide=wide,
+            )
+        if instr.rd is not None and instr.rd != 0:
+            state.regs[instr.rd] = value
+        state.pc += 1
+        state.instructions_executed += 1
+
+    def _store(self, state: ThreadState, instr, wide: bool) -> None:
+        addr = state.regs[instr.rs1] + instr.imm
+        value = state.regs[instr.rs2]
+        op = Op.FSD if wide else Op.SW
+        event = self.recorder.begin(
+            state.tid, state.pc, int(op), _WRITE, addr,
+            value=value, wide=wide,
+        )
+        self._buffers[state.tid].append(
+            _BufferedStore(
+                event, addr, wide, value,
+                self.steps + self._rng.randint(0, self._lat_max),
+            )
+        )
+        state.pc += 1
+        state.instructions_executed += 1
+
+    def _sync_op(self, state: ThreadState, instr, op: Op) -> None:
+        tid = state.tid
+        addr = state.regs[instr.rs1]
+        now = self.steps
+        if op is Op.LOCK:
+            if self.sync.acquire_lock(addr, tid, now):
+                self._complete_sync(state, int(op), _ACQUIRE, addr)
+            else:
+                self._blocked[tid] = ("lock", addr, state.pc)
+        elif op is Op.UNLOCK:
+            wakeup = self.sync.release_lock(addr, tid, now)
+            self._complete_sync(state, int(op), _RELEASE, addr)
+            if wakeup is not None:
+                self._wake(wakeup.tid, Op.LOCK, _ACQUIRE)
+        elif op is Op.EVWAIT:
+            if self.sync.event_wait(addr, tid, now):
+                self._complete_sync(state, int(op), _ACQUIRE, addr)
+            else:
+                self._blocked[tid] = ("event", addr, state.pc)
+        elif op is Op.EVSET:
+            wakeups = self.sync.event_set(addr, tid, now)
+            self._complete_sync(state, int(op), _RELEASE, addr)
+            for wakeup in wakeups:
+                self._wake(wakeup.tid, Op.EVWAIT, _ACQUIRE)
+        elif op is Op.EVCLEAR:
+            self.sync.event_clear(addr)
+            self._complete_sync(state, int(op), _RELEASE, addr)
+        elif op is Op.BARRIER:
+            wakeups = self.sync.barrier_arrive(addr, tid, now)
+            if wakeups is None:
+                self._blocked[tid] = ("barrier", addr, state.pc)
+            else:
+                for wakeup in wakeups:
+                    if wakeup.tid == tid:
+                        self._complete_sync(
+                            state, int(op), _BARRIER, addr
+                        )
+                    else:
+                        self._wake(wakeup.tid, Op.BARRIER, _BARRIER)
+        else:  # pragma: no cover - mem_class keeps this unreachable
+            raise RelaxedExecutionError(f"unhandled sync op {op!r}")
+
+    def _complete_sync(
+        self, state: ThreadState, op: int, cls: int, addr: int
+    ) -> None:
+        self.recorder.record(state.tid, state.pc, op, cls, addr)
+        state.pc += 1
+        state.instructions_executed += 1
+
+    def _wake(self, tid: int, op: Op, cls: int) -> None:
+        kind, addr, pc = self._blocked.pop(tid)
+        state = self.states[tid]
+        self.recorder.record(tid, pc, int(op), cls, addr)
+        state.pc = pc + 1
+        state.instructions_executed += 1

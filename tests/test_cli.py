@@ -31,6 +31,41 @@ class TestParser:
             assert args.command == name
 
 
+class TestVerifyCommand:
+    def test_parses_targets_and_options(self):
+        args = build_parser().parse_args(
+            ["verify", "litmus", "--model", "rc",
+             "--schedules", "25", "--seed", "7", "--jobs", "2"]
+        )
+        assert args.command == "verify"
+        assert args.target == "litmus"
+        assert args.model == "rc"
+        assert (args.schedules, args.seed, args.jobs) == (25, 7, 2)
+
+    def test_accepts_app_and_litmus_names(self):
+        parser = build_parser()
+        for target in ("lu", "sb", "mp", "apps", "all"):
+            assert parser.parse_args(["verify", target]).target == target
+        with pytest.raises(SystemExit):
+            parser.parse_args(["verify", "doom"])
+
+    def test_litmus_run_reports_and_succeeds(self, capsys):
+        rc = main(["verify", "sb", "--model", "pc", "--schedules", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[sb/PC] ok" in out
+        assert "provably non-SC" in out
+        assert "verification OK" in out
+
+    def test_app_run_checks_all_models(self, capsys):
+        rc = main(["--procs", "4", "verify", "lu"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[lu] ok" in out
+        for model in ("SC", "PC", "WO", "RC"):
+            assert f"{model}=ok" in out
+
+
 class TestExecution:
     def test_run_verifies_and_reports(self, capsys, tmp_path):
         rc = main(["--preset", "tiny", "--cache-dir", str(tmp_path),

@@ -177,6 +177,125 @@ class TestOrderingAnalysis:
         assert total_time(SC, [], []) == 0
 
 
+def _reachable(edges, src, dst):
+    """Is ``dst`` reachable from ``src`` along ``edges``?"""
+    frontier = [src]
+    seen = {src}
+    adj = {}
+    for i, j in edges:
+        adj.setdefault(i, []).append(j)
+    while frontier:
+        node = frontier.pop()
+        if node == dst:
+            return True
+        for nxt in adj.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def _brute_force_reduction(edges):
+    """Edges whose removal breaks reachability (unique for a DAG)."""
+    return {
+        e for e in edges
+        if not _reachable(edges - {e}, e[0], e[1])
+    }
+
+
+class TestOrderingEdgesPerModel:
+    """Direct pins of ordering_edges for every model on one sequence."""
+
+    OPS = [R, W, ACQ, R, W, REL, R]
+
+    def test_sc_orders_all_pairs(self):
+        n = len(self.OPS)
+        expected = {(i, j) for j in range(n) for i in range(j)}
+        assert ordering_edges(SC, self.OPS) == expected
+
+    def test_pc_drops_only_write_to_readlike(self):
+        edges = ordering_edges(PC, self.OPS)
+        # write (1) -> read (3), write (4) -> read (6), rel (5) -> read (6)
+        assert (1, 3) not in edges and (4, 6) not in edges
+        assert (5, 6) not in edges      # release is write-like
+        assert (1, 2) not in edges      # acquire is read-like
+        assert (0, 1) in edges and (3, 4) in edges
+
+    def test_wo_orders_only_around_sync(self):
+        edges = ordering_edges(WO, self.OPS)
+        for i, j in edges:
+            assert self.OPS[i] in (ACQ, REL, BAR) or \
+                self.OPS[j] in (ACQ, REL, BAR), (i, j)
+        # Every data access is ordered against both sync points.
+        for data in (0, 1, 3, 4):
+            assert ((data, 2) in edges) == (data < 2)
+            assert ((data, 5) in edges) == (data < 5)
+
+    def test_rc_acquire_gates_release_awaits(self):
+        edges = ordering_edges(RC, self.OPS)
+        assert edges == {
+            (2, 3), (2, 4), (2, 5), (2, 6),   # acquire gates later
+            (0, 5), (1, 5), (3, 5), (4, 5),   # release awaits earlier
+        }
+
+
+class TestReducedEdgesBruteForce:
+    """reduced_edges must equal the unique DAG transitive reduction."""
+
+    @pytest.mark.parametrize("model", list(MODELS.values()),
+                             ids=lambda m: m.name)
+    def test_matches_brute_force_on_mixed_sequence(self, model):
+        ops = [R, W, ACQ, R, W, BAR, W, REL, R, W]
+        full = ordering_edges(model, ops)
+        assert reduced_edges(model, ops) == _brute_force_reduction(full)
+
+    @pytest.mark.parametrize("model", list(MODELS.values()),
+                             ids=lambda m: m.name)
+    def test_reduction_preserves_reachability(self, model):
+        ops = [W, R, REL, ACQ, W, R, BAR, R, W]
+        full = ordering_edges(model, ops)
+        red = reduced_edges(model, ops)
+        assert red <= full
+        for i, j in full:
+            assert _reachable(red, i, j), (i, j)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(ALL), min_size=1, max_size=10))
+def test_property_reduced_edges_is_transitive_reduction(ops):
+    """Hypothesis sweep: reduction matches brute force for all models."""
+    for model in MODELS.values():
+        full = ordering_edges(model, ops)
+        assert reduced_edges(model, ops) == _brute_force_reduction(full)
+
+
+class TestEarliestCompletionTimesDirect:
+    def test_sc_serialises_heterogeneous_latencies(self):
+        ops = [R, W, R]
+        lat = [10, 50, 5]
+        assert earliest_completion_times(SC, ops, lat) == [
+            (0, 10), (10, 60), (60, 65),
+        ]
+
+    def test_pc_read_issues_under_pending_write(self):
+        ops = [W, R]
+        times = earliest_completion_times(PC, ops, [50, 10])
+        assert times == [(0, 50), (0, 10)]  # read fully hidden
+
+    def test_wo_sync_fences_data(self):
+        ops = [W, W, REL, W]
+        times = earliest_completion_times(WO, ops, [50, 50, 10, 50])
+        assert times[0] == (0, 50) and times[1] == (0, 50)  # overlap
+        assert times[2] == (50, 60)     # release waits for both writes
+        assert times[3] == (60, 110)    # data waits for the release (WO)
+
+    def test_rc_release_does_not_fence_later_data(self):
+        ops = [W, REL, W]
+        times = earliest_completion_times(RC, ops, [50, 10, 50])
+        assert times[1] == (50, 60)     # release awaits the earlier write
+        assert times[2] == (0, 50)      # later data ignores the release
+
+
 @settings(max_examples=100, deadline=None)
 @given(st.lists(st.sampled_from(ALL), min_size=1, max_size=12))
 def test_property_relaxation_never_slower(ops):

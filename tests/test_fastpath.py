@@ -19,6 +19,7 @@ from repro.experiments import (
     simulate_app_models,
 )
 from repro.tango.trace import TRACE_FORMAT_VERSION
+from repro.verify import ExecutionRecorder
 
 
 def _run(app: str, compiled: bool):
@@ -42,6 +43,40 @@ class TestCompiledDispatch:
         assert fast.stats == ref.stats
         for cpu in (0, 1):
             assert fast.trace(cpu) == ref.trace(cpu)
+
+
+class TestRecordedCompiledDispatch:
+    """Recording must not perturb the fast path — and both engines must
+    emit the *identical* global event log, coherence stream included."""
+
+    @staticmethod
+    def _record(app: str, compiled: bool):
+        workload = build_app(app, preset="tiny")
+        recorder = ExecutionRecorder()
+        config = MultiprocessorConfig(trace_cpus=())
+        result = TangoExecutor(
+            workload.programs, config, memory=workload.memory,
+            compiled=compiled, recorder=recorder,
+        ).run()
+        workload.verify(result.memory)
+        return result, recorder.log()
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_compiled_log_matches_reference(self, app):
+        fast_result, fast_log = self._record(app, compiled=True)
+        ref_result, ref_log = self._record(app, compiled=False)
+        assert fast_result.stats == ref_result.stats
+        assert fast_log.n_threads == ref_log.n_threads
+        assert len(fast_log) == len(ref_log) > 0
+        assert fast_log.events == ref_log.events
+        assert fast_log.coherence == ref_log.coherence
+        assert fast_log.audit_violations == []
+        assert ref_log.audit_violations == []
+
+    def test_recording_does_not_change_unrecorded_results(self):
+        recorded, _ = self._record("lu", compiled=True)
+        bare = _run("lu", compiled=True)
+        assert recorded.stats == bare.stats
 
 
 class TestParallelFanOut:

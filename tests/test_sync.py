@@ -136,6 +136,129 @@ class TestEvents:
             m.event_clear(0x40)
 
 
+class TestLockHandoffUnderContention:
+    """A contended lock is handed down the waiter queue without ever
+    going free in between, and every grant accounts its wait."""
+
+    def test_chained_handoff_stays_fifo(self):
+        m = SyncManager(8)
+        m.acquire_lock(0x10, 0, 0)
+        for tid, at in ((1, 2), (2, 4), (3, 6), (4, 8)):
+            assert not m.acquire_lock(0x10, tid, at)
+        release_at = 10
+        for expect_tid, requested in ((1, 2), (2, 4), (3, 6), (4, 8)):
+            w = m.release_lock(0x10, m.lock_holder(0x10), release_at)
+            assert w.tid == expect_tid
+            assert w.grant_time == release_at
+            assert w.wait == release_at - requested
+            # The lock never appears free during a handoff.
+            assert m.lock_holder(0x10) == expect_tid
+            release_at += 10
+        assert m.release_lock(0x10, 4, release_at) is None
+        assert m.lock_holder(0x10) is None
+
+    def test_late_acquirer_queues_behind_handoff(self):
+        m = SyncManager(4)
+        m.acquire_lock(0x10, 0, 0)
+        m.acquire_lock(0x10, 1, 1)
+        w = m.release_lock(0x10, 0, 5)
+        assert w.tid == 1
+        # Thread 2 arrives after the handoff: it must queue, and the
+        # next release grants it (not thread 0 re-requesting later).
+        assert not m.acquire_lock(0x10, 2, 6)
+        assert not m.acquire_lock(0x10, 0, 7)
+        w2 = m.release_lock(0x10, 1, 9)
+        assert w2.tid == 2 and w2.wait == 3
+        w3 = m.release_lock(0x10, 2, 12)
+        assert w3.tid == 0 and w3.wait == 5
+
+    def test_handoff_wait_uses_request_time_not_release(self):
+        m = SyncManager(4)
+        m.acquire_lock(0x10, 0, 0)
+        m.acquire_lock(0x10, 1, 100)
+        w = m.release_lock(0x10, 0, 40)
+        assert w.grant_time == 100 and w.wait == 0
+
+
+class TestBarrierEpochReuse:
+    """One barrier address serves every epoch; state fully resets."""
+
+    def test_three_epochs_with_rotating_last_arrival(self):
+        m = SyncManager(3)
+        arrival_orders = [
+            ((0, 10), (1, 20), (2, 30)),
+            ((2, 40), (0, 44), (1, 50)),
+            ((1, 60), (2, 61), (0, 70)),
+        ]
+        for epoch, order in enumerate(arrival_orders):
+            wakeups = None
+            for tid, at in order:
+                wakeups = m.barrier_arrive(0x30, tid, at)
+            assert wakeups is not None
+            last = order[-1][1]
+            by_tid = {w.tid: w for w in wakeups}
+            assert set(by_tid) == {0, 1, 2}
+            for tid, at in order:
+                assert by_tid[tid].grant_time == last
+                assert by_tid[tid].wait == last - at
+            assert m.barrier_episodes(0x30) == epoch + 1
+
+    def test_double_arrival_still_raises_after_reuse(self):
+        m = SyncManager(2)
+        m.barrier_arrive(0x30, 0, 0)
+        m.barrier_arrive(0x30, 1, 1)     # epoch 1 completes
+        m.barrier_arrive(0x30, 0, 5)
+        with pytest.raises(SyncError):
+            m.barrier_arrive(0x30, 0, 6)
+        # The failed arrival did not corrupt the epoch: 1 completes it.
+        assert m.barrier_arrive(0x30, 1, 7) is not None
+        assert m.barrier_episodes(0x30) == 2
+
+    def test_independent_barrier_addresses(self):
+        m = SyncManager(2)
+        assert m.barrier_arrive(0x30, 0, 0) is None
+        assert m.barrier_arrive(0x70, 1, 0) is None
+        assert m.barrier_episodes(0x30) == 0
+        assert m.barrier_episodes(0x70) == 0
+
+
+class TestEventRearm:
+    """set -> clear -> wait -> set again: a reusable producer/consumer
+    event (the PTHOR idiom), with wait accounting per generation."""
+
+    def test_full_rearm_cycle(self):
+        m = SyncManager(3)
+        m.event_set(0x40, 0, 10)
+        assert m.event_is_set(0x40)
+        assert m.event_wait(0x40, 1, 11)      # passes while set
+        m.event_clear(0x40)
+        assert not m.event_is_set(0x40)
+        assert not m.event_wait(0x40, 1, 20)  # blocks after re-arm
+        assert not m.event_wait(0x40, 2, 25)
+        wakeups = m.event_set(0x40, 0, 30)
+        assert {(w.tid, w.wait) for w in wakeups} == {(1, 10), (2, 5)}
+        assert m.event_is_set(0x40)
+
+    def test_set_is_idempotent_and_sticky(self):
+        m = SyncManager(2)
+        assert m.event_set(0x40, 0, 0) == []
+        assert m.event_set(0x40, 0, 5) == []
+        assert m.event_wait(0x40, 1, 6)
+
+    def test_clear_unset_event_is_noop(self):
+        m = SyncManager(2)
+        m.event_clear(0x40)
+        assert not m.event_is_set(0x40)
+
+    def test_waits_do_not_leak_across_generations(self):
+        m = SyncManager(2)
+        m.event_wait(0x40, 1, 0)
+        assert len(m.event_set(0x40, 0, 4)) == 1
+        m.event_clear(0x40)
+        # No stale waiter from generation 1 reappears in generation 2.
+        assert m.event_set(0x40, 0, 8) == []
+
+
 class TestDiagnostics:
     def test_blocked_threads_report(self):
         m = SyncManager(4)
