@@ -51,6 +51,13 @@ def test_perf_smoke():
     ds_cfg = ProcessorConfig(kind="ds", model="RC", window=256)
     _, ds_s = _timed(lambda: simulate(trace, ds_cfg))
 
+    # DS replay with every miss re-timed through the mesh backend: the
+    # contention model's overhead relative to the fixed penalty.
+    from repro.net import build_network
+
+    mesh = build_network("mesh", config.n_cpus, config.line_size)
+    _, mesh_s = _timed(lambda: simulate(trace, ds_cfg, network=mesh))
+
     # Axiomatic-checker throughput over a freshly recorded run.
     rec_workload = build_app("lu", preset="tiny")
     recorder = ExecutionRecorder()
@@ -76,6 +83,9 @@ def test_perf_smoke():
         "ds_trace_instructions": len(trace),
         "ds_seconds": round(ds_s, 4),
         "ds_instr_per_s": round(len(trace) / ds_s),
+        "ds_mesh_seconds": round(mesh_s, 4),
+        "ds_mesh_instr_per_s": round(len(trace) / mesh_s),
+        "ds_mesh_misses_timed": len(mesh.latencies),
         "verify_events": len(log),
         "verify_seconds": round(verify_s, 4),
         "verify_events_per_s": round(len(log) / verify_s),
@@ -85,6 +95,8 @@ def test_perf_smoke():
 
     assert payload["interp_instr_per_s"] > 0
     assert payload["ds_instr_per_s"] > 0
+    assert payload["ds_mesh_instr_per_s"] > 0
+    assert payload["ds_mesh_misses_timed"] > 0
     assert payload["verify_events_per_s"] > 0
     # The compiled engine must never regress below the reference one.
     assert payload["compiled_speedup"] > 1.0

@@ -9,6 +9,9 @@ Commands:
 * ``table1|table2|table3|headline|figure1|figure3|figure4|latency100|
   multi-issue|miss-analysis|sc-boost|contexts|compiler-sched`` —
   regenerate a specific table/figure/extension experiment and print it.
+* ``contention`` — replay traces under the contention-aware network
+  backends (``--network {ideal,crossbar,mesh}``) and report per-model
+  miss-latency distributions.
 * ``all`` — regenerate everything into ``results/``.
 """
 
@@ -20,6 +23,7 @@ from pathlib import Path
 
 from . import MultiprocessorConfig, TangoExecutor, build_app
 from .apps import APP_NAMES
+from .net import NETWORK_KINDS
 from . import experiments as exp
 
 
@@ -29,13 +33,15 @@ def _store(args) -> exp.TraceStore:
         miss_penalty=args.penalty,
         preset=args.preset,
         cache_dir=args.cache_dir,
+        network=args.network,
     )
 
 
 def cmd_run(args) -> None:
     workload = build_app(args.app, n_procs=args.procs, preset=args.preset)
     config = MultiprocessorConfig(
-        n_cpus=args.procs, miss_penalty=args.penalty
+        n_cpus=args.procs, miss_penalty=args.penalty,
+        network=args.network,
     )
     result = TangoExecutor(
         workload.programs, config, memory=workload.memory
@@ -110,6 +116,23 @@ def cmd_experiment(args) -> None:
     print(_SIMPLE[args.command](_store(args), jobs))
 
 
+def cmd_contention(args) -> None:
+    # The contention replay builds its own network per (model, network)
+    # pair; traces themselves stay on the ideal backend.
+    store = exp.TraceStore(
+        n_procs=args.procs, miss_penalty=args.penalty,
+        preset=args.preset, cache_dir=args.cache_dir,
+    )
+    networks = (
+        tuple(NETWORK_KINDS) if args.network == "ideal"
+        else ("ideal", args.network)
+    )
+    apps = tuple(args.apps) if args.apps else None
+    print(exp.format_contention(
+        exp.run_contention(store, apps=apps, networks=networks)
+    ))
+
+
 def cmd_verify(args) -> int:
     from . import verify as v
 
@@ -132,6 +155,7 @@ def cmd_verify(args) -> int:
         results = v.verify_litmus(
             names=litmus_names, models=models,
             schedules=args.schedules, seed=args.seed, jobs=args.jobs,
+            ooo=args.ooo,
         )
         print(v.format_litmus_report(results))
         failures += sum(not r.ok for r in results)
@@ -193,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="application size preset")
     parser.add_argument("--cache-dir", default=exp.runner.DEFAULT_CACHE_DIR,
                         help="trace cache directory")
+    parser.add_argument("--network", default="ideal",
+                        choices=NETWORK_KINDS,
+                        help="interconnect timing backend (ideal = the "
+                             "paper's fixed miss penalty)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run and verify one application")
@@ -214,6 +242,22 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker processes for trace generation "
                                 "and model sweeps")
         p.set_defaults(func=cmd_experiment)
+
+    p_cont = sub.add_parser(
+        "contention",
+        help="miss-latency distributions under a loaded interconnect",
+        description=(
+            "Replay the application traces through BASE/SSBR/DS with "
+            "miss latencies re-timed by a contention-aware network "
+            "model, reporting each model's execution time and observed "
+            "miss-latency distribution (mean/p50/p99).  With --network "
+            "ideal (the default) all backends are compared; otherwise "
+            "only ideal plus the selected backend."
+        ),
+    )
+    p_cont.add_argument("--apps", nargs="*", choices=APP_NAMES,
+                        help="restrict to these applications")
+    p_cont.set_defaults(func=cmd_contention)
 
     p_ver = sub.add_parser(
         "verify",
@@ -242,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base seed for the schedule sweep")
     p_ver.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the verification sweep")
+    p_ver.add_argument("--ooo", action="store_true",
+                       help="litmus engine issues loads/stores out of "
+                            "order (exposes lb/iriw reorderings under "
+                            "WO/RC)")
     p_ver.set_defaults(func=cmd_verify)
 
     p_all = sub.add_parser("all", help="regenerate everything")

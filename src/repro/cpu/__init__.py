@@ -68,23 +68,37 @@ class ProcessorConfig:
         return name
 
 
-def simulate(trace: Trace, config: ProcessorConfig) -> ExecutionBreakdown:
-    """Run the configured processor model over ``trace``."""
+def simulate(
+    trace: Trace, config: ProcessorConfig, network=None
+) -> ExecutionBreakdown:
+    """Run the configured processor model over ``trace``.
+
+    ``network`` (a :class:`repro.net.ContentionNetwork`) re-times every
+    miss through a contended interconnect at the cycle the model issues
+    it; None keeps the trace's baked fixed-penalty stalls.
+    """
     kind = config.kind.lower()
     if kind == "base":
-        return simulate_base(trace, label=config.label())
+        return simulate_base(trace, label=config.label(), network=network)
     model = get_model(config.model)
     if kind == "ssbr":
-        return simulate_ssbr(trace, model, label=config.label())
+        return simulate_ssbr(
+            trace, model, label=config.label(), network=network
+        )
     if kind == "ss":
-        return simulate_ss(trace, model, label=config.label())
+        return simulate_ss(
+            trace, model, label=config.label(), network=network
+        )
     if kind == "ds":
+        ds_kwargs = dict(config.ds)
+        if network is not None:
+            ds_kwargs["network"] = network
         ds_config = DSConfig(
             window=config.window,
             issue_width=config.issue_width,
             perfect_branch_prediction=config.perfect_bp,
             ignore_data_dependences=config.ignore_deps,
-            **config.ds,
+            **ds_kwargs,
         )
         return simulate_ds(trace, model, ds_config, label=config.label())
     raise ValueError(f"unknown processor kind {config.kind!r}")

@@ -21,11 +21,21 @@ _MC_RELEASE = int(MemClass.RELEASE)
 _MC_BARRIER = int(MemClass.BARRIER)
 
 
-def simulate_base(trace: Trace, label: str = "BASE") -> ExecutionBreakdown:
-    """Run the BASE model over a trace (columnar: flat-int iteration)."""
+def simulate_base(
+    trace: Trace, label: str = "BASE", network=None
+) -> ExecutionBreakdown:
+    """Run the BASE model over a trace (columnar: flat-int iteration).
+
+    With a :class:`repro.net.ContentionNetwork` attached, each miss's
+    latency is re-timed through the interconnect at the cycle the
+    serial processor reaches it, instead of using the trace's baked
+    stall (which then only marks hit/miss).
+    """
     sync = 0
     read = 0
     write = 0
+    if network is not None:
+        return _simulate_base_network(trace, label, network)
     for cls, stall, wait in zip(trace.mem_class, trace.stall, trace.wait):
         if cls == _MC_READ:
             read += stall
@@ -34,6 +44,53 @@ def simulate_base(trace: Trace, label: str = "BASE") -> ExecutionBreakdown:
             write += stall
         elif cls == _MC_ACQUIRE or cls == _MC_BARRIER:
             sync += wait + stall
+    return ExecutionBreakdown(
+        label=label,
+        busy=len(trace),
+        sync=sync,
+        read=read,
+        write=write,
+        instructions=len(trace),
+    )
+
+
+def _simulate_base_network(
+    trace: Trace, label: str, network
+) -> ExecutionBreakdown:
+    """BASE with per-miss network timing: one access at a time, each
+    re-timed at the cycle it begins, so the unloaded network sees the
+    serial processor's widely spaced requests."""
+    cpu = trace.cpu
+    replay = network.replay_miss
+    sync = 0
+    read = 0
+    write = 0
+    t = 0
+    for cls, stall, wait, addr in zip(
+        trace.mem_class, trace.stall, trace.wait, trace.addr
+    ):
+        t += 1
+        if cls == _MC_READ:
+            if stall:
+                lat = replay(cpu, addr, False, t)
+                read += lat
+                t += lat
+        elif cls == _MC_WRITE:
+            if stall:
+                lat = replay(cpu, addr, True, t)
+                write += lat
+                t += lat
+        elif cls == _MC_RELEASE:
+            # Sync-variable access latency is not a coherence miss.
+            write += stall
+            t += stall
+        elif cls == _MC_ACQUIRE or cls == _MC_BARRIER:
+            sync += wait + stall
+            # The trace can carry a negative wait (a wakeup granted
+            # before this processor's virtual time); the accounting
+            # keeps it, but the network clock must not run backwards.
+            if wait + stall > 0:
+                t += wait + stall
     return ExecutionBreakdown(
         label=label,
         busy=len(trace),

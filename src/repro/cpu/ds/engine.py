@@ -57,6 +57,7 @@ from .btb import BranchTargetBuffer
 
 _MC_NONE = int(MemClass.NONE)
 _MC_READ = int(MemClass.READ)
+_MC_WRITE = int(MemClass.WRITE)
 
 _MEM_CLASSES = tuple(int(cls) for cls in (
     MemClass.READ,
@@ -108,6 +109,12 @@ class DSConfig:
     #: synchronization stay constrained, and retirement order still
     #: provides the memory model's guarantees.
     speculative_loads: bool = False
+    #: Optional repro.net.ContentionNetwork.  When set, every miss (the
+    #: trace's baked stall marks hit/miss) is re-timed through the
+    #: interconnect at the cycle the memory port actually issues it —
+    #: the lockup-free cache's overlapped misses then genuinely queue
+    #: on the node's injection link and at hot directory home nodes.
+    network: object | None = None
 
     def resolved_store_depth(self) -> int:
         return self.window if self.store_buffer_depth is None else (
@@ -222,6 +229,8 @@ class DSProcessor:
         store_depth = cfg.resolved_store_depth()
         ignore_deps = cfg.ignore_data_dependences
         perfect_bp = cfg.perfect_branch_prediction
+        network = cfg.network
+        net_cpu = self.trace.cpu
 
         # Fold the consistency matrix into per-class blocker tuples: the
         # classes an operation of each class must wait for.
@@ -431,11 +440,7 @@ class DSProcessor:
                 entry = port_candidate
                 lsu_ready.pop(candidate_pos)
                 stall = entry.stall
-                if cfg.prefetch and stall > 0 and entry.ready_time >= 0:
-                    # Non-binding prefetch started when the address became
-                    # known; the remaining miss latency has shrunk.
-                    stall = max(0, stall - max(0, t - entry.ready_time))
-                latency = 1 + stall
+                forwarded = False
                 if entry.mem_cls == _MC_READ:
                     dq = pending_stores.get(entry.addr)
                     if dq:
@@ -444,11 +449,30 @@ class DSProcessor:
                         if not dq:
                             del pending_stores[entry.addr]
                     if dq and dq[0].idx < entry.idx:
-                        latency = 1  # store buffer forwards the value
+                        forwarded = True  # store buffer forwards the value
                     elif cfg.collect_miss_stats and entry.stall > 0:
                         self.read_miss_issue_delays.append(
                             t - entry.decode_time
                         )
+                if forwarded:
+                    latency = 1
+                else:
+                    if (
+                        network is not None
+                        and stall > 0
+                        and entry.mem_cls == _MC_READ
+                    ):
+                        # Re-time the miss at actual issue: this is where
+                        # overlapped misses from the lockup-free cache
+                        # contend on the network and at directories.
+                        stall = network.replay_miss(
+                            net_cpu, entry.addr, False, t
+                        )
+                    if cfg.prefetch and stall > 0 and entry.ready_time >= 0:
+                        # Non-binding prefetch started when the address
+                        # became known; the remaining latency has shrunk.
+                        stall = max(0, stall - max(0, t - entry.ready_time))
+                    latency = 1 + stall
                 schedule(entry, t + latency)
                 entry.issued = True
                 progressed = True
@@ -456,6 +480,14 @@ class DSProcessor:
                 entry = store_candidate
                 entry.issued = True
                 stall = entry.stall
+                if (
+                    network is not None
+                    and stall > 0
+                    and entry.mem_cls == _MC_WRITE
+                ):
+                    stall = network.replay_miss(
+                        net_cpu, entry.addr, True, t
+                    )
                 if cfg.prefetch and stall > 0 and entry.ready_time >= 0:
                     stall = max(0, stall - max(0, t - entry.ready_time))
                 schedule(entry, t + 1 + stall)

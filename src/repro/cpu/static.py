@@ -113,8 +113,15 @@ def simulate_ssbr(
     model: ConsistencyModel,
     label: str | None = None,
     write_buffer_depth: int = WRITE_BUFFER_DEPTH,
+    network=None,
 ) -> ExecutionBreakdown:
-    """Run the SSBR (static scheduling, blocking reads) model."""
+    """Run the SSBR (static scheduling, blocking reads) model.
+
+    With ``network`` set, every miss (the trace's baked stall marks
+    hit/miss) is re-timed through the interconnect at the cycle the
+    access begins, so miss latency varies with load.
+    """
+    cpu = trace.cpu
     buf = WriteBuffer(model, write_buffer_depth)
     t = 0
     busy = sync = read = write = 0
@@ -133,6 +140,8 @@ def simulate_ssbr(
                     write += drained - t
                     t = drained
             if stall and not buf.holds_addr(addr, t):
+                if network is not None:
+                    stall = network.replay_miss(cpu, addr, False, t)
                 read += stall
                 t += stall
         elif cls == _MC_WRITE or cls == _MC_RELEASE:
@@ -142,6 +151,8 @@ def simulate_ssbr(
                 # already completed (blocking), writes via the buffer's
                 # serialization floor.
                 floor = buf.last_perform
+            if network is not None and stall and cls == _MC_WRITE:
+                stall = network.replay_miss(cpu, addr, True, t)
             t, full_stall = buf.push(
                 t, stall, addr, perform_floor=floor
             )
@@ -165,7 +176,11 @@ def simulate_ssbr(
                 write += last_release_perform - t
                 t = last_release_perform
             sync += wait + stall
-            t += wait + stall
+            # A negative wait (wakeup granted before this processor's
+            # virtual time) is kept in the accounting, but under a
+            # network the clock must not run backwards.
+            if network is None or wait + stall > 0:
+                t += wait + stall
     # Final drain so configurations are comparable end-to-end.
     drained = buf.drain_time()
     if drained > t:
@@ -184,8 +199,14 @@ def simulate_ss(
     label: str | None = None,
     write_buffer_depth: int = WRITE_BUFFER_DEPTH,
     read_buffer_depth: int = READ_BUFFER_DEPTH,
+    network=None,
 ) -> ExecutionBreakdown:
-    """Run the SS (static scheduling, non-blocking reads) model."""
+    """Run the SS (static scheduling, non-blocking reads) model.
+
+    ``network`` re-times each miss at the cycle its access begins (see
+    :func:`simulate_ssbr`).
+    """
+    cpu = trace.cpu
     buf = WriteBuffer(model, write_buffer_depth)
     reg_ready: dict[int, int] = {}
     outstanding: deque[int] = deque()  # perform times of pending reads
@@ -236,6 +257,8 @@ def simulate_ss(
                 # performed; the processor itself does not stall.
                 start = last_read_perform
             if stall and not buf.holds_addr(addr, t):
+                if network is not None:
+                    stall = network.replay_miss(cpu, addr, False, start)
                 perform = start + stall
             else:
                 perform = start
@@ -248,6 +271,8 @@ def simulate_ss(
             floor = 0
             if cls == _MC_RELEASE and model.name in ("WO", "RC"):
                 floor = max(buf.last_perform, all_reads_done())
+            if network is not None and stall and cls == _MC_WRITE:
+                stall = network.replay_miss(cpu, addr, True, t)
             t, full_stall = buf.push(
                 t, stall, addr, perform_floor=floor
             )
@@ -276,7 +301,11 @@ def simulate_ss(
                 read += last_read_perform - t
                 t = last_read_perform
             sync += wait + stall
-            t += wait + stall
+            # A negative wait (wakeup granted before this processor's
+            # virtual time) is kept in the accounting, but under a
+            # network the clock must not run backwards.
+            if network is None or wait + stall > 0:
+                t += wait + stall
             outstanding.clear()
     reads_done = all_reads_done()
     if reads_done > t:

@@ -1,0 +1,132 @@
+"""Contention — Figure-3-style bars under a loaded interconnect.
+
+The paper's fixed 50-cycle miss penalty assumes "no network contention",
+an assumption it flags as optimistic for dynamically scheduled
+processors: a DS core's lockup-free cache overlaps misses, and the
+resulting bursty traffic queues in a real interconnect.  This experiment
+quantifies how much of DS/RC's latency-hiding survives that queueing.
+
+Each application's trace is replayed through BASE, SSBR and DS models
+with the miss latencies re-timed by a :mod:`repro.net` backend at the
+cycle each miss actually issues:
+
+* ``ideal`` — the fixed penalty (the paper's model, the reference bars);
+* ``crossbar`` — uniform switch; contention only at the node ports;
+* ``mesh`` — k-ary 2D mesh with X-Y routing; distance and shared links.
+
+Every (model, network) pair gets a fresh network, so the reported miss
+latency distribution (mean / p50 / p99) is that model's own traffic: the
+serial BASE processor's widely spaced misses see an unloaded network,
+while DS's overlapped misses queue behind each other on the node's
+injection link and at hot directory home nodes — which is exactly the
+effect the fixed-penalty model cannot express.
+"""
+
+from __future__ import annotations
+
+from ..cpu import ExecutionBreakdown, ProcessorConfig, simulate
+from ..isa import MemClass
+from ..net import NETWORK_KINDS, NetworkConfig, build_network
+from .report import format_table
+from .runner import TraceStore, default_store
+
+_MC_READ = int(MemClass.READ)
+_MC_WRITE = int(MemClass.WRITE)
+
+
+def contention_configs() -> list[ProcessorConfig]:
+    """The bars: serial reference, static RC, and two DS/RC windows."""
+    return [
+        ProcessorConfig(kind="base"),
+        ProcessorConfig(kind="ssbr", model="RC"),
+        ProcessorConfig(kind="ds", model="RC", window=64),
+        ProcessorConfig(kind="ds", model="RC", window=256),
+    ]
+
+
+def _ideal_summary(trace, miss_penalty: int) -> dict:
+    """The fixed-penalty 'distribution': every miss costs the same."""
+    count = sum(
+        1
+        for cls, stall in zip(trace.mem_class, trace.stall)
+        if stall > 0 and (cls == _MC_READ or cls == _MC_WRITE)
+    )
+    return {
+        "count": count,
+        "mean": float(miss_penalty),
+        "p50": miss_penalty,
+        "p99": miss_penalty,
+        "max": miss_penalty,
+    }
+
+
+def run_contention(
+    store: TraceStore | None = None,
+    apps: tuple[str, ...] | None = None,
+    networks: tuple[str, ...] = NETWORK_KINDS,
+    network_config: NetworkConfig | None = None,
+) -> dict[str, dict[str, list[tuple[ExecutionBreakdown, dict]]]]:
+    """Replay every app through every (model, network) combination.
+
+    Returns ``results[app][network]`` as a list of
+    ``(breakdown, miss_latency_summary)`` pairs, one per config of
+    :func:`contention_configs`, where the summary carries the model's
+    observed miss-latency distribution (count / mean / p50 / p99 / max).
+    """
+    store = store or default_store()
+    configs = contention_configs()
+    results: dict[str, dict[str, list[tuple[ExecutionBreakdown, dict]]]] = {}
+    from ..apps import APP_NAMES
+
+    for app in APP_NAMES:
+        if apps is not None and app not in apps:
+            continue
+        run = store.get(app)
+        per_net: dict[str, list[tuple[ExecutionBreakdown, dict]]] = {}
+        for kind in networks:
+            rows = []
+            for cfg in configs:
+                net = build_network(
+                    kind, store.n_procs, store.line_size, network_config
+                )
+                breakdown = simulate(run.trace, cfg, network=net)
+                if net is None:
+                    summary = _ideal_summary(run.trace, store.miss_penalty)
+                else:
+                    summary = net.summary()
+                rows.append((breakdown, summary))
+            per_net[kind] = rows
+        results[app] = per_net
+    return results
+
+
+def format_contention(
+    results: dict[str, dict[str, list[tuple[ExecutionBreakdown, dict]]]],
+) -> str:
+    """Render per-app tables: execution time and miss-latency stats."""
+    sections = []
+    for app, per_net in results.items():
+        rows = []
+        base_total = None
+        for kind, pairs in per_net.items():
+            for breakdown, summary in pairs:
+                total = breakdown.total
+                if base_total is None:
+                    base_total = total  # first row: ideal BASE
+                rows.append([
+                    kind,
+                    breakdown.label,
+                    total,
+                    100.0 * total / base_total,
+                    summary["count"],
+                    float(summary["mean"]),
+                    summary["p50"],
+                    summary["p99"],
+                ])
+        sections.append(format_table(
+            ["network", "config", "cycles", "% ideal BASE",
+             "misses", "lat mean", "p50", "p99"],
+            rows,
+            title=f"Contention — {app.upper()} (miss latency per model)",
+        ))
+    return "\n\n".join(sections)

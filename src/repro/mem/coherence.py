@@ -6,6 +6,14 @@ protocol (MSI), a 1-cycle hit time, and a *fixed* miss penalty — queueing
 and contention in the interconnect and at the memory modules are not
 modelled, exactly as in the paper.
 
+That fixed penalty is now the degenerate "ideal" network backend.  When
+a :class:`~repro.net.ContentionNetwork` is attached, miss latency is
+instead computed per transaction — request to the line's directory home
+node, directory occupancy, invalidation/intervention fan-out, data
+return — so it varies with interconnect and directory load.  The ideal
+backend (``network=None``) remains the default and its code path is
+byte-for-byte the original one.
+
 Write misses include ownership upgrades (a write to a SHARED line must
 invalidate remote copies and therefore pays the full miss penalty), which
 is what makes write misses outnumber read misses in OCEAN-style
@@ -56,12 +64,15 @@ class CoherentMemorySystem:
         cache_size: int = 64 * 1024,
         line_size: int = 16,
         miss_penalty: int = 50,
+        network=None,
     ) -> None:
         if n_cpus < 1:
             raise ValueError("need at least one processor")
         self.n_cpus = n_cpus
         self.line_size = line_size
         self.miss_penalty = miss_penalty
+        #: optional repro.net.ContentionNetwork; None = fixed penalty
+        self.network = network
         self.caches = [
             Cache(size=cache_size, line_size=line_size) for _ in range(n_cpus)
         ]
@@ -84,16 +95,21 @@ class CoherentMemorySystem:
 
     # -- the single entry point used by the executor -------------------------
 
-    def access(self, cpu: int, addr: int, is_write: bool) -> AccessResult:
+    def access(
+        self, cpu: int, addr: int, is_write: bool, now: int = 0
+    ) -> AccessResult:
         """Perform the timing/coherence side of one data access."""
-        hit, stall = self.access_ht(cpu, addr, is_write)
+        hit, stall = self.access_ht(cpu, addr, is_write, now)
         return AccessResult(hit=hit, stall=stall)
 
-    def access_ht(self, cpu: int, addr: int, is_write: bool):
+    def access_ht(self, cpu: int, addr: int, is_write: bool, now: int = 0):
         """Like :meth:`access` but returns a plain ``(hit, stall)`` tuple.
 
         This is the executor's fast path: no result object is allocated
         and the cache lookup is inlined (hits are ~90% of accesses).
+        ``now`` is the requester's current cycle; the ideal backend
+        ignores it, the network backend uses it to place the miss's
+        messages in time so overlapping misses contend.
         """
         cache = self.caches[cpu]
         line = addr // self.line_size
@@ -110,7 +126,7 @@ class CoherentMemorySystem:
                 return True, 0
             # SHARED needs an ownership upgrade; INVALID needs a full fill.
             # Both invalidate every remote copy and pay the miss penalty.
-            self._invalidate_others(cpu, addr)
+            sharers = self._invalidate_others(cpu, addr)
             if state == SHARED:
                 stats.upgrades += 1
                 cache._state[idx] = MODIFIED
@@ -123,20 +139,26 @@ class CoherentMemorySystem:
                         "install", cpu, line, MODIFIED
                     )
             stats.write_misses += 1
-            return False, self.miss_penalty
+            if self.network is None:
+                return False, self.miss_penalty
+            return False, self.network.write_miss(
+                cpu, line, sharers, now, upgrade=state == SHARED
+            )
         stats.reads += 1
         if state != INVALID:
             return True, 0
         # Read miss: remote copies are downgraded to SHARED (a dirty one
         # is written back); the line installs SHARED if anyone else holds
         # it, EXCLUSIVE otherwise.
-        shared = self._downgrade_others(cpu, addr)
+        shared, owner = self._downgrade_others(cpu, addr)
         new_state = SHARED if shared else EXCLUSIVE
         cache.install(addr, new_state)
         if self._listener is not None:
             self._listener.coherence_event("install", cpu, line, new_state)
         stats.read_misses += 1
-        return False, self.miss_penalty
+        if self.network is None:
+            return False, self.miss_penalty
+        return False, self.network.read_miss(cpu, line, owner, now)
 
     def would_hit(self, cpu: int, addr: int, is_write: bool) -> bool:
         """Non-mutating lookup: would this access hit right now?"""
@@ -147,9 +169,11 @@ class CoherentMemorySystem:
 
     # -- protocol helpers ---------------------------------------------------
 
-    def _invalidate_others(self, cpu: int, addr: int) -> None:
+    def _invalidate_others(self, cpu: int, addr: int) -> tuple[int, ...]:
+        """Invalidate remote copies; returns the cpus that held one."""
         line = addr // self.line_size
         idx = line & self._line_mask
+        sharers = []
         for other, cache in enumerate(self.caches):
             if other != cpu and cache._line_addr[idx] == line:
                 state = cache._state[idx]
@@ -158,21 +182,31 @@ class CoherentMemorySystem:
                         cache.stats.writebacks += 1
                     cache._state[idx] = INVALID
                     cache.stats.invalidations_received += 1
+                    sharers.append(other)
                     if self._listener is not None:
                         self._listener.coherence_event(
                             "invalidate", other, line, state == MODIFIED
                         )
+        return tuple(sharers)
 
-    def _downgrade_others(self, cpu: int, addr: int) -> bool:
-        """Downgrade remote copies to SHARED; True if any copy existed."""
+    def _downgrade_others(self, cpu: int, addr: int):
+        """Downgrade remote copies to SHARED.
+
+        Returns ``(shared, owner)``: whether any remote copy existed,
+        and the cpu that held the line MODIFIED (the intervention
+        target that supplies data cache-to-cache) or None when memory
+        at the home node sources the fill.
+        """
         line = addr // self.line_size
         idx = line & self._line_mask
         shared = False
+        owner = None
         for other, cache in enumerate(self.caches):
             if other != cpu and cache._line_addr[idx] == line:
                 state = cache._state[idx]
                 if state == MODIFIED:
                     shared = True
+                    owner = other
                     cache._state[idx] = SHARED
                     stats = cache.stats
                     stats.downgrades_received += 1
@@ -191,7 +225,7 @@ class CoherentMemorySystem:
                         )
                 elif state == SHARED:
                     shared = True
-        return shared
+        return shared, owner
 
     # -- invariants and reporting ---------------------------------------------
 

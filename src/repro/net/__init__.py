@@ -1,0 +1,31 @@
+"""Interconnect & directory timing subsystem.
+
+Replaces the paper's fixed 50-cycle miss penalty with a cycle-
+approximate, contention-aware model: messages route over a configurable
+topology (crossbar or k-ary 2D mesh) with per-link FIFO queueing and
+finite bandwidth, and per-line directory home nodes serialize coherence
+requests.  ``build_network("ideal", ...)`` returns None — the original
+constant-penalty fast path, kept as the default backend.
+"""
+
+from .directory import DirectoryModel
+from .model import (
+    NETWORK_KINDS,
+    ContentionNetwork,
+    NetworkConfig,
+    build_network,
+)
+from .topology import Crossbar, Mesh, Topology
+from .wheel import EventWheel
+
+__all__ = [
+    "NETWORK_KINDS",
+    "ContentionNetwork",
+    "Crossbar",
+    "DirectoryModel",
+    "EventWheel",
+    "Mesh",
+    "NetworkConfig",
+    "Topology",
+    "build_network",
+]

@@ -1,0 +1,49 @@
+"""Directory home-node timing: per-line serialization points.
+
+Every cache line has a *home node* (``line % n_nodes``) whose directory
+controller is the serialization point for coherence on that line.  The
+controller handles one request at a time: each request occupies it for
+``occupancy`` cycles, and a request arriving while the controller is
+busy queues behind the earlier one.  This is where racing upgrades to
+the same line become visible as latency — the second writer's request
+sits in the home node's queue until the first finishes.
+
+The model is deliberately coarse (one free-time per node, not per line):
+it captures directory *occupancy* and *queueing*, the two terms the
+paper's fixed miss penalty abstracts away, without simulating MSHRs or
+transient directory states.
+"""
+
+from __future__ import annotations
+
+
+class DirectoryModel:
+    """Per-node directory controllers with FIFO occupancy."""
+
+    def __init__(self, n_nodes: int, occupancy: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("directory needs at least one node")
+        if occupancy < 0:
+            raise ValueError("directory occupancy must be >= 0")
+        self.n_nodes = n_nodes
+        self.occupancy = occupancy
+        self._free = [0] * n_nodes  # controller free-time per node
+
+    def home(self, line: int) -> int:
+        """Home node of a cache line (address-interleaved)."""
+        return line % self.n_nodes
+
+    def serve(self, node: int, arrival: int) -> int:
+        """Admit a request arriving at ``arrival``; returns the time the
+        directory has looked it up and begins acting on it.  A busy
+        controller queues the request FIFO behind the current one."""
+        start = self._free[node]
+        if start < arrival:
+            start = arrival
+        done = start + self.occupancy
+        self._free[node] = done
+        return done
+
+    def reset_timing(self) -> None:
+        """Forget queueing state (used between per-model replays)."""
+        self._free = [0] * self.n_nodes

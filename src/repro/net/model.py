@@ -1,0 +1,298 @@
+"""Contention-aware network/directory timing model.
+
+`ContentionNetwork` replaces the fixed ``miss_penalty`` constant with a
+cycle-approximate transaction model.  Every miss becomes a sequence of
+messages over a :class:`~repro.net.topology.Topology` plus a lookup at
+the line's :class:`~repro.net.directory.DirectoryModel` home node:
+
+* read miss, line at memory::
+
+      request (cpu -> home) + directory occupancy
+      + memory latency + data reply (home -> cpu)
+
+* read miss, line dirty in a remote cache::
+
+      request + directory occupancy + intervention (home -> owner)
+      + remote cache lookup + cache-to-cache reply (owner -> cpu)
+
+* write miss / upgrade with sharers::
+
+      request + directory occupancy
+      + invalidations fanned out (home -> each sharer)
+      + acks collected at the requester; data from memory in parallel
+      (an upgrade skips the data transfer — the requester already holds
+      the line)
+
+Each message walks its route's links through the event wheel: a link is
+busy for ``link_occupancy`` cycles per message (finite bandwidth), so a
+burst of overlapped misses from a dynamically scheduled processor queues
+at its injection port and at hot directory nodes — the contention the
+paper's fixed-latency assumption explicitly sets aside.
+
+The model is *queried* synchronously: `read_miss`/`write_miss` return
+the full miss latency immediately, mutating link/directory free-times so
+later misses observe the congestion earlier ones created.  Message
+timestamps come from per-CPU virtual clocks, which are only near-sorted
+globally; the wheel clamps stragglers to the present, keeping the model
+deterministic for a fixed arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .directory import DirectoryModel
+from .topology import Crossbar, Mesh, Topology
+from .wheel import EventWheel
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Timing parameters for the interconnect/directory model."""
+
+    hop_latency: int = 2  # cycles for a message to traverse one link
+    link_occupancy: int = 2  # cycles a control message keeps a link busy
+    #: cycles a *data* message (a full cache line of flits) keeps each
+    #: link busy; None derives it as link_occupancy x line-size flits.
+    #: This is what makes overlapped misses contend: every reply ejects
+    #: at the requester's port, so a burst of outstanding misses
+    #: serializes there even when their homes differ.
+    data_occupancy: int | None = None
+    dir_occupancy: int = 4  # directory controller lookup time
+    memory_latency: int = 30  # DRAM access at the home node
+    remote_cache_latency: int = 6  # remote cache lookup (intervention)
+    mesh_width: int | None = None  # mesh columns; None = near-square
+    wheel_size: int = 1024
+
+    def key(self) -> str:
+        """Short stable string for cache keys / bench labels."""
+        return (
+            f"h{self.hop_latency}o{self.link_occupancy}"
+            f"d{self.dir_occupancy}m{self.memory_latency}"
+            f"r{self.remote_cache_latency}"
+        )
+
+
+class ContentionNetwork:
+    """Topology + directory timing with per-link FIFO queueing."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        line_size: int,
+        config: NetworkConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.line_size = line_size
+        self.config = config or NetworkConfig()
+        self.directory = DirectoryModel(
+            topology.n_nodes, self.config.dir_occupancy
+        )
+        if self.config.data_occupancy is not None:
+            self._data_occ = self.config.data_occupancy
+        else:
+            # A data message carries the whole line as 4-byte flits.
+            self._data_occ = self.config.link_occupancy * max(
+                1, line_size // 4
+            )
+        self.wheel = EventWheel(self.config.wheel_size)
+        self._link_free = [0] * topology.n_links
+        #: observed miss latencies, in query order
+        self.latencies: list[int] = []
+
+    @property
+    def kind(self) -> str:
+        return self.topology.kind
+
+    def reset(self) -> None:
+        """Fresh timing state and stats (used between per-model runs)."""
+        self.wheel = EventWheel(self.config.wheel_size)
+        self._link_free = [0] * self.topology.n_links
+        self.directory.reset_timing()
+        self.latencies = []
+
+    # -- message timing ------------------------------------------------
+
+    def _chain(
+        self, src: int, dst: int, start: int, on_arrive, data: bool = False
+    ) -> None:
+        """Schedule one message's hop chain on the wheel (no run).
+
+        Each hop is an event: the message departs a link when both it
+        has arrived and the link is free, occupies the link for its
+        occupancy — ``link_occupancy`` for control messages, the
+        line-sized ``data_occupancy`` for data replies — and arrives
+        ``hop_latency`` later.  ``on_arrive(time)`` fires at the
+        destination.  Scheduling several chains before running lets
+        concurrent messages (data reply racing invalidation/ack
+        fan-out) acquire shared links in timestamp order, not call
+        order.
+        """
+        route = self.topology.route(src, dst)
+        if not route:
+            on_arrive(start)
+            return
+        cfg = self.config
+        link_free = self._link_free
+        occupancy = self._data_occ if data else cfg.link_occupancy
+
+        def hop(i: int, t: int) -> None:
+            link = route[i]
+            depart = t if t >= link_free[link] else link_free[link]
+            link_free[link] = depart + occupancy
+            arrive = depart + cfg.hop_latency
+            if i + 1 < len(route):
+                self.wheel.schedule(arrive, lambda now: hop(i + 1, now))
+            else:
+                on_arrive(arrive)
+
+        self.wheel.schedule(start, lambda now: hop(0, now))
+
+    def _send(
+        self, src: int, dst: int, start: int, data: bool = False
+    ) -> int:
+        """Deliver one message synchronously; returns its arrival."""
+        arrival = [start]
+
+        def landed(t: int) -> None:
+            arrival[0] = t
+
+        self._chain(src, dst, start, landed, data)
+        self.wheel.run()
+        return arrival[0]
+
+    def _record(self, start: int, done: int) -> int:
+        latency = done - start
+        if latency < 1:
+            latency = 1
+        self.latencies.append(latency)
+        return latency
+
+    # -- coherence transactions ----------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_size
+
+    def read_miss(
+        self, cpu: int, line: int, owner: int | None, now: int
+    ) -> int:
+        """Latency of a read miss on ``line`` issued by ``cpu``.
+
+        ``owner`` is the node holding the line dirty (intervention +
+        cache-to-cache reply) or None when memory at the home supplies
+        the data.
+        """
+        home = self.directory.home(line)
+        t = self._send(cpu, home, now)
+        t = self.directory.serve(home, t)
+        if owner is not None and owner != cpu:
+            t = self._send(home, owner, t)
+            t += self.config.remote_cache_latency
+            t = self._send(owner, cpu, t, data=True)
+        else:
+            t += self.config.memory_latency
+            t = self._send(home, cpu, t, data=True)
+        return self._record(now, t)
+
+    def write_miss(
+        self,
+        cpu: int,
+        line: int,
+        sharers: tuple[int, ...] = (),
+        now: int = 0,
+        upgrade: bool = False,
+    ) -> int:
+        """Latency of a write miss / ownership upgrade on ``line``.
+
+        Invalidations fan out from the home node to every sharer; the
+        requester collects the acks.  Data comes from memory at the
+        home in parallel unless this is an ``upgrade`` (the requester
+        already holds the line shared, so only acks gate the write).
+        """
+        home = self.directory.home(line)
+        t = self.directory.serve(home, self._send(cpu, home, now))
+        done = [t]
+
+        def extend(arrive: int) -> None:
+            if arrive > done[0]:
+                done[0] = arrive
+
+        if not upgrade:
+            self._chain(
+                home, cpu, t + self.config.memory_latency, extend, data=True
+            )
+        for sharer in sharers:
+            if sharer == cpu:
+                continue
+
+            def invalidated(arrive: int, s: int = sharer) -> None:
+                ack_start = arrive + self.config.remote_cache_latency
+                self._chain(s, cpu, ack_start, extend)
+
+            self._chain(home, sharer, t, invalidated)
+        self.wheel.run()
+        return self._record(now, done[0])
+
+    def replay_miss(
+        self, cpu: int, addr: int, is_write: bool, now: int
+    ) -> int:
+        """Latency of a miss re-timed at CPU-simulation time.
+
+        The CPU models replay baked traces where sharer/owner identity
+        is no longer known, so this approximates every miss as a
+        memory-sourced fetch: request + directory + memory + reply.
+        Queueing is still real — overlapped misses from one node
+        serialize on its injection link and at hot home nodes.
+        """
+        line = addr // self.line_size
+        home = self.directory.home(line)
+        t = self._send(cpu, home, now)
+        t = self.directory.serve(home, t)
+        t += self.config.memory_latency
+        t = self._send(home, cpu, t, data=True)
+        return self._record(now, t)
+
+    # -- statistics ----------------------------------------------------
+
+    def summary(self) -> dict:
+        """Mean/p50/p99/max of observed miss latencies."""
+        lats = sorted(self.latencies)
+        n = len(lats)
+        if not n:
+            return {"count": 0, "mean": 0.0, "p50": 0, "p99": 0, "max": 0}
+        return {
+            "count": n,
+            "mean": sum(lats) / n,
+            "p50": lats[n // 2],
+            "p99": lats[min(n - 1, (n * 99) // 100)],
+            "max": lats[-1],
+        }
+
+
+NETWORK_KINDS = ("ideal", "crossbar", "mesh")
+
+
+def build_network(
+    kind: str,
+    n_nodes: int,
+    line_size: int,
+    config: NetworkConfig | None = None,
+) -> ContentionNetwork | None:
+    """Construct the network backend named by ``kind``.
+
+    ``"ideal"`` returns None — the fixed-``miss_penalty`` fast path in
+    `CoherentMemorySystem`, byte-identical to the pre-network simulator.
+    """
+    if kind == "ideal":
+        return None
+    config = config or NetworkConfig()
+    if kind == "crossbar":
+        topo: Topology = Crossbar(n_nodes)
+    elif kind == "mesh":
+        topo = Mesh(n_nodes, config.mesh_width)
+    else:
+        raise ValueError(
+            f"unknown network kind {kind!r}; expected one of "
+            f"{', '.join(NETWORK_KINDS)}"
+        )
+    return ContentionNetwork(topo, line_size, config)

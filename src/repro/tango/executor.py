@@ -12,7 +12,11 @@ Architecture modelled (paper §3.2):
   write's *miss penalty* is still recorded in the trace for the downstream
   processor models;
 * per-processor direct-mapped write-back caches, invalidation coherence,
-  1-cycle hits, fixed miss penalty, no network contention;
+  1-cycle hits, and a fixed miss penalty with no network contention by
+  default (``network="ideal"``); with ``network="crossbar"``/``"mesh"``
+  the :mod:`repro.net` subsystem times each miss through a contended
+  interconnect and directory instead, and the variable latencies land
+  in the traces' ``stall`` column;
 * ANL-macro synchronization handled by :class:`~repro.sync.SyncManager`.
 
 Scheduling uses per-thread virtual time: the runnable thread with the
@@ -37,7 +41,8 @@ import heapq
 from dataclasses import dataclass
 
 from ..isa import MemClass, Op, Program
-from ..mem import CoherentMemorySystem, SharedMemory
+from ..mem import CoherentMemorySystem, MemoryError_, SharedMemory
+from ..net import build_network
 from ..sync import SyncManager, Wakeup
 from .interp import ExecutionError, ThreadState, execute_instruction
 from .stats import CpuStats, RunStats
@@ -76,6 +81,11 @@ class MultiprocessorConfig:
     #: Latency of touching a (remote) synchronization variable; the paper
     #: charges one memory latency.  ``None`` means "same as miss_penalty".
     sync_access_latency: int | None = None
+    #: Interconnect timing backend: "ideal" (fixed miss_penalty, the
+    #: paper's model), "crossbar", or "mesh" (repro.net contention).
+    network: str = "ideal"
+    #: Optional repro.net.NetworkConfig overriding the timing defaults.
+    network_config: object | None = None
     #: Which processors get a full trace (all get statistics).
     trace_cpus: tuple[int, ...] = (0,)
     #: Global retired-instruction budget, a runaway-program backstop.
@@ -122,11 +132,18 @@ class TangoExecutor:
             )
         self.compiled = compiled
         self.memory = memory if memory is not None else SharedMemory()
+        self.network = build_network(
+            self.config.network,
+            self.config.n_cpus,
+            self.config.line_size,
+            self.config.network_config,
+        )
         self.memsys = CoherentMemorySystem(
             n_cpus=self.config.n_cpus,
             cache_size=self.config.cache_size,
             line_size=self.config.line_size,
             miss_penalty=self.config.miss_penalty,
+            network=self.network,
         )
         self.sync = SyncManager(self.config.n_cpus)
         self.threads = [
@@ -418,7 +435,7 @@ class TangoExecutor:
                         pc += 1
                     elif kind == 3:  # load (host blocks on read misses)
                         addr = code[pc](regs, words, doubles)
-                        hit, stall = access_ht(tid, addr, False)
+                        hit, stall = access_ht(tid, addr, False, clock)
                         c[2] += 1
                         if not hit:
                             c[4] += 1
@@ -448,7 +465,7 @@ class TangoExecutor:
                         pc = nxt
                     elif kind == 4:  # store (write buffer hides latency)
                         addr = code[pc](regs, words, doubles)
-                        hit, stall = access_ht(tid, addr, True)
+                        hit, stall = access_ht(tid, addr, True, clock)
                         c[3] += 1
                         if not hit:
                             c[6] += 1
@@ -507,6 +524,12 @@ class TangoExecutor:
                 else:
                     # push-then-pop fused: same schedule, one heap op.
                     item = heappushpop(heap, (clock, tid))
+        except MemoryError_ as exc:
+            # Misalignment faults carry only the address; add where the
+            # access came from (same format as the reference engine).
+            raise MemoryError_(
+                f"{exc} (thread {tid}, pc {pc})"
+            ) from None
         except (TypeError, IndexError) as exc:
             if not 0 <= pc < len(kinds):
                 raise ExecutionError(
@@ -565,13 +588,20 @@ class TangoExecutor:
                     continue
 
                 pc = state.pc
-                result = execute_instruction(state, memory)
+                try:
+                    result = execute_instruction(state, memory)
+                except MemoryError_ as exc:
+                    raise MemoryError_(
+                        f"{exc} (thread {tid}, pc {pc})"
+                    ) from None
                 stats.busy_cycles += 1
                 self._steps += 1
                 cost = 1
 
                 if result.addr >= 0:
-                    access = memsys.access(tid, result.addr, result.is_write)
+                    access = memsys.access(
+                        tid, result.addr, result.is_write, clock
+                    )
                     if result.is_write:
                         if not access.hit:
                             stats.write_misses += 1

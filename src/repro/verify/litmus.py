@@ -21,15 +21,23 @@ name    shape                       forbidden (outcome / models)  relaxed demo
 ======  ==========================  ============================  =====================
 sb      store buffering             (0,0) under SC                PC/WO/RC observe it
 mp      message passing             (0,) under SC, PC             WO/RC observe it
-lb      load buffering              (1,1) under SC, PC            allowed WO/RC, never
-                                                                  generated (in-order
-                                                                  issue)
-iriw    independent reads of        (1,0,1,0) under SC, PC        allowed WO/RC, never
-        independent writes                                        generated (stores are
-                                                                  multi-copy atomic)
+lb      load buffering              (1,1) under SC, PC            WO/RC with ``ooo``
+                                                                  issue; never with
+                                                                  in-order issue
+iriw    independent reads of        (1,0,1,0) under SC, PC        WO/RC with ``ooo``
+        independent writes                                        issue (load-load
+                                                                  reordering); never
+                                                                  with in-order issue
 inc     lock-protected increment    any total != n, all models    none (locks restore
                                                                   order under RC)
 ======  ==========================  ============================  =====================
+
+``run_litmus(..., ooo=True)`` switches the engine to out-of-order issue
+(a decode-ahead window over loads/stores, gated by the model's
+``requires`` matrix), which is what makes the ``lb`` and ``iriw``
+relaxed outcomes actually generable under WO/RC — and provably non-SC
+via the recorded execution's happens-before cycle.  Under SC and PC the
+window degenerates to program order, so the forbidden sets still hold.
 """
 
 from __future__ import annotations
@@ -200,6 +208,9 @@ class LitmusTest:
     #: (given enough schedules) — the demonstration that the model is
     #: genuinely weaker.
     expect_observed: dict = field(default_factory=dict)
+    #: Additional expectations that only hold under out-of-order issue
+    #: (merged over ``expect_observed`` when ``ooo=True``).
+    expect_observed_ooo: dict = field(default_factory=dict)
     #: The tell-tale relaxed outcome: when observed under a non-SC model,
     #: the harness re-checks that execution under SC and records the
     #: happens-before cycle as proof.
@@ -244,9 +255,11 @@ CATALOG: dict[str, LitmusTest] = {
                 "SC": frozenset({(1, 1)}),
                 "PC": frozenset({(1, 1)}),
             },
+            expect_observed_ooo={m: (1, 1) for m in ("WO", "RC")},
+            demo_outcome=(1, 1),
             notes=(
-                "(1,1) is axiomatically allowed under WO/RC but the "
-                "engine issues in program order, so it never generates it"
+                "(1,1) needs load-store reordering: in-order issue never "
+                "generates it; ooo issue exposes it under WO/RC"
             ),
         ),
         LitmusTest(
@@ -258,9 +271,11 @@ CATALOG: dict[str, LitmusTest] = {
                 "SC": frozenset({(1, 0, 1, 0)}),
                 "PC": frozenset({(1, 0, 1, 0)}),
             },
+            expect_observed_ooo={m: (1, 0, 1, 0) for m in ("WO", "RC")},
+            demo_outcome=(1, 0, 1, 0),
             notes=(
-                "(1,0,1,0) is allowed under WO/RC but unobservable here: "
-                "the single backing store makes stores multi-copy atomic"
+                "stores are multi-copy atomic here, so (1,0,1,0) needs "
+                "each reader's loads reordered — ooo issue under WO/RC"
             ),
         ),
         LitmusTest(
@@ -323,9 +338,15 @@ def _observe(engine: RelaxedEngine, observers) -> tuple:
 
 
 def run_litmus(
-    test, model="SC", schedules: int = 200, seed: int = 0
+    test, model="SC", schedules: int = 200, seed: int = 0,
+    ooo: bool = False,
 ) -> LitmusResult:
-    """Run one litmus test across many schedules under one model."""
+    """Run one litmus test across many schedules under one model.
+
+    ``ooo`` switches the engine to out-of-order issue, enabling the
+    reorderings (and expectations) that need a dynamically scheduled
+    processor; the forbidden sets are enforced either way.
+    """
     if isinstance(test, str):
         test = CATALOG[test]
     if not isinstance(model, ConsistencyModel):
@@ -342,7 +363,9 @@ def run_litmus(
 
     for s in range(schedules):
         programs, observers = test.build()
-        engine = RelaxedEngine(programs, model=model, seed=seed + s)
+        engine = RelaxedEngine(
+            programs, model=model, seed=seed + s, ooo=ooo
+        )
         log = engine.run()
         outcome = _observe(engine, observers)
         outcomes[outcome] = outcomes.get(outcome, 0) + 1
@@ -381,7 +404,10 @@ def run_litmus(
             else:
                 demo_cycle = cyc.format()
 
-    expected = test.expect_observed.get(name)
+    expectations = dict(test.expect_observed)
+    if ooo:
+        expectations.update(test.expect_observed_ooo)
+    expected = expectations.get(name)
     if (
         expected is not None
         and schedules >= MIN_SCHEDULES_FOR_EXPECT
@@ -402,8 +428,8 @@ def run_litmus(
 
 
 def _litmus_job(job) -> LitmusResult:
-    name, model, schedules, seed = job
-    return run_litmus(name, model, schedules=schedules, seed=seed)
+    name, model, schedules, seed, ooo = job
+    return run_litmus(name, model, schedules=schedules, seed=seed, ooo=ooo)
 
 
 def verify_litmus(
@@ -412,12 +438,15 @@ def verify_litmus(
     schedules: int = 200,
     seed: int = 0,
     jobs: int = 1,
+    ooo: bool = False,
 ) -> list[LitmusResult]:
     """Run (a subset of) the catalog across models; list of results."""
     if names is None:
         names = tuple(CATALOG)
     jobs_list = [
-        (name, model, schedules, seed) for name in names for model in models
+        (name, model, schedules, seed, ooo)
+        for name in names
+        for model in models
     ]
     if jobs > 1 and len(jobs_list) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:

@@ -123,6 +123,23 @@ class ExecutionRecorder:
             ev.episode = done // self._n_threads
             self._barrier_done[ev.addr] = done + 1
 
+    def perform_read(
+        self, ev: MemEvent, value: object, rf_event: object = AUTO_RF
+    ) -> None:
+        """Resolve and complete a read that claimed its slot earlier.
+
+        Used by the relaxed engine's out-of-order issue mode: a load in
+        the decode window owns its program-order slot from :meth:`begin`,
+        but observes its value (and reads-from edge) only when it issues,
+        possibly after younger accesses of the same thread.
+        """
+        ev.value = value
+        if rf_event is AUTO_RF:
+            ev.rf = self._last_write.get(ev.key, -1)
+        elif rf_event is not None:
+            ev.rf = rf_event.gid  # type: ignore[union-attr]
+        self.complete(ev)
+
     def record(
         self,
         tid: int,

@@ -37,6 +37,19 @@ drain timings.  Every execution is recorded through an
 :class:`~repro.verify.recorder.ExecutionRecorder`; buffered stores claim
 their program-order slot at issue and their coherence-order slot at
 drain, which is exactly the split the axiomatic checker needs.
+
+**Out-of-order issue** (``ooo=True``) models a dynamically scheduled
+processor on top of the store buffers: each thread decodes ahead into a
+small window of consecutive loads/stores (decode stops at ALU, branch,
+synchronization, halt, or a register dependence on a pending windowed
+load) and the scheduler may issue *any* window entry whose issue is not
+ordered after an earlier unissued entry by the model's ``requires``
+matrix or by a same-address dependence.  Windowed events claim their
+program-order slot at decode and resolve values at issue, so under
+WO/RC the engine generates the load-load and load-store reorderings
+(litmus ``lb`` (1,1), ``iriw`` (1,0,1,0)) that in-order issue can never
+expose, while under SC/PC the ``requires`` gate degenerates the window
+to program order.
 """
 
 from __future__ import annotations
@@ -78,6 +91,39 @@ class _BufferedStore:
         return (self.addr, self.wide)
 
 
+class _WindowEntry:
+    """One decoded-but-unissued load/store in an OOO decode window.
+
+    ``ready_at`` is the step the entry becomes eligible to issue; loads
+    draw a random issue latency at decode (a variable cache miss, the
+    same mechanism as the buffered stores' drain latency) so a slow load
+    can genuinely slip behind younger accesses of its own thread.
+    """
+
+    __slots__ = (
+        "event", "is_store", "addr", "wide", "value", "rd", "ready_at"
+    )
+
+    def __init__(
+        self, event, is_store, addr, wide, value, rd, ready_at
+    ) -> None:
+        self.event = event
+        self.is_store = is_store
+        self.addr = addr
+        self.wide = wide
+        self.value = value
+        self.rd = rd
+        self.ready_at = ready_at
+
+    @property
+    def key(self):
+        return (self.addr, self.wide)
+
+    @property
+    def cls(self) -> int:
+        return _WRITE if self.is_store else _READ
+
+
 class RelaxedEngine:
     """Executes programs under a consistency model with store buffers."""
 
@@ -90,6 +136,8 @@ class RelaxedEngine:
         recorder: ExecutionRecorder | None = None,
         max_steps: int = 200_000,
         drain_latency_max: int = 16,
+        ooo: bool = False,
+        ooo_window: int = 4,
     ) -> None:
         if not isinstance(model, ConsistencyModel):
             model = get_model(model)
@@ -120,6 +168,16 @@ class RelaxedEngine:
         }
         self._gated[int(MemClass.NONE)] = False
         self._fifo_drain = model.requires(MemClass.WRITE, MemClass.WRITE)
+        self.ooo = ooo
+        self._ooo_window = max(1, int(ooo_window))
+        #: per-thread decoded-but-unissued loads/stores (OOO mode only).
+        self._windows: list[list[_WindowEntry]] = [[] for _ in programs]
+        # Issue-order matrix between window entries (data classes only).
+        self._order = {
+            (c, d): model.requires(MemClass(c), MemClass(d))
+            for c in (_READ, _WRITE)
+            for d in (_READ, _WRITE)
+        }
 
     # -- scheduling ----------------------------------------------------------
 
@@ -127,10 +185,135 @@ class RelaxedEngine:
         state = self.states[tid]
         if state.halted or tid in self._blocked:
             return False
+        if self._windows[tid]:
+            # OOO: everything that is not a windowed load/store executes
+            # in order, only after the decode window has fully issued.
+            return False
         if not self._buffers[tid]:
             return True
         op = state.program.instructions[state.pc].op
         return not self._gated[int(mem_class(op))]
+
+    # -- OOO decode window ---------------------------------------------------
+
+    def _fill_window(self, tid: int) -> None:
+        """Decode ahead into the window: consecutive loads/stores only.
+
+        Decode stops at any non-data instruction and at a register
+        dependence on a pending windowed load (RAW through a register,
+        or WAW on its destination): addresses and store values are read
+        from the register file at decode, so they must not depend on a
+        value that has not issued yet.
+        """
+        state = self.states[tid]
+        if state.halted or tid in self._blocked:
+            return
+        window = self._windows[tid]
+        while len(window) < self._ooo_window:
+            instr = state.program.instructions[state.pc]
+            op = instr.op
+            if op is Op.LW or op is Op.FLD:
+                is_store, wide = False, op is Op.FLD
+            elif op is Op.SW or op is Op.FSD:
+                is_store, wide = True, op is Op.FSD
+            else:
+                return
+            pending_rds = {
+                e.rd for e in window
+                if not e.is_store and e.rd is not None and e.rd != 0
+            }
+            srcs = (instr.rs1, instr.rs2) if is_store else (instr.rs1,)
+            if any(r in pending_rds for r in srcs):
+                return
+            if not is_store and instr.rd in pending_rds:
+                return
+            addr = state.regs[instr.rs1] + instr.imm
+            if is_store:
+                event = self.recorder.begin(
+                    tid, state.pc, int(op), _WRITE, addr,
+                    value=state.regs[instr.rs2], wide=wide,
+                )
+                # A store's timing randomness is its drain latency; it
+                # may enter the buffer immediately.
+                entry = _WindowEntry(
+                    event, True, addr, wide, state.regs[instr.rs2],
+                    None, self.steps,
+                )
+            else:
+                event = self.recorder.begin(
+                    tid, state.pc, int(op), _READ, addr, wide=wide
+                )
+                entry = _WindowEntry(
+                    event, False, addr, wide, None, instr.rd,
+                    self.steps + self._rng.randint(0, self._lat_max),
+                )
+            window.append(entry)
+            state.pc += 1
+            state.instructions_executed += 1
+
+    def _window_candidates(self, tid: int) -> list[int]:
+        """Window indices allowed to issue next, ignoring readiness.
+
+        An entry may issue unless an earlier unissued entry is ordered
+        before it by the model (``requires``), targets the same
+        location, or — via the store-buffer gate — unless buffered
+        stores must perform first under this model.
+        """
+        window = self._windows[tid]
+        if not window:
+            return []
+        buffered = bool(self._buffers[tid])
+        order = self._order
+        out = []
+        for i, entry in enumerate(window):
+            if buffered and self._gated[entry.cls]:
+                continue
+            key = entry.key
+            cls = entry.cls
+            if all(
+                not order[(earlier.cls, cls)] and earlier.key != key
+                for earlier in window[:i]
+            ):
+                out.append(i)
+        return out
+
+    def _window_issuable(self, tid: int) -> list[int]:
+        window = self._windows[tid]
+        now = self.steps
+        return [
+            i for i in self._window_candidates(tid)
+            if window[i].ready_at <= now
+        ]
+
+    def _issue(self, tid: int, idx: int) -> None:
+        """Issue one window entry: perform a load / buffer a store."""
+        entry = self._windows[tid].pop(idx)
+        if entry.is_store:
+            self._buffers[tid].append(
+                _BufferedStore(
+                    entry.event, entry.addr, entry.wide, entry.value,
+                    self.steps + self._rng.randint(0, self._lat_max),
+                )
+            )
+            return
+        forwarded = None
+        for buffered in reversed(self._buffers[tid]):
+            if buffered.key == entry.key:
+                forwarded = buffered
+                break
+        if forwarded is not None:
+            value = forwarded.value
+            self.recorder.perform_read(
+                entry.event, value, rf_event=forwarded.event
+            )
+        else:
+            if entry.wide:
+                value = self.memory.read_double(entry.addr)
+            else:
+                value = self.memory.read_word(entry.addr)
+            self.recorder.perform_read(entry.event, value)
+        if entry.rd is not None and entry.rd != 0:
+            self.states[tid].regs[entry.rd] = value
 
     def _drain_candidates(self, tid: int) -> list[int]:
         """Buffer indices allowed to drain next, ignoring readiness."""
@@ -159,30 +342,49 @@ class RelaxedEngine:
 
     def run(self):
         """Execute to completion; returns the recorded event log."""
+        n = len(self.states)
         while True:
-            if all(s.halted for s in self.states) and not any(
-                self._buffers
+            if self.ooo:
+                for tid in range(n):
+                    self._fill_window(tid)
+            if (
+                all(s.halted for s in self.states)
+                and not any(self._buffers)
+                and not any(self._windows)
             ):
                 break
             actions = [
                 ("exec", tid, 0)
-                for tid in range(len(self.states))
+                for tid in range(n)
                 if self._issuable(tid)
             ]
+            if self.ooo:
+                actions.extend(
+                    ("issue", tid, idx)
+                    for tid in range(n)
+                    for idx in self._window_issuable(tid)
+                )
             actions.extend(
                 ("drain", tid, idx)
-                for tid in range(len(self.states))
+                for tid in range(n)
                 for idx in self._drainable(tid)
             )
             if not actions:
-                # No issuable instruction and no ready drain.  If stores
-                # are merely waiting out their drain latency, fast-forward
-                # to the earliest readiness; otherwise it is a deadlock.
+                # No issuable instruction, ready window entry, or ready
+                # drain.  If accesses are merely waiting out their issue/
+                # drain latency, fast-forward to the earliest readiness;
+                # otherwise it is a deadlock.
                 pending = [
                     self._buffers[tid][i].ready_at
-                    for tid in range(len(self.states))
+                    for tid in range(n)
                     for i in self._drain_candidates(tid)
                 ]
+                if self.ooo:
+                    pending.extend(
+                        self._windows[tid][i].ready_at
+                        for tid in range(n)
+                        for i in self._window_candidates(tid)
+                    )
                 if pending:
                     self.steps = max(self.steps, min(pending))
                     continue
@@ -200,6 +402,8 @@ class RelaxedEngine:
             self.steps += 1
             if kind == "drain":
                 self._drain(tid, idx)
+            elif kind == "issue":
+                self._issue(tid, idx)
             else:
                 self._exec(tid)
         return self.recorder.log()

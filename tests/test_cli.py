@@ -89,3 +89,44 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "BASE" in out and "DS-RC-w256" in out
         assert "legend" in out
+
+
+class TestNetworkFlag:
+    def test_network_defaults_to_ideal(self):
+        args = build_parser().parse_args(["run", "lu"])
+        assert args.network == "ideal"
+
+    def test_network_choices(self):
+        parser = build_parser()
+        for kind in ("ideal", "crossbar", "mesh"):
+            args = parser.parse_args(["--network", kind, "run", "lu"])
+            assert args.network == kind
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--network", "torus", "run", "lu"])
+
+    def test_contention_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["--procs", "4", "--preset", "tiny", "contention",
+             "--apps", "lu", "ocean"]
+        )
+        assert args.command == "contention"
+        assert args.apps == ["lu", "ocean"]
+
+    def test_verify_ooo_flag(self):
+        parser = build_parser()
+        assert parser.parse_args(["verify", "lb"]).ooo is False
+        assert parser.parse_args(["verify", "lb", "--ooo"]).ooo is True
+
+    def test_run_with_mesh_network(self, capsys):
+        rc = main(["--procs", "2", "--preset", "tiny",
+                   "--network", "mesh", "run", "lu"])
+        assert rc == 0
+        assert "functional verification OK" in capsys.readouterr().out
+
+    def test_verify_ooo_litmus_end_to_end(self, capsys):
+        rc = main(["verify", "lb", "--model", "rc",
+                   "--schedules", "80", "--ooo"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[lb/RC] ok" in out
+        assert "verification OK" in out

@@ -367,3 +367,92 @@ class TestAppHarness:
         checks = tango_crosscheck("mp")
         assert set(checks) == set(ALL_MODELS)
         assert all(c.ok for c in checks.values())
+
+
+class TestOOOIssue:
+    """Out-of-order issue mode: the decode window over loads/stores."""
+
+    def test_lb_reordering_appears_under_rc_never_under_sc(self):
+        relaxed = run_litmus("lb", "RC", schedules=150, seed=0, ooo=True)
+        assert relaxed.ok
+        assert (1, 1) in relaxed.outcomes
+        assert relaxed.demo_cycle is not None  # provably non-SC
+        strict = run_litmus("lb", "SC", schedules=150, seed=0, ooo=True)
+        assert strict.ok
+        assert (1, 1) not in strict.outcomes
+
+    def test_iriw_reordering_appears_under_rc_never_under_sc(self):
+        relaxed = run_litmus(
+            "iriw", "RC", schedules=400, seed=0, ooo=True
+        )
+        assert relaxed.ok
+        assert (1, 0, 1, 0) in relaxed.outcomes
+        assert relaxed.demo_cycle is not None
+        strict = run_litmus(
+            "iriw", "SC", schedules=400, seed=0, ooo=True
+        )
+        assert strict.ok
+        assert (1, 0, 1, 0) not in strict.outcomes
+
+    def test_pc_keeps_load_order_with_ooo(self):
+        for test, forbidden in (("lb", (1, 1)), ("iriw", (1, 0, 1, 0))):
+            result = run_litmus(test, "PC", schedules=150, seed=0,
+                                ooo=True)
+            assert result.ok
+            assert forbidden not in result.outcomes
+
+    def test_checker_accepts_every_ooo_execution(self):
+        # Violations would include checker rejections; the full catalog
+        # must stay clean under OOO issue for every model.
+        for result in verify_litmus(schedules=40, seed=5, ooo=True):
+            assert result.ok, result.format()
+
+    def test_register_dependence_blocks_reordering(self):
+        # A load feeding a dependent store's address must issue first:
+        # the window stops decoding at the RAW, so the pair can never
+        # produce a value the in-order engine could not.
+        b0 = AsmBuilder("dep_w")
+        a = b0.ireg("a")
+        v = b0.ireg("v")
+        b0.la(a, X)
+        b0.li(v, 0x2000)
+        b0.sw(v, a)
+        b0.halt()
+        b1 = AsmBuilder("dep_r")
+        a = b1.ireg("a")
+        p = b1.ireg("p")
+        one = b1.ireg("one")
+        b1.la(a, X)
+        b1.li(one, 1)
+        b1.lw(p, a)          # p = mem[X] (0 or 0x2000)
+        skip = b1.newlabel("skip")
+        b1.beqz(p, skip)
+        b1.sw(one, p)        # store through the loaded pointer
+        b1.label(skip)
+        b1.halt()
+        from repro.mem import SharedMemory
+
+        for seed in range(60):
+            memory = SharedMemory()
+            engine = RelaxedEngine(
+                [b0.build(), b1.build()], memory=memory, model="RC",
+                seed=seed, ooo=True,
+            )
+            engine.run()  # would fault on a bogus address if reordered
+
+    def test_store_forwarding_still_works_with_ooo(self):
+        b = AsmBuilder("fwd")
+        a = b.ireg("a")
+        v = b.ireg("v")
+        r = b.ireg("r")
+        b.la(a, X)
+        b.li(v, 7)
+        b.sw(v, a)
+        b.lw(r, a)  # same address: must wait for (and see) the store
+        b.halt()
+        for seed in range(40):
+            engine = RelaxedEngine([b.build()], model="RC", seed=seed,
+                                   ooo=True)
+            log = engine.run()
+            assert engine.states[0].regs[int(r)] == 7
+            assert check_execution(log, "RC").ok
