@@ -72,6 +72,24 @@ def test_perf_smoke():
     check, verify_s = _timed(lambda: check_execution(log, "SC"))
     assert check.ok
 
+    # Instrumentation overhead on the DS replay loop.  The disabled
+    # path (a probe with metrics off and no tracer resolves to None
+    # inside the models) is guarded at <=2%; the fully enabled path is
+    # recorded for the trajectory, not bounded.
+    from repro.obs import ChromeTracer, MetricsRegistry, Probe
+
+    plain_s = disabled_s = float("inf")
+    for _ in range(5):
+        _, a = _timed(lambda: simulate(trace, ds_cfg))
+        _, b = _timed(lambda: simulate(trace, ds_cfg, probe=Probe()))
+        plain_s = min(plain_s, a)
+        disabled_s = min(disabled_s, b)
+    _, enabled_s = _timed(lambda: simulate(
+        trace, ds_cfg,
+        probe=Probe(metrics=MetricsRegistry(), tracer=ChromeTracer()),
+    ))
+    obs_disabled_ratio = disabled_s / plain_s
+
     payload = {
         "app": "lu",
         "preset": "tiny",
@@ -89,6 +107,9 @@ def test_perf_smoke():
         "verify_events": len(log),
         "verify_seconds": round(verify_s, 4),
         "verify_events_per_s": round(len(log) / verify_s),
+        "obs_disabled_overhead": round(obs_disabled_ratio, 4),
+        "obs_enabled_seconds": round(enabled_s, 4),
+        "obs_enabled_overhead": round(enabled_s / plain_s, 2),
         "python": sys.version.split()[0],
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -100,3 +121,5 @@ def test_perf_smoke():
     assert payload["verify_events_per_s"] > 0
     # The compiled engine must never regress below the reference one.
     assert payload["compiled_speedup"] > 1.0
+    # Observability off may cost at most 2% on the replay hot loop.
+    assert obs_disabled_ratio <= 1.02, payload["obs_disabled_overhead"]

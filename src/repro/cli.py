@@ -12,6 +12,10 @@ Commands:
 * ``contention`` — replay traces under the contention-aware network
   backends (``--network {ideal,crossbar,mesh}``) and report per-model
   miss-latency distributions.
+* ``profile <app>`` — instrumented run of one model/window/network
+  combination: occupancy histograms, stall attribution per consistency
+  model, and (``--trace``) a Perfetto-loadable timeline plus a
+  machine-readable run manifest under ``results/profiles/``.
 * ``all`` — regenerate everything into ``results/``.
 """
 
@@ -131,6 +135,36 @@ def cmd_contention(args) -> None:
     print(exp.format_contention(
         exp.run_contention(store, apps=apps, networks=networks)
     ))
+
+
+def cmd_profile(args) -> int:
+    from . import obs
+
+    # Traces are generated on the ideal backend (cache-shareable); the
+    # profiled model replays them through a fresh network of the chosen
+    # kind, contention-style.
+    store = exp.TraceStore(
+        n_procs=args.procs, miss_penalty=args.penalty,
+        preset=args.preset, cache_dir=args.cache_dir,
+    )
+    argv_echo = (
+        f"python -m repro --procs {args.procs} --preset {args.preset} "
+        f"profile {args.app} --kind {args.kind} --model {args.model} "
+        f"--window {args.window} --network {args.network}"
+    )
+    result = obs.run_profile(
+        args.app, store,
+        kind=args.kind, model=args.model, window=args.window,
+        network=args.network, trace=args.trace, metrics=args.metrics,
+        out_dir=args.out, command=argv_echo,
+    )
+    print(result.report)
+    if result.errors:
+        print()
+        for err in result.errors:
+            print(f"VALIDATION FAILED: {err}")
+        return 1
+    return 0
 
 
 def cmd_verify(args) -> int:
@@ -258,6 +292,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_cont.add_argument("--apps", nargs="*", choices=APP_NAMES,
                         help="restrict to these applications")
     p_cont.set_defaults(func=cmd_contention)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="instrumented run: occupancy, stall attribution, trace",
+        description=(
+            "Profile one application under one model/window/network "
+            "combination: stall attribution across all four consistency "
+            "models, occupancy histograms (reorder buffer, store "
+            "buffer, link queues), and — with --trace — a Perfetto-"
+            "loadable trace.json.  Writes trace + metrics + a run "
+            "manifest under --out."
+        ),
+    )
+    p_prof.add_argument("app", choices=APP_NAMES)
+    p_prof.add_argument("--kind", default="ds",
+                        choices=("base", "ssbr", "ss", "ds"),
+                        help="processor model to profile")
+    p_prof.add_argument("--model", default="RC",
+                        type=lambda s: s.upper(),
+                        choices=("SC", "PC", "WO", "RC"),
+                        help="consistency model of the primary run")
+    p_prof.add_argument("--window", type=int, default=64,
+                        help="DS reorder-buffer window")
+    # Accepted here as well as globally, so `profile lu --network mesh`
+    # works; SUPPRESS keeps the global value when omitted.
+    p_prof.add_argument("--network", choices=NETWORK_KINDS,
+                        default=argparse.SUPPRESS,
+                        help="interconnect backend for the profiled run")
+    p_prof.add_argument("--trace", action="store_true",
+                        help="emit a Chrome trace_event JSON timeline")
+    p_prof.add_argument("--metrics", action="store_true", default=True,
+                        help="write the metrics registry snapshot "
+                             "(metrics.json; on by default)")
+    p_prof.add_argument("--no-metrics", dest="metrics",
+                        action="store_false",
+                        help="skip writing metrics.json")
+    p_prof.add_argument("--out", default="results/profiles",
+                        help="output directory for profile artifacts")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_ver = sub.add_parser(
         "verify",

@@ -69,39 +69,53 @@ class ProcessorConfig:
 
 
 def simulate(
-    trace: Trace, config: ProcessorConfig, network=None
+    trace: Trace, config: ProcessorConfig, network=None, probe=None
 ) -> ExecutionBreakdown:
     """Run the configured processor model over ``trace``.
 
     ``network`` (a :class:`repro.net.ContentionNetwork`) re-times every
     miss through a contended interconnect at the cycle the model issues
-    it; None keeps the trace's baked fixed-penalty stalls.
+    it; None keeps the trace's baked fixed-penalty stalls.  ``probe``
+    (a :class:`repro.obs.Probe`) collects occupancy histograms, retire
+    spans (DS), and the resulting breakdown; results are byte-identical
+    with or without one.
     """
     kind = config.kind.lower()
     if kind == "base":
-        return simulate_base(trace, label=config.label(), network=network)
-    model = get_model(config.model)
-    if kind == "ssbr":
-        return simulate_ssbr(
-            trace, model, label=config.label(), network=network
+        breakdown = simulate_base(
+            trace, label=config.label(), network=network
         )
-    if kind == "ss":
-        return simulate_ss(
-            trace, model, label=config.label(), network=network
-        )
-    if kind == "ds":
-        ds_kwargs = dict(config.ds)
-        if network is not None:
-            ds_kwargs["network"] = network
-        ds_config = DSConfig(
-            window=config.window,
-            issue_width=config.issue_width,
-            perfect_branch_prediction=config.perfect_bp,
-            ignore_data_dependences=config.ignore_deps,
-            **ds_kwargs,
-        )
-        return simulate_ds(trace, model, ds_config, label=config.label())
-    raise ValueError(f"unknown processor kind {config.kind!r}")
+    else:
+        model = get_model(config.model)
+        if kind == "ssbr":
+            breakdown = simulate_ssbr(
+                trace, model, label=config.label(), network=network,
+                probe=probe,
+            )
+        elif kind == "ss":
+            breakdown = simulate_ss(
+                trace, model, label=config.label(), network=network,
+                probe=probe,
+            )
+        elif kind == "ds":
+            ds_kwargs = dict(config.ds)
+            if network is not None:
+                ds_kwargs["network"] = network
+            ds_config = DSConfig(
+                window=config.window,
+                issue_width=config.issue_width,
+                perfect_branch_prediction=config.perfect_bp,
+                ignore_data_dependences=config.ignore_deps,
+                **ds_kwargs,
+            )
+            breakdown = simulate_ds(
+                trace, model, ds_config, label=config.label(), probe=probe
+            )
+        else:
+            raise ValueError(f"unknown processor kind {config.kind!r}")
+    if probe is not None and probe.enabled:
+        probe.publish_breakdown(breakdown)
+    return breakdown
 
 
 __all__ = [

@@ -206,10 +206,14 @@ class DSProcessor:
         trace: Trace,
         model: ConsistencyModel,
         config: DSConfig | None = None,
+        probe=None,
     ) -> None:
         self.trace = trace
         self.model = model
         self.config = config or DSConfig()
+        #: optional repro.obs.Probe — occupancy histograms + retire spans;
+        #: purely observational, never alters timing.
+        self.probe = probe if probe is not None and probe.enabled else None
         self.btb = BranchTargetBuffer(
             self.config.btb_entries, self.config.btb_assoc
         )
@@ -231,6 +235,36 @@ class DSProcessor:
         perfect_bp = cfg.perfect_branch_prediction
         network = cfg.network
         net_cpu = self.trace.cpu
+
+        # Observability (all optional; None keeps the loop probe-free).
+        probe = self.probe
+        rob_hist = sb_hist = None
+        tracer = None
+        span_cat = None
+        if probe is not None:
+            if probe.metrics.enabled:
+                from ...obs.metrics import occupancy_bounds
+
+                rob_hist = probe.metrics.histogram(
+                    "ds.rob_occupancy", occupancy_bounds(window)
+                )
+                sb_hist = probe.metrics.histogram(
+                    "ds.store_buffer_depth", occupancy_bounds(store_depth)
+                )
+            tracer = probe.tracer
+            if tracer is not None:
+                from ...obs.tracer import (
+                    CAT_CPU, CAT_MEM, CAT_SYNC,
+                )
+
+                # Per-class span category: sync classes, plain memory,
+                # and non-memory instructions.
+                span_cat = [CAT_CPU] * (max(_MEM_CLASSES) + 1)
+                for cls in _MEM_CLASSES:
+                    span_cat[cls] = CAT_SYNC if cls in _ACQ or (
+                        cls == int(MemClass.RELEASE)
+                    ) else CAT_MEM
+        spans_dropped = 0
 
         # Fold the consistency matrix into per-class blocker tuples: the
         # classes an operation of each class must wait for.
@@ -617,6 +651,26 @@ class DSProcessor:
                     else:
                         stall_reason = "other"
                     break
+                if tracer is not None:
+                    # One complete span per retired instruction, laned by
+                    # idx % window: entry idx+window can only decode after
+                    # idx retires, so spans on a lane never overlap and
+                    # the trace nests cleanly in Perfetto.
+                    if probe.span_budget > 0:
+                        probe.span_budget -= 1
+                        pid, tid = tracer.track(
+                            f"ds-cpu{net_cpu}", f"lane{head.idx % window}"
+                        )
+                        args = None
+                        if cls != _MC_NONE:
+                            args = {"addr": head.addr, "stall": head.stall}
+                        tracer.complete(
+                            _OP_MEMBER[head.op].name, span_cat[cls],
+                            pid, tid, head.decode_time,
+                            t + 1 - head.decode_time, args=args,
+                        )
+                    else:
+                        spans_dropped += 1
                 rob_head += 1
                 retired += 1
                 progressed = True
@@ -627,6 +681,9 @@ class DSProcessor:
             # ---- attribution and time advance -------------------------------
             if retired:
                 busy += 1
+                if rob_hist is not None:
+                    rob_hist.observe(len(rob) - rob_head)
+                    sb_hist.observe(len(store_buffer) - store_head)
                 t += 1
                 continue
 
@@ -660,8 +717,14 @@ class DSProcessor:
                 write += cycles
             else:
                 other += cycles
+            if rob_hist is not None:
+                # Occupancy weighted by the cycles spent in this state.
+                rob_hist.observe(len(rob) - rob_head, cycles)
+                sb_hist.observe(len(store_buffer) - store_head, cycles)
             t += cycles
 
+        if spans_dropped:
+            probe.metrics.counter("trace.spans_dropped").inc(spans_dropped)
         return ExecutionBreakdown(
             label=label or f"DS-{model.name}-w{window}",
             busy=busy, sync=sync, read=read, write=write, other=other,
@@ -675,6 +738,7 @@ def simulate_ds(
     model: ConsistencyModel,
     config: DSConfig | None = None,
     label: str | None = None,
+    probe=None,
 ) -> ExecutionBreakdown:
     """Convenience wrapper around :class:`DSProcessor`."""
-    return DSProcessor(trace, model, config).run(label=label)
+    return DSProcessor(trace, model, config, probe=probe).run(label=label)

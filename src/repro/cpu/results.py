@@ -19,6 +19,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Canonical execution-time components, in stacked-bar order.  Every
+#: consumer — table headers, bar segments, metrics names, profile
+#: reports — renders from this one table so labels can never drift
+#: between :mod:`repro.cpu.results` and :mod:`repro.experiments.report`.
+COMPONENTS = ("busy", "sync", "read", "write", "other")
+
+#: One-character bar glyph per component (ASCII stacked bars).
+COMPONENT_GLYPHS = {
+    "busy": "#",
+    "sync": "S",
+    "read": "R",
+    "write": "W",
+    "other": ".",
+}
+
 
 @dataclass
 class ExecutionBreakdown:
@@ -40,17 +55,16 @@ class ExecutionBreakdown:
     def total(self) -> int:
         return self.busy + self.sync + self.read + self.write + self.other
 
+    def components(self) -> dict[str, int]:
+        """Raw cycle count per canonical component."""
+        return {comp: getattr(self, comp) for comp in COMPONENTS}
+
     def normalized_to(self, base: "ExecutionBreakdown") -> dict[str, float]:
         """Component percentages of this run relative to ``base.total``."""
         scale = 100.0 / base.total if base.total else 0.0
-        return {
-            "busy": self.busy * scale,
-            "sync": self.sync * scale,
-            "read": self.read * scale,
-            "write": self.write * scale,
-            "other": self.other * scale,
-            "total": self.total * scale,
-        }
+        out = {comp: getattr(self, comp) * scale for comp in COMPONENTS}
+        out["total"] = self.total * scale
+        return out
 
     def read_latency_hidden_vs(self, base: "ExecutionBreakdown") -> float:
         """Fraction of the BASE read stall this run eliminated (0..1)."""

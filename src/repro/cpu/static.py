@@ -108,21 +108,36 @@ class WriteBuffer:
         return self.last_free if self._entries else 0
 
 
+def _buffer_histogram(probe, name: str, capacity: int):
+    """The occupancy histogram for ``name``, or None when unprobed."""
+    if probe is None or not probe.metrics.enabled:
+        return None
+    from ..obs.metrics import occupancy_bounds
+
+    return probe.metrics.histogram(name, occupancy_bounds(capacity))
+
+
 def simulate_ssbr(
     trace: Trace,
     model: ConsistencyModel,
     label: str | None = None,
     write_buffer_depth: int = WRITE_BUFFER_DEPTH,
     network=None,
+    probe=None,
 ) -> ExecutionBreakdown:
     """Run the SSBR (static scheduling, blocking reads) model.
 
     With ``network`` set, every miss (the trace's baked stall marks
     hit/miss) is re-timed through the interconnect at the cycle the
-    access begins, so miss latency varies with load.
+    access begins, so miss latency varies with load.  ``probe``
+    (a :class:`repro.obs.Probe`) samples write-buffer depth per push;
+    it never alters timing.
     """
     cpu = trace.cpu
     buf = WriteBuffer(model, write_buffer_depth)
+    wb_hist = _buffer_histogram(
+        probe, "static.write_buffer_depth", write_buffer_depth
+    )
     t = 0
     busy = sync = read = write = 0
     last_release_perform = 0
@@ -157,6 +172,8 @@ def simulate_ssbr(
                 t, stall, addr, perform_floor=floor
             )
             write += full_stall
+            if wb_hist is not None:
+                wb_hist.observe(len(buf._entries))
             if cls == _MC_RELEASE:
                 last_release_perform = max(
                     last_release_perform, buf.last_perform
@@ -200,14 +217,22 @@ def simulate_ss(
     write_buffer_depth: int = WRITE_BUFFER_DEPTH,
     read_buffer_depth: int = READ_BUFFER_DEPTH,
     network=None,
+    probe=None,
 ) -> ExecutionBreakdown:
     """Run the SS (static scheduling, non-blocking reads) model.
 
-    ``network`` re-times each miss at the cycle its access begins (see
+    ``network`` re-times each miss at the cycle its access begins, and
+    ``probe`` samples write-/read-buffer depths (see
     :func:`simulate_ssbr`).
     """
     cpu = trace.cpu
     buf = WriteBuffer(model, write_buffer_depth)
+    wb_hist = _buffer_histogram(
+        probe, "static.write_buffer_depth", write_buffer_depth
+    )
+    rb_hist = _buffer_histogram(
+        probe, "static.read_buffer_depth", read_buffer_depth
+    )
     reg_ready: dict[int, int] = {}
     outstanding: deque[int] = deque()  # perform times of pending reads
     t = 0
@@ -265,6 +290,8 @@ def simulate_ss(
             last_read_perform = max(last_read_perform, perform)
             if perform > t:
                 outstanding.append(perform)
+                if rb_hist is not None:
+                    rb_hist.observe(len(outstanding))
                 if rd >= 0:
                     reg_ready[rd] = perform
         elif cls == _MC_WRITE or cls == _MC_RELEASE:
@@ -277,6 +304,8 @@ def simulate_ss(
                 t, stall, addr, perform_floor=floor
             )
             write += full_stall
+            if wb_hist is not None:
+                wb_hist.observe(len(buf._entries))
             if cls == _MC_RELEASE:
                 last_release_perform = max(
                     last_release_perform, buf.last_perform

@@ -57,6 +57,9 @@ def _ideal_summary(trace, miss_penalty: int) -> dict:
         "p50": miss_penalty,
         "p99": miss_penalty,
         "max": miss_penalty,
+        # An ideal network has no links, hence no queueing.
+        "q_mean": 0.0,
+        "q_max": 0,
     }
 
 
@@ -94,6 +97,9 @@ def run_contention(
                     summary = _ideal_summary(run.trace, store.miss_penalty)
                 else:
                     summary = net.summary()
+                    links = net.link_summary()
+                    summary["q_mean"] = links["mean_depth"]
+                    summary["q_max"] = links["max_depth"]
                 rows.append((breakdown, summary))
             per_net[kind] = rows
         results[app] = per_net
@@ -122,10 +128,12 @@ def format_contention(
                     float(summary["mean"]),
                     summary["p50"],
                     summary["p99"],
+                    float(summary.get("q_mean", 0.0)),
+                    summary.get("q_max", 0),
                 ])
         sections.append(format_table(
             ["network", "config", "cycles", "% ideal BASE",
-             "misses", "lat mean", "p50", "p99"],
+             "misses", "lat mean", "p50", "p99", "q mean", "q max"],
             rows,
             title=f"Contention — {app.upper()} (miss latency per model)",
         ))

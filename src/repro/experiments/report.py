@@ -9,6 +9,7 @@ from a benchmark run, and pasted into EXPERIMENTS.md.
 from __future__ import annotations
 
 from ..cpu import ExecutionBreakdown
+from ..cpu.results import COMPONENT_GLYPHS, COMPONENTS
 
 
 def format_table(
@@ -50,15 +51,9 @@ def breakdown_rows(
     rows = []
     for run in runs:
         nz = run.normalized_to(base)
-        rows.append([
-            run.label,
-            nz["busy"],
-            nz["sync"],
-            nz["read"],
-            nz["write"],
-            nz["other"],
-            nz["total"],
-        ])
+        rows.append(
+            [run.label] + [nz[comp] for comp in COMPONENTS] + [nz["total"]]
+        )
     return rows
 
 
@@ -68,7 +63,7 @@ def format_breakdowns(
     base: ExecutionBreakdown,
 ) -> str:
     """The paper's stacked-bar data as a table (percent of BASE time)."""
-    headers = ["config", "busy", "sync", "read", "write", "other", "total"]
+    headers = ["config", *COMPONENTS, "total"]
     return format_table(headers, breakdown_rows(runs, base), title=title)
 
 
@@ -89,18 +84,15 @@ def format_stacked_bars(
     for run in runs:
         nz = run.normalized_to(base)
         scale = width / 100.0
-        segments = (
-            ("#", nz["busy"]),
-            ("S", nz["sync"]),
-            ("R", nz["read"]),
-            ("W", nz["write"]),
-            (".", nz["other"]),
+        bar = "".join(
+            COMPONENT_GLYPHS[comp] * round(nz[comp] * scale)
+            for comp in COMPONENTS
         )
-        bar = "".join(ch * round(frac * scale) for ch, frac in segments)
         lines.append(
             f"{run.label.ljust(label_w)} |{bar}| {nz['total']:6.1f}%"
         )
-    lines.append(
-        f"{''.ljust(label_w)}  legend: # busy  S sync  R read  W write"
+    legend = "  ".join(
+        f"{COMPONENT_GLYPHS[comp]} {comp}" for comp in COMPONENTS
     )
+    lines.append(f"{''.ljust(label_w)}  legend: {legend}")
     return "\n".join(lines)

@@ -38,16 +38,21 @@ class CacheStats:
     downgrades_received: int = 0
     evictions: int = 0
 
+    #: Counter fields, in declaration order (merge/publish iterate this).
+    FIELDS = (
+        "reads", "writes", "read_misses", "write_misses", "upgrades",
+        "writebacks", "invalidations_received", "downgrades_received",
+        "evictions",
+    )
+
     def merge(self, other: "CacheStats") -> None:
-        self.reads += other.reads
-        self.writes += other.writes
-        self.read_misses += other.read_misses
-        self.write_misses += other.write_misses
-        self.upgrades += other.upgrades
-        self.writebacks += other.writebacks
-        self.invalidations_received += other.invalidations_received
-        self.downgrades_received += other.downgrades_received
-        self.evictions += other.evictions
+        for fld in self.FIELDS:
+            setattr(self, fld, getattr(self, fld) + getattr(other, fld))
+
+    def publish(self, metrics, prefix: str = "cache") -> None:
+        """Push every counter into a metrics registry as ``prefix.field``."""
+        for fld in self.FIELDS:
+            metrics.counter(f"{prefix}.{fld}").inc(getattr(self, fld))
 
 
 @dataclass

@@ -80,6 +80,18 @@ class CoherentMemorySystem:
         # avoids two method calls and two divisions per access.
         self._line_mask = self.caches[0].num_lines - 1
         self._listener = None
+        #: optional repro.obs.Probe (miss-latency histograms + coherence
+        #: counters); None keeps every miss path free of probe branches.
+        self._obs = None
+
+    def attach_probe(self, probe) -> None:
+        """Register an observability probe (see :mod:`repro.obs`).
+
+        Purely observational: taps fire on miss paths only and never
+        alter timing, so simulation results are byte-identical with or
+        without a probe attached.
+        """
+        self._obs = probe if probe is not None and probe.enabled else None
 
     def attach_listener(self, listener) -> None:
         """Register a protocol-event listener (consistency verification).
@@ -132,18 +144,26 @@ class CoherentMemorySystem:
                 cache._state[idx] = MODIFIED
                 if self._listener is not None:
                     self._listener.coherence_event("upgrade", cpu, line, None)
+                if self._obs is not None:
+                    self._obs.on_coherence("upgrade", cpu, line, None)
             else:
                 cache.install(addr, MODIFIED)
                 if self._listener is not None:
                     self._listener.coherence_event(
                         "install", cpu, line, MODIFIED
                     )
+                if self._obs is not None:
+                    self._obs.on_coherence("install", cpu, line, MODIFIED)
             stats.write_misses += 1
             if self.network is None:
-                return False, self.miss_penalty
-            return False, self.network.write_miss(
-                cpu, line, sharers, now, upgrade=state == SHARED
-            )
+                stall = self.miss_penalty
+            else:
+                stall = self.network.write_miss(
+                    cpu, line, sharers, now, upgrade=state == SHARED
+                )
+            if self._obs is not None:
+                self._obs.on_miss(cpu, True, stall, now)
+            return False, stall
         stats.reads += 1
         if state != INVALID:
             return True, 0
@@ -155,10 +175,16 @@ class CoherentMemorySystem:
         cache.install(addr, new_state)
         if self._listener is not None:
             self._listener.coherence_event("install", cpu, line, new_state)
+        if self._obs is not None:
+            self._obs.on_coherence("install", cpu, line, new_state)
         stats.read_misses += 1
         if self.network is None:
-            return False, self.miss_penalty
-        return False, self.network.read_miss(cpu, line, owner, now)
+            stall = self.miss_penalty
+        else:
+            stall = self.network.read_miss(cpu, line, owner, now)
+        if self._obs is not None:
+            self._obs.on_miss(cpu, False, stall, now)
+        return False, stall
 
     def would_hit(self, cpu: int, addr: int, is_write: bool) -> bool:
         """Non-mutating lookup: would this access hit right now?"""
@@ -185,6 +211,10 @@ class CoherentMemorySystem:
                     sharers.append(other)
                     if self._listener is not None:
                         self._listener.coherence_event(
+                            "invalidate", other, line, state == MODIFIED
+                        )
+                    if self._obs is not None:
+                        self._obs.on_coherence(
                             "invalidate", other, line, state == MODIFIED
                         )
         return tuple(sharers)
@@ -215,12 +245,18 @@ class CoherentMemorySystem:
                         self._listener.coherence_event(
                             "downgrade", other, line, True
                         )
+                    if self._obs is not None:
+                        self._obs.on_coherence("downgrade", other, line, True)
                 elif state == EXCLUSIVE:
                     shared = True
                     cache._state[idx] = SHARED
                     cache.stats.downgrades_received += 1
                     if self._listener is not None:
                         self._listener.coherence_event(
+                            "downgrade", other, line, False
+                        )
+                    if self._obs is not None:
+                        self._obs.on_coherence(
                             "downgrade", other, line, False
                         )
                 elif state == SHARED:

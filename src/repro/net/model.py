@@ -99,15 +99,34 @@ class ContentionNetwork:
         self._link_free = [0] * topology.n_links
         #: observed miss latencies, in query order
         self.latencies: list[int] = []
+        # Per-link queue-depth samples: every hop observes how many
+        # occupancy slots are already queued ahead of it on its link.
+        n_links = topology.n_links
+        self._link_samples = [0] * n_links
+        self._link_depth_sum = [0] * n_links
+        self._link_depth_max = [0] * n_links
+        #: optional repro.obs.Probe for trace events (None = untraced)
+        self._probe = None
 
     @property
     def kind(self) -> str:
         return self.topology.kind
 
+    def attach_probe(self, probe) -> None:
+        """Emit per-transaction spans and per-hop queue-wait events into
+        ``probe``'s tracer (budgeted); metrics flow via :meth:`publish`."""
+        self._probe = probe if (
+            probe is not None and probe.tracer is not None
+        ) else None
+
     def reset(self) -> None:
         """Fresh timing state and stats (used between per-model runs)."""
         self.wheel = EventWheel(self.config.wheel_size)
-        self._link_free = [0] * self.topology.n_links
+        n_links = self.topology.n_links
+        self._link_free = [0] * n_links
+        self._link_samples = [0] * n_links
+        self._link_depth_sum = [0] * n_links
+        self._link_depth_max = [0] * n_links
         self.directory.reset_timing()
         self.latencies = []
 
@@ -134,13 +153,36 @@ class ContentionNetwork:
             return
         cfg = self.config
         link_free = self._link_free
+        samples = self._link_samples
+        depth_sum = self._link_depth_sum
+        depth_max = self._link_depth_max
         occupancy = self._data_occ if data else cfg.link_occupancy
 
         def hop(i: int, t: int) -> None:
             link = route[i]
-            depart = t if t >= link_free[link] else link_free[link]
+            free = link_free[link]
+            if t >= free:
+                depart = t
+                depth = 0
+            else:
+                depart = free
+                # Queue depth in messages: how many occupancy slots are
+                # already committed ahead of this hop on the link.
+                depth = (free - t + occupancy - 1) // occupancy
+                depth_sum[link] += depth
+                if depth > depth_max[link]:
+                    depth_max[link] = depth
+            samples[link] += 1
             link_free[link] = depart + occupancy
             arrive = depart + cfg.hop_latency
+            probe = self._probe
+            if probe is not None and probe.hop_budget > 0:
+                probe.hop_budget -= 1
+                pid, tid = probe.tracer.track("network", f"link{link}")
+                probe.tracer.instant(
+                    "hop", "net", pid, tid, depart,
+                    args={"link": link, "queue_depth": depth},
+                )
             if i + 1 < len(route):
                 self.wheel.schedule(arrive, lambda now: hop(i + 1, now))
             else:
@@ -161,11 +203,25 @@ class ContentionNetwork:
         self.wheel.run()
         return arrival[0]
 
-    def _record(self, start: int, done: int) -> int:
+    def _record(
+        self, start: int, done: int, cpu: int = -1, kind: str = "miss"
+    ) -> int:
         latency = done - start
         if latency < 1:
             latency = 1
         self.latencies.append(latency)
+        probe = self._probe
+        if probe is not None and probe.span_budget > 0:
+            probe.span_budget -= 1
+            # Overlapped misses from one cpu need separate lanes to keep
+            # the track's spans properly nested.
+            pid, tid = probe.span_track(
+                "network", f"cpu{cpu}", start, start + latency
+            )
+            probe.tracer.complete(
+                kind, "net", pid, tid, start, latency,
+                args={"cpu": cpu},
+            )
         return latency
 
     # -- coherence transactions ----------------------------------------
@@ -192,7 +248,7 @@ class ContentionNetwork:
         else:
             t += self.config.memory_latency
             t = self._send(home, cpu, t, data=True)
-        return self._record(now, t)
+        return self._record(now, t, cpu, "read_miss")
 
     def write_miss(
         self,
@@ -231,7 +287,7 @@ class ContentionNetwork:
 
             self._chain(home, sharer, t, invalidated)
         self.wheel.run()
-        return self._record(now, done[0])
+        return self._record(now, done[0], cpu, "write_miss")
 
     def replay_miss(
         self, cpu: int, addr: int, is_write: bool, now: int
@@ -250,7 +306,9 @@ class ContentionNetwork:
         t = self.directory.serve(home, t)
         t += self.config.memory_latency
         t = self._send(home, cpu, t, data=True)
-        return self._record(now, t)
+        return self._record(
+            now, t, cpu, "replay_write" if is_write else "replay_read"
+        )
 
     # -- statistics ----------------------------------------------------
 
@@ -267,6 +325,54 @@ class ContentionNetwork:
             "p99": lats[min(n - 1, (n * 99) // 100)],
             "max": lats[-1],
         }
+
+    def link_summary(self) -> dict:
+        """Aggregate per-link queue-depth statistics.
+
+        ``mean_depth`` averages the queue depth seen by every hop (most
+        hops see an idle link, so small means still indicate real
+        hot-spots); ``busiest_link`` is the link with the deepest
+        observed queue.
+        """
+        samples = sum(self._link_samples)
+        depth_sum = sum(self._link_depth_sum)
+        max_depth = 0
+        busiest = -1
+        for link, depth in enumerate(self._link_depth_max):
+            if depth > max_depth:
+                max_depth = depth
+                busiest = link
+        return {
+            "samples": samples,
+            "mean_depth": depth_sum / samples if samples else 0.0,
+            "max_depth": max_depth,
+            "busiest_link": busiest,
+        }
+
+    def publish(self, metrics, prefix: str = "net") -> None:
+        """Push miss-latency and link-queue stats into a metrics registry.
+
+        This is the surfacing path for the per-link queue-depth samples
+        accumulated in :meth:`_chain` — the registry (and the
+        ``contention`` report) are the only consumers.
+        """
+        if not metrics.enabled:
+            return
+        from ..obs.metrics import LATENCY_BOUNDS
+
+        hist = metrics.histogram(f"{prefix}.miss_latency", LATENCY_BOUNDS)
+        for lat in self.latencies:
+            hist.observe(lat)
+        links = self.link_summary()
+        metrics.counter(f"{prefix}.link_hops").inc(links["samples"])
+        metrics.gauge(f"{prefix}.link_queue_mean").set(links["mean_depth"])
+        metrics.gauge(f"{prefix}.link_queue_max").set(links["max_depth"])
+        metrics.gauge(f"{prefix}.busiest_link").set(links["busiest_link"])
+        for link in range(self.topology.n_links):
+            if self._link_depth_max[link]:
+                metrics.gauge(
+                    f"{prefix}.link{link}.queue_max"
+                ).set(self._link_depth_max[link])
 
 
 NETWORK_KINDS = ("ideal", "crossbar", "mesh")

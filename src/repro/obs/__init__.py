@@ -1,0 +1,76 @@
+"""Unified observability layer: metrics registry, tracing, profiling.
+
+One opt-in, cross-cutting instrumentation surface for every simulator
+layer (memory system, interconnect, processor models, the Tango
+executor):
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms
+  and bounded time-series reservoirs; disabled registries hand out
+  shared no-op instruments so instrumented call sites cost nearly
+  nothing when observability is off;
+* :class:`ChromeTracer` — structured event traces in Chrome
+  ``trace_event`` JSON, loadable in Perfetto, deterministic for a fixed
+  configuration;
+* :class:`Probe` — the bundle of both that the simulators accept
+  (always optional); simulation results are byte-identical with or
+  without one;
+* :func:`run_profile` — the ``python -m repro profile`` entry point:
+  one instrumented run reported as occupancy histograms, stall
+  attribution, and trace + machine-readable manifest on disk.
+"""
+
+from .manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    git_revision,
+    validate_manifest,
+    write_manifest,
+)
+from .metrics import (
+    LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    Reservoir,
+    format_histogram,
+    occupancy_bounds,
+)
+from .probe import Probe
+from .profile import PROFILE_MODELS, ProfileResult, run_profile
+from .tracer import (
+    CAT_CPU,
+    CAT_MEM,
+    CAT_NET,
+    CAT_SYNC,
+    ChromeTracer,
+    validate_trace,
+)
+
+__all__ = [
+    "CAT_CPU",
+    "CAT_MEM",
+    "CAT_NET",
+    "CAT_SYNC",
+    "ChromeTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BOUNDS",
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "PROFILE_MODELS",
+    "Probe",
+    "ProfileResult",
+    "Reservoir",
+    "build_manifest",
+    "format_histogram",
+    "git_revision",
+    "occupancy_bounds",
+    "run_profile",
+    "validate_manifest",
+    "validate_trace",
+    "write_manifest",
+]

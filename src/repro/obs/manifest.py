@@ -1,0 +1,92 @@
+"""Machine-readable run manifests for profiled runs.
+
+Every ``python -m repro profile`` invocation writes a ``manifest.json``
+next to its trace/metrics outputs recording exactly what produced them:
+the resolved configuration, the git revision, wall-clock timings per
+phase, and the emitted files with sizes.  The manifest is metadata — it
+carries timestamps and timings and is *not* required to be
+deterministic; the trace and metrics files are.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+MANIFEST_SCHEMA = "repro-profile-manifest/1"
+
+#: Keys a valid manifest must carry.
+REQUIRED_FIELDS = (
+    "schema", "created", "command", "config", "timings", "outputs",
+    "python", "platform",
+)
+
+
+def git_revision(repo_dir: Path | str | None = None) -> str | None:
+    """The current git commit hash, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir or Path(__file__).resolve().parents[3],
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def build_manifest(
+    command: str,
+    config: dict,
+    timings: dict,
+    outputs: dict[str, Path | str],
+) -> dict:
+    """Assemble a manifest dict (outputs annotated with on-disk sizes)."""
+    out_entries = {}
+    for label, path in sorted(outputs.items()):
+        path = Path(path)
+        entry = {"path": str(path)}
+        if path.exists():
+            entry["bytes"] = path.stat().st_size
+        out_entries[label] = entry
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "command": command,
+        "git_revision": git_revision(),
+        "config": config,
+        "timings": {k: round(v, 4) for k, v in timings.items()},
+        "outputs": out_entries,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+
+
+def write_manifest(path: Path | str, manifest: dict) -> None:
+    Path(path).write_text(json.dumps(manifest, indent=2) + "\n")
+
+
+def validate_manifest(obj) -> list[str]:
+    """Schema-check a parsed manifest; returns problems (empty == ok)."""
+    errors = []
+    if not isinstance(obj, dict):
+        return ["manifest is not an object"]
+    for field in REQUIRED_FIELDS:
+        if field not in obj:
+            errors.append(f"missing field {field!r}")
+    if obj.get("schema") not in (None, MANIFEST_SCHEMA):
+        errors.append(
+            f"unknown schema {obj.get('schema')!r} != {MANIFEST_SCHEMA!r}"
+        )
+    for name in ("config", "timings", "outputs"):
+        if name in obj and not isinstance(obj[name], dict):
+            errors.append(f"{name} is not an object")
+    for label, entry in (obj.get("outputs") or {}).items():
+        if not isinstance(entry, dict) or "path" not in entry:
+            errors.append(f"output {label!r} has no path")
+    return errors

@@ -1,0 +1,199 @@
+"""Structured event tracer emitting Chrome ``trace_event`` JSON.
+
+Every instrumented run can dump a timeline that loads directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* **complete events** (``ph: "X"``) — per-instruction lifecycle spans
+  (decode → issue → execute → perform → retire) on the processor-model
+  tracks, and per-transaction miss spans on the network tracks;
+* **instant events** (``ph: "i"``) — coherence invalidations, network
+  hops, synchronization operations;
+* **counter events** (``ph: "C"``) — ROB occupancy, store-buffer depth,
+  per-link queue depth over time.
+
+Track identity is allocated through :meth:`ChromeTracer.track`, which
+hands out ``(pid, tid)`` pairs in registration order and emits the
+process/thread-name metadata Perfetto uses for labels.  Because all
+simulator state is deterministic and tracks are allocated in
+deterministic order, :meth:`dumps` output is byte-identical across
+repeated runs of the same configuration — a property the test suite
+asserts.
+
+Timestamps are simulated processor *cycles*, written 1:1 into the
+microsecond field the format requires (so "1 µs" in the UI is one
+cycle).
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Event categories used by the simulator layers.
+CAT_CPU = "cpu"
+CAT_MEM = "mem"
+CAT_NET = "net"
+CAT_SYNC = "sync"
+
+#: Keys every non-metadata event must carry (trace_event JSON schema).
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+class ChromeTracer:
+    """Collects trace events and serializes them as trace_event JSON."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._meta: list[dict] = []
+        self._tracks: dict[tuple[str, str], tuple[int, int]] = {}
+        self._processes: dict[str, int] = {}
+
+    # -- track allocation ----------------------------------------------
+
+    def track(self, process: str, thread: str = "main") -> tuple[int, int]:
+        """The ``(pid, tid)`` of a named track, allocated on first use."""
+        key = (process, thread)
+        ids = self._tracks.get(key)
+        if ids is not None:
+            return ids
+        pid = self._processes.get(process)
+        if pid is None:
+            pid = len(self._processes) + 1
+            self._processes[process] = pid
+            self._meta.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process},
+            })
+        tid = sum(1 for (p, _), _ids in self._tracks.items() if p == process)
+        self._meta.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": thread},
+        })
+        ids = (pid, tid)
+        self._tracks[key] = ids
+        return ids
+
+    # -- event emission ------------------------------------------------
+
+    def complete(
+        self, name: str, cat: str, pid: int, tid: int,
+        ts: int, dur: int, args: dict | None = None,
+    ) -> None:
+        """A span ``[ts, ts + dur)`` on one track."""
+        ev = {
+            "name": name, "cat": cat, "ph": "X",
+            "ts": ts, "dur": dur, "pid": pid, "tid": tid,
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def instant(
+        self, name: str, cat: str, pid: int, tid: int,
+        ts: int, args: dict | None = None,
+    ) -> None:
+        ev = {
+            "name": name, "cat": cat, "ph": "i", "s": "t",
+            "ts": ts, "pid": pid, "tid": tid,
+        }
+        if args:
+            ev["args"] = args
+        self.events.append(ev)
+
+    def counter(
+        self, name: str, pid: int, ts: int, values: dict
+    ) -> None:
+        self.events.append({
+            "name": name, "ph": "C", "ts": ts, "pid": pid, "tid": 0,
+            "args": dict(values),
+        })
+
+    # -- serialization -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_dict(self, other_data: dict | None = None) -> dict:
+        return {
+            "traceEvents": self._meta + self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "simulated cycles (1 cycle == 1us field unit)",
+                **(other_data or {}),
+            },
+        }
+
+    def dumps(self, other_data: dict | None = None) -> str:
+        """Deterministic JSON: sorted keys, fixed separators."""
+        return json.dumps(
+            self.to_dict(other_data), sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def write(self, path, other_data: dict | None = None) -> None:
+        with open(path, "w") as f:
+            f.write(self.dumps(other_data))
+            f.write("\n")
+
+
+def validate_trace(obj) -> list[str]:
+    """Schema-check a parsed trace_event JSON document.
+
+    Returns a list of human-readable problems (empty == valid):
+
+    * the top level must be ``{"traceEvents": [...]}``;
+    * every event needs ``name/ph/ts/pid/tid`` with sane types,
+      complete events additionally a non-negative ``dur``;
+    * complete events on one ``(pid, tid)`` track must be properly
+      nested — a span may contain later spans but never partially
+      overlap one (in-order tracks are sequential; the DS reorder-lane
+      assignment guarantees it for out-of-order spans).
+    """
+    errors: list[str] = []
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return ["top level is not an object with a traceEvents list"]
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    spans: dict[tuple, list[tuple[int, int]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        for key in REQUIRED_KEYS:
+            if key not in ev:
+                errors.append(f"event {i} missing {key!r}")
+        if not isinstance(ev.get("ts", 0), (int, float)):
+            errors.append(f"event {i} has non-numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {i} ({ev.get('name')}): bad dur")
+            else:
+                spans.setdefault(
+                    (ev.get("pid"), ev.get("tid")), []
+                ).append((ev.get("ts", 0), dur))
+        elif ph not in ("i", "I", "C", "b", "e", "n"):
+            errors.append(f"event {i} has unknown phase {ph!r}")
+        if len(errors) > 32:
+            errors.append("... (truncated)")
+            return errors
+    for track, track_spans in spans.items():
+        track_spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[int] = []  # enclosing span end times
+        for ts, dur in track_spans:
+            while stack and ts >= stack[-1]:
+                stack.pop()
+            if stack and ts + dur > stack[-1]:
+                errors.append(
+                    f"track {track}: span [{ts}, {ts + dur}) partially "
+                    f"overlaps one ending at {stack[-1]}"
+                )
+                if len(errors) > 32:
+                    errors.append("... (truncated)")
+                    return errors
+                continue
+            stack.append(ts + dur)
+    return errors

@@ -123,6 +123,7 @@ class TangoExecutor:
         memory: SharedMemory | None = None,
         compiled: bool = True,
         recorder=None,
+        probe=None,
     ) -> None:
         self.config = config or MultiprocessorConfig()
         if len(programs) != self.config.n_cpus:
@@ -162,6 +163,15 @@ class TangoExecutor:
         if recorder is not None:
             recorder.bind(self.config.n_cpus)
             self.memsys.attach_listener(recorder)
+        # Opt-in observability hook (repro.obs): per-miss histograms and
+        # coherence counters during the run, everything else published
+        # after it.  Purely observational — results are byte-identical
+        # with or without a probe.
+        self.probe = probe if probe is not None and probe.enabled else None
+        if self.probe is not None:
+            self.memsys.attach_probe(self.probe)
+            if self.network is not None:
+                self.network.attach_probe(self.probe)
 
     # -- trace helpers ------------------------------------------------------
 
@@ -361,7 +371,7 @@ class TangoExecutor:
             cpus=self.cpu_stats,
             total_cycles=max(s.end_time for s in self.cpu_stats),
         )
-        return RunResult(
+        result = RunResult(
             config=self.config,
             traces=self.traces,
             stats=run_stats,
@@ -369,6 +379,9 @@ class TangoExecutor:
             memsys=self.memsys,
             sync=self.sync,
         )
+        if self.probe is not None:
+            self.probe.publish_run(result)
+        return result
 
     def _run_compiled(self) -> None:
         """Fast engine: closure dispatch + columnar emission.
@@ -651,8 +664,10 @@ def run_workload(
     memory: SharedMemory,
     config: MultiprocessorConfig | None = None,
     compiled: bool = True,
+    probe=None,
 ) -> RunResult:
     """Convenience wrapper: build an executor and run it."""
     return TangoExecutor(
-        programs, config=config, memory=memory, compiled=compiled
+        programs, config=config, memory=memory, compiled=compiled,
+        probe=probe,
     ).run()

@@ -130,3 +130,49 @@ class TestNetworkFlag:
         out = capsys.readouterr().out
         assert "[lb/RC] ok" in out
         assert "verification OK" in out
+
+
+class TestProfileCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["profile", "lu"])
+        assert args.command == "profile"
+        assert (args.kind, args.model, args.window) == ("ds", "RC", 64)
+        assert args.metrics is True
+        assert args.trace is False
+        assert args.out == "results/profiles"
+
+    def test_network_after_subcommand_wins(self):
+        args = build_parser().parse_args(
+            ["profile", "lu", "--network", "mesh"]
+        )
+        assert args.network == "mesh"
+        # The global flag still applies when the local one is omitted.
+        args = build_parser().parse_args(
+            ["--network", "crossbar", "profile", "lu"]
+        )
+        assert args.network == "crossbar"
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["profile", "ocean", "--kind", "ss", "--model", "wo",
+             "--window", "128", "--trace", "--no-metrics"]
+        )
+        assert (args.kind, args.model, args.window) == ("ss", "WO", 128)
+        assert args.trace is True and args.metrics is False
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "lu", "--kind", "vliw"])
+
+    def test_profile_end_to_end(self, capsys, tmp_path):
+        rc = main(["--procs", "4", "--preset", "tiny",
+                   "--cache-dir", str(tmp_path / "traces"),
+                   "profile", "lu", "--network", "mesh", "--trace",
+                   "--out", str(tmp_path / "profiles")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stall attribution" in out
+        assert "trace.json" in out and "manifest.json" in out
+        assert (
+            tmp_path / "profiles" / "lu-ds-rc-mesh-w64" / "trace.json"
+        ).exists()

@@ -18,16 +18,19 @@ from repro.experiments import (
     generate_traces,
     simulate_app_models,
 )
+from repro.cpu import ProcessorConfig, simulate
+from repro.net import build_network
+from repro.obs import ChromeTracer, MetricsRegistry, Probe
 from repro.tango.trace import TRACE_FORMAT_VERSION
 from repro.verify import ExecutionRecorder
 
 
-def _run(app: str, compiled: bool):
+def _run(app: str, compiled: bool, network: str = "ideal", probe=None):
     workload = build_app(app, preset="tiny")
-    config = MultiprocessorConfig(trace_cpus=(0, 1))
+    config = MultiprocessorConfig(trace_cpus=(0, 1), network=network)
     result = TangoExecutor(
         workload.programs, config, memory=workload.memory,
-        compiled=compiled,
+        compiled=compiled, probe=probe,
     ).run()
     workload.verify(result.memory)
     return result
@@ -122,6 +125,40 @@ class TestParallelFanOut:
         main(argv + ["figure3"])
         serial = capsys.readouterr().out
         assert first == second == serial
+
+
+class TestProbeByteIdentity:
+    """An attached `repro.obs.Probe` only observes — every simulated
+    result must be byte-identical with instrumentation on or off."""
+
+    @staticmethod
+    def _probe():
+        return Probe(metrics=MetricsRegistry(), tracer=ChromeTracer())
+
+    @pytest.mark.parametrize("network", ("ideal", "mesh"))
+    def test_executor_results_unchanged(self, network):
+        probe = self._probe()
+        instrumented = _run("lu", compiled=True, network=network,
+                            probe=probe)
+        bare = _run("lu", compiled=True, network=network)
+        assert instrumented.stats == bare.stats
+        for cpu in (0, 1):
+            assert instrumented.trace(cpu) == bare.trace(cpu)
+        # ... and the probe actually saw the run.
+        assert probe.metrics.counter("cache.total.reads").value > 0
+        assert len(probe.tracer) > 0
+
+    @pytest.mark.parametrize("network", ("ideal", "mesh"))
+    @pytest.mark.parametrize("kind", ("base", "ssbr", "ss", "ds"))
+    def test_model_breakdowns_unchanged(self, kind, network):
+        trace = _run("lu", compiled=True).trace(0)
+        config = ProcessorConfig(kind=kind, model="RC", window=64)
+
+        def breakdown(probe):
+            net = build_network(network, 8, 16)
+            return simulate(trace, config, network=net, probe=probe)
+
+        assert breakdown(self._probe()) == breakdown(None)
 
 
 class TestCacheVersioning:
