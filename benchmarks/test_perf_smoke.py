@@ -1,12 +1,17 @@
 """Performance smoke test: record core throughput numbers.
 
-Times the two hot loops everything else is gated on — the functional
-interpreter (trace generation) and the dynamic-scheduling processor
-model (trace replay) — on the tiny LU workload, and writes the numbers
-to ``BENCH_core.json`` at the repository root so successive PRs leave a
-performance trajectory.  Run with::
+Times the hot loops everything else is gated on — the functional
+interpreter (trace generation), the vectorized static-model kernels,
+the event-driven DS engine (both against their scalar oracles), and
+the batch cache-lookup kernel — on the tiny LU workload, and writes
+the numbers to ``BENCH_core.json`` at the repository root so
+successive PRs leave a performance trajectory.  Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_perf_smoke.py -q
+
+Ratios (speedups, instrumentation overhead) are computed from
+interleaved min-of-reps samples so machine-speed drift between the two
+sides of a ratio cancels out.
 """
 
 from __future__ import annotations
@@ -17,7 +22,16 @@ import time
 from pathlib import Path
 
 from repro import MultiprocessorConfig, TangoExecutor, build_app
-from repro.cpu import ProcessorConfig, simulate
+from repro.consistency import get_model
+from repro.cpu import (
+    ProcessorConfig,
+    simulate,
+    simulate_ds,
+    simulate_ds_fast,
+    simulate_ss,
+    simulate_ss_fast,
+)
+from repro.cpu.ds import DSConfig
 from repro.verify import ExecutionRecorder, check_execution
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
@@ -27,6 +41,17 @@ def _timed(fn):
     t0 = time.perf_counter()
     out = fn()
     return out, time.perf_counter() - t0
+
+
+def _race(*fns, reps=5):
+    """Interleaved min-of-reps wall times, one per callable."""
+    best = [float("inf")] * len(fns)
+    for _ in range(reps):
+        for i, fn in enumerate(fns):
+            _, s = _timed(fn)
+            if s < best[i]:
+                best[i] = s
+    return best
 
 
 def test_perf_smoke():
@@ -40,6 +65,7 @@ def test_perf_smoke():
     workload.verify(result.memory)
     instructions = result.stats.total_instructions()
     trace = result.trace(0)
+    n = len(trace)
 
     ref_workload = build_app("lu", preset="tiny")
     reference = TangoExecutor(
@@ -58,6 +84,45 @@ def test_perf_smoke():
     mesh = build_network("mesh", config.n_cpus, config.line_size)
     _, mesh_s = _timed(lambda: simulate(trace, ds_cfg, network=mesh))
 
+    # Vectorized engines vs. their scalar oracles, on the same trace.
+    # SS is the static model with the most per-row work; DS pairs the
+    # event-driven engine against the per-cycle reference.
+    rc = get_model("RC")
+    static_fast_s, static_scalar_s = _race(
+        lambda: simulate_ss_fast(trace, rc),
+        lambda: simulate_ss(trace, rc),
+    )
+    ds_fast_s, ds_scalar_s = _race(
+        lambda: simulate_ds_fast(trace, rc, DSConfig(window=256)),
+        lambda: simulate_ds(trace, rc, DSConfig(window=256)),
+        reps=3,
+    )
+
+    # Batch cache-lookup kernel: one vectorized set-index/tag-match
+    # over the trace's whole memory-access column.
+    import numpy as np
+
+    from repro.mem.cache import EXCLUSIVE, Cache
+
+    cols = trace.np_columns()
+    addrs = cols[6][cols[9] != 0].astype(np.int64)
+    probe_cache = Cache()
+    for addr in addrs[: probe_cache.num_lines].tolist():
+        probe_cache.install(addr, EXCLUSIVE)
+    (batch_s,) = _race(lambda: probe_cache.batch_hits(addrs), reps=7)
+
+    # Both engines must agree exactly — the cheap CI echo of the full
+    # differential suite in tests/test_fastpath.py.
+    for kind in ("base", "ssbr", "ss", "ds"):
+        fast_bd = simulate(
+            trace, ProcessorConfig(kind=kind, model="RC", engine="fast")
+        )
+        ref_bd = simulate(
+            trace,
+            ProcessorConfig(kind=kind, model="RC", engine="reference"),
+        )
+        assert fast_bd == ref_bd, kind
+
     # Axiomatic-checker throughput over a freshly recorded run.
     rec_workload = build_app("lu", preset="tiny")
     recorder = ExecutionRecorder()
@@ -74,21 +139,22 @@ def test_perf_smoke():
 
     # Instrumentation overhead on the DS replay loop.  The disabled
     # path (a probe with metrics off and no tracer resolves to None
-    # inside the models) is guarded at <=2%; the fully enabled path is
-    # recorded for the trajectory, not bounded.
+    # inside the models) is guarded at <=2%; the fully enabled path
+    # (occupancy histograms + a Chrome trace span per instruction) at
+    # <=40%.
     from repro.obs import ChromeTracer, MetricsRegistry, Probe
 
-    plain_s = disabled_s = float("inf")
-    for _ in range(5):
-        _, a = _timed(lambda: simulate(trace, ds_cfg))
-        _, b = _timed(lambda: simulate(trace, ds_cfg, probe=Probe()))
-        plain_s = min(plain_s, a)
-        disabled_s = min(disabled_s, b)
-    _, enabled_s = _timed(lambda: simulate(
-        trace, ds_cfg,
-        probe=Probe(metrics=MetricsRegistry(), tracer=ChromeTracer()),
-    ))
+    plain_s, disabled_s, enabled_s = _race(
+        lambda: simulate(trace, ds_cfg),
+        lambda: simulate(trace, ds_cfg, probe=Probe()),
+        lambda: simulate(
+            trace, ds_cfg,
+            probe=Probe(metrics=MetricsRegistry(), tracer=ChromeTracer()),
+        ),
+        reps=9,
+    )
     obs_disabled_ratio = disabled_s / plain_s
+    obs_enabled_ratio = enabled_s / plain_s
 
     payload = {
         "app": "lu",
@@ -98,18 +164,25 @@ def test_perf_smoke():
         "interp_instr_per_s": round(instructions / gen_s),
         "interp_reference_instr_per_s": round(instructions / ref_s),
         "compiled_speedup": round(ref_s / gen_s, 2),
-        "ds_trace_instructions": len(trace),
+        "ds_trace_instructions": n,
         "ds_seconds": round(ds_s, 4),
-        "ds_instr_per_s": round(len(trace) / ds_s),
+        "ds_instr_per_s": round(n / ds_s),
         "ds_mesh_seconds": round(mesh_s, 4),
-        "ds_mesh_instr_per_s": round(len(trace) / mesh_s),
+        "ds_mesh_instr_per_s": round(n / mesh_s),
         "ds_mesh_misses_timed": len(mesh.latencies),
+        "static_instr_per_s": round(n / static_fast_s),
+        "static_scalar_instr_per_s": round(n / static_scalar_s),
+        "static_speedup": round(static_scalar_s / static_fast_s, 2),
+        "ds_event_instr_per_s": round(n / ds_fast_s),
+        "ds_scalar_instr_per_s": round(n / ds_scalar_s),
+        "ds_event_speedup": round(ds_scalar_s / ds_fast_s, 2),
+        "cache_batch_lookups_per_s": round(len(addrs) / batch_s),
         "verify_events": len(log),
         "verify_seconds": round(verify_s, 4),
         "verify_events_per_s": round(len(log) / verify_s),
         "obs_disabled_overhead": round(obs_disabled_ratio, 4),
         "obs_enabled_seconds": round(enabled_s, 4),
-        "obs_enabled_overhead": round(enabled_s / plain_s, 2),
+        "obs_enabled_overhead": round(obs_enabled_ratio, 2),
         "python": sys.version.split()[0],
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -118,8 +191,16 @@ def test_perf_smoke():
     assert payload["ds_instr_per_s"] > 0
     assert payload["ds_mesh_instr_per_s"] > 0
     assert payload["ds_mesh_misses_timed"] > 0
+    assert payload["cache_batch_lookups_per_s"] > 0
     assert payload["verify_events_per_s"] > 0
     # The compiled engine must never regress below the reference one.
     assert payload["compiled_speedup"] > 1.0
-    # Observability off may cost at most 2% on the replay hot loop.
+    # Nor may the vectorized model engines: conservative floors well
+    # under the measured ~4.5x (static) and ~1.7-2.1x (DS) so CI noise
+    # cannot flake them, but any real regression to scalar parity trips.
+    assert payload["static_speedup"] >= 2.0, payload["static_speedup"]
+    assert payload["ds_event_speedup"] >= 1.2, payload["ds_event_speedup"]
+    # Observability off may cost at most 2% on the replay hot loop;
+    # fully on (histograms + per-instruction spans) at most 40%.
     assert obs_disabled_ratio <= 1.02, payload["obs_disabled_overhead"]
+    assert obs_enabled_ratio <= 1.4, payload["obs_enabled_overhead"]

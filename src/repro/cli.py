@@ -255,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=NETWORK_KINDS,
                         help="interconnect timing backend (ideal = the "
                              "paper's fixed miss penalty)")
+    parser.add_argument("--engine", default="fast",
+                        choices=("fast", "reference"),
+                        help="simulation engine: the vectorized/event-"
+                             "driven fast path (default) or the scalar "
+                             "reference models; results are identical")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run and verify one application")
@@ -376,6 +381,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from . import cpu
+
+    cpu.DEFAULT_ENGINE = args.engine
     rc = args.func(args)
     return rc if isinstance(rc, int) else 0
 

@@ -19,7 +19,13 @@ from dataclasses import dataclass, field
 from ..consistency import ConsistencyModel, get_model
 from ..tango import Trace
 from .base import simulate_base
-from .ds import BranchTargetBuffer, DSConfig, DSProcessor, simulate_ds
+from .ds import (
+    BranchTargetBuffer,
+    DSConfig,
+    DSProcessor,
+    simulate_ds,
+    simulate_ds_fast,
+)
 from .multicontext import (
     MultiContextConfig,
     MultiContextProcessor,
@@ -28,6 +34,18 @@ from .multicontext import (
 from .scheduling import ScheduleStats, schedule_reads_early
 from .results import ExecutionBreakdown
 from .static import WriteBuffer, simulate_ss, simulate_ssbr
+from .static_fast import (
+    simulate_base_fast,
+    simulate_ss_fast,
+    simulate_ssbr_fast,
+)
+
+
+# Process-wide default for ProcessorConfig.engine, so one switch (the
+# CLI's global --engine flag) retargets every config built afterwards.
+# Configs are built before any process-pool fan-out and pickle the
+# resolved value with them, so workers inherit the choice.
+DEFAULT_ENGINE = "fast"
 
 
 @dataclass
@@ -43,6 +61,11 @@ class ProcessorConfig:
         perfect_bp: perfect branch prediction (DS only, Figure 4).
         ignore_deps: ignore register data dependences (DS only, Figure 4).
         ds: extra knobs forwarded into :class:`DSConfig`.
+        engine: "fast" (default) runs the vectorized/event-driven
+            engines of :mod:`repro.cpu.static_fast` and
+            :mod:`repro.cpu.ds.event_engine`; "reference" runs the
+            scalar oracles.  Results are byte-identical either way —
+            the choice only affects throughput.
     """
 
     kind: str = "ds"
@@ -52,6 +75,7 @@ class ProcessorConfig:
     perfect_bp: bool = False
     ignore_deps: bool = False
     ds: dict = field(default_factory=dict)
+    engine: str = field(default_factory=lambda: DEFAULT_ENGINE)
 
     def label(self) -> str:
         if self.kind == "base":
@@ -81,19 +105,24 @@ def simulate(
     with or without one.
     """
     kind = config.kind.lower()
+    engine = config.engine.lower()
+    if engine not in ("fast", "reference"):
+        raise ValueError(f"unknown engine {config.engine!r}")
+    fast = engine == "fast"
     if kind == "base":
-        breakdown = simulate_base(
-            trace, label=config.label(), network=network
-        )
+        run_base = simulate_base_fast if fast else simulate_base
+        breakdown = run_base(trace, label=config.label(), network=network)
     else:
         model = get_model(config.model)
         if kind == "ssbr":
-            breakdown = simulate_ssbr(
+            run_ssbr = simulate_ssbr_fast if fast else simulate_ssbr
+            breakdown = run_ssbr(
                 trace, model, label=config.label(), network=network,
                 probe=probe,
             )
         elif kind == "ss":
-            breakdown = simulate_ss(
+            run_ss = simulate_ss_fast if fast else simulate_ss
+            breakdown = run_ss(
                 trace, model, label=config.label(), network=network,
                 probe=probe,
             )
@@ -108,7 +137,8 @@ def simulate(
                 ignore_data_dependences=config.ignore_deps,
                 **ds_kwargs,
             )
-            breakdown = simulate_ds(
+            run_ds = simulate_ds_fast if fast else simulate_ds
+            breakdown = run_ds(
                 trace, model, ds_config, label=config.label(), probe=probe
             )
         else:
@@ -133,7 +163,11 @@ __all__ = [
     "WriteBuffer",
     "simulate",
     "simulate_base",
+    "simulate_base_fast",
     "simulate_ds",
+    "simulate_ds_fast",
     "simulate_ss",
+    "simulate_ss_fast",
     "simulate_ssbr",
+    "simulate_ssbr_fast",
 ]

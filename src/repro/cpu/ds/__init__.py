@@ -2,6 +2,7 @@
 
 from .btb import BranchTargetBuffer, predicted_correctly
 from .engine import DSConfig, DSProcessor, simulate_ds
+from .event_engine import simulate_ds_fast
 
 __all__ = [
     "BranchTargetBuffer",
@@ -9,4 +10,5 @@ __all__ = [
     "DSProcessor",
     "predicted_correctly",
     "simulate_ds",
+    "simulate_ds_fast",
 ]

@@ -81,6 +81,22 @@ for _op in Op:
     _IS_CONTROL[_op] = is_control(_op)
 _FU_LOAD_STORE = FuClass.LOAD_STORE.value
 
+#: Head-indexed lists (the store buffer, the reorder buffer) consume
+#: entries by advancing an index; the dead prefix is physically freed
+#: only once it outgrows both this floor and the live suffix, keeping
+#: the amortised cost O(1) per entry.
+_COMPACT_FLOOR = 64
+
+
+def _compact(buf: list, head: int) -> int:
+    """Free ``buf``'s consumed prefix when it dominates; returns the new
+    head index.  Purely memory management: simulated results are
+    identical at any threshold (pinned by ``tests/test_cpu_ds.py``)."""
+    if head > _COMPACT_FLOOR and head > len(buf) - head:
+        del buf[:head]
+        return 0
+    return head
+
 
 @dataclass
 class DSConfig:
@@ -128,7 +144,7 @@ class _Entry:
     __slots__ = (
         "idx", "op", "fu", "mem_cls", "addr", "stall", "wait",
         "decode_time", "ready_time", "complete_time", "performed",
-        "pending_srcs", "dependents", "in_store_buffer", "issued",
+        "pending_srcs", "dependents", "issued",
         "needs_head_wait", "head_wait_start",
     )
 
@@ -149,7 +165,6 @@ class _Entry:
         self.performed = False
         self.pending_srcs = 0
         self.dependents = None
-        self.in_store_buffer = False
         self.issued = False
         # Acquire contention/imbalance wait cannot be hidden by lookahead
         # (it is another processor's release time): it is charged only
@@ -264,6 +279,11 @@ class DSProcessor:
                     span_cat[cls] = CAT_SYNC if cls in _ACQ or (
                         cls == int(MemClass.RELEASE)
                     ) else CAT_MEM
+                # Lane handles are a pure function of idx % window;
+                # resolve each once instead of re-formatting the name
+                # and re-hashing it in the tracer on every retirement.
+                lanes = [None] * window
+                proc_name = f"ds-cpu{net_cpu}"
         spans_dropped = 0
 
         # Fold the consistency matrix into per-class blocker tuples: the
@@ -374,7 +394,6 @@ class DSProcessor:
                                 dq.popleft()
                             if not dq:
                                 del pending_stores[entry.addr]
-                        entry.in_store_buffer = False
                 if fetch_stalled_on is entry:
                     fetch_stalled_on = None
                 if entry.dependents:
@@ -390,9 +409,7 @@ class DSProcessor:
             ):
                 store_head += 1
                 progressed = True
-            if store_head > 64:
-                del store_buffer[:store_head]
-                store_head = 0
+            store_head = _compact(store_buffer, store_head)
 
             # Phase 2: issue to functional units.  Each class starts up to
             # issue_width operations per cycle (the multi-issue processor
@@ -626,7 +643,6 @@ class DSProcessor:
                     if len(store_buffer) - store_head >= store_depth:
                         stall_reason = "write"
                         break
-                    head.in_store_buffer = True
                     store_buffer.append(head)
                 elif cls in _ACQ and not head.performed:
                     # The access latency may already have been overlapped;
@@ -658,9 +674,13 @@ class DSProcessor:
                     # the trace nests cleanly in Perfetto.
                     if probe.span_budget > 0:
                         probe.span_budget -= 1
-                        pid, tid = tracer.track(
-                            f"ds-cpu{net_cpu}", f"lane{head.idx % window}"
-                        )
+                        lane = head.idx % window
+                        handle = lanes[lane]
+                        if handle is None:
+                            handle = lanes[lane] = tracer.track(
+                                proc_name, f"lane{lane}"
+                            )
+                        pid, tid = handle
                         args = None
                         if cls != _MC_NONE:
                             args = {"addr": head.addr, "stall": head.stall}
@@ -674,9 +694,7 @@ class DSProcessor:
                 rob_head += 1
                 retired += 1
                 progressed = True
-            if rob_head > 2 * window:
-                del rob[:rob_head]
-                rob_head = 0
+            rob_head = _compact(rob, rob_head)
 
             # ---- attribution and time advance -------------------------------
             if retired:

@@ -1,0 +1,866 @@
+"""Event-driven fast path for the dynamically scheduled processor.
+
+A byte-identical reimplementation of :class:`repro.cpu.ds.engine.
+DSProcessor` built on the same split as :mod:`repro.cpu.static_fast`:
+everything that depends only on the *trace contents* is precomputed in
+batch, and the cycle loop runs on flat per-row state instead of heap
+objects.
+
+* **Decode-side kernels.**  Decode order equals trace order regardless
+  of timing, so the three stateful per-decode computations of the
+  reference engine collapse into batch passes done once per trace: the
+  full branch-prediction outcome column
+  (:func:`repro.cpu.kernels.control_mispredicts` replays the BTB), the
+  producer row of each source operand
+  (:func:`repro.cpu.kernels.producer_rows` replaces the ``last_writer``
+  dict), and per-row FU class / store-like / contended-acquire tables.
+
+* **Flat state.**  The reorder-buffer entry *is* its row number: the
+  ROB collapses to two integers (head row, fetch row), and all mutable
+  per-entry fields (``complete_time``, ``ready_time``, ``performed``,
+  ``issued``, pending-source counts) become row-indexed lists and
+  bytearrays.  No ``_Entry`` is ever allocated.
+
+* **Cheap events.**  Single-cycle completions — FU results, cache-hit
+  loads, clean store performs; the overwhelming majority of events —
+  are always due exactly one cycle after issue, so they ride a plain
+  list swapped each cycle instead of the event heap; the heap only
+  carries miss latencies and acquire head-waits.  Processing order of
+  same-cycle completions does not affect any outcome (flags and
+  wake-ups commute), so the split is exact.  Phases whose inputs are
+  empty (FU issue, the memory port) are skipped with one check, and
+  the per-class ready heaps are scanned through a nonempty bitmask.
+
+Everything observable is preserved cycle for cycle: the breakdown
+(busy/sync/read/write/other and the cycle count in ``extras``), the
+order and arguments of stateful ``network.replay_miss`` calls, probe
+histograms and retire spans (with lane handles cached instead of
+re-looked-up per retirement).  The reference engine remains the
+differential oracle — see ``tests/test_fastpath.py``.
+
+Runs that collect per-miss statistics delegate to the reference engine,
+which exposes them on the processor object.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+from heapq import heappop, heappush
+
+import numpy as np
+
+from ...consistency import ConsistencyModel
+from ...tango import Trace
+from ..kernels import control_mispredicts, producer_rows
+from ..results import ExecutionBreakdown
+from ..static_fast import _trace_index
+from .btb import BranchTargetBuffer
+from .engine import (
+    _ACQ,
+    _compact,
+    _COMPACT_FLOOR,
+    _FU_LOAD_STORE,
+    _FU_VAL,
+    _MEM_CLASSES,
+    _OP_MEMBER,
+    _STORE_LIKE,
+    DSConfig,
+    simulate_ds,
+)
+
+_MC_READ = 1
+_MC_WRITE = 2
+_N_CLS = max(_MEM_CLASSES) + 1
+_N_FU = max(_FU_VAL) + 1
+_FU_NP = np.array(_FU_VAL, dtype=np.int64)
+_OP_NAME = [op.name if op is not None else "" for op in _OP_MEMBER]
+_HUGE = 1 << 60
+
+
+class _DSIndex:
+    """Trace-derived tables for the DS fast path, computed once.
+
+    Attached to the shared per-trace cache
+    (:class:`repro.cpu.static_fast._TraceIndex`), so one instance serves
+    every consistency model, window size, and network over the same
+    trace.  Branch-prediction outcome columns are cached per BTB shape.
+    """
+
+    __slots__ = (
+        "n", "op_l", "fu_l", "cls_l", "stall_l", "wait_l", "addr_l",
+        "prod1_l", "prod2_l", "store_like_l", "acq_wait_l", "_misp",
+    )
+
+    def __init__(self, trace: Trace) -> None:
+        self.n = len(trace)
+        cols = trace.np_columns()
+        op_np, rd_np, rs1_np, rs2_np = cols[0], cols[3], cols[4], cols[5]
+        addr_np, stall_np, wait_np, mc_np = (
+            cols[6], cols[7], cols[8], cols[9],
+        )
+        self.op_l = op_np.tolist()
+        self.fu_l = _FU_NP[op_np].tolist()
+        self.cls_l = mc_np.tolist()
+        self.stall_l = stall_np.tolist()
+        self.wait_l = wait_np.tolist()
+        self.addr_l = addr_np.tolist()
+        prod1, prod2 = producer_rows(rd_np, rs1_np, rs2_np)
+        self.prod1_l = prod1.tolist()
+        self.prod2_l = prod2.tolist()
+        store_like = np.zeros(_N_CLS, dtype=bool)
+        store_like[list(_STORE_LIKE)] = True
+        acq = np.zeros(_N_CLS, dtype=bool)
+        acq[list(_ACQ)] = True
+        self.store_like_l = store_like[mc_np].tolist()
+        self.acq_wait_l = (acq[mc_np] & (wait_np > 0)).tolist()
+        self._misp = {}
+
+    def mispredicts(self, trace: Trace, entries: int, assoc: int) -> list:
+        """Full-length misprediction column for one BTB shape."""
+        key = (entries, assoc)
+        misp = self._misp.get(key)
+        if misp is None:
+            cols = trace.np_columns()
+            misp = control_mispredicts(
+                cols[0], cols[1], cols[2],
+                BranchTargetBuffer(entries, assoc),
+            ).tolist()
+            self._misp[key] = misp
+        return misp
+
+
+def _ds_index(trace: Trace) -> _DSIndex:
+    shared = _trace_index(trace)
+    idx = shared.ds
+    if idx is None or idx.n != len(trace):
+        idx = _DSIndex(trace)
+        shared.ds = idx
+    return idx
+
+
+def simulate_ds_fast(
+    trace: Trace,
+    model: ConsistencyModel,
+    config: DSConfig | None = None,
+    label: str | None = None,
+    probe=None,
+) -> ExecutionBreakdown:
+    """Drop-in fast replacement for :func:`repro.cpu.ds.simulate_ds`."""
+    cfg = config or DSConfig()
+    if cfg.collect_miss_stats:
+        # Miss statistics live on the DSProcessor object; callers that
+        # want them construct the reference engine directly anyway.
+        return simulate_ds(trace, model, cfg, label=label, probe=probe)
+
+    idx = _ds_index(trace)
+    n = idx.n
+    window = cfg.window
+    store_depth = cfg.resolved_store_depth()
+    iw = cfg.issue_width
+    ignore_deps = cfg.ignore_data_dependences
+    speculative = cfg.speculative_loads
+    prefetch = cfg.prefetch
+    network = cfg.network
+    net_cpu = trace.cpu
+
+    op_l = idx.op_l
+    fu_l = idx.fu_l
+    cls_l = idx.cls_l
+    stall_l = idx.stall_l
+    wait_l = idx.wait_l
+    addr_l = idx.addr_l
+    prod1_l = idx.prod1_l
+    prod2_l = idx.prod2_l
+    store_like_l = idx.store_like_l
+    acq_wait_l = idx.acq_wait_l
+    if cfg.perfect_branch_prediction:
+        misp_l = bytes(n)
+    else:
+        misp_l = idx.mispredicts(trace, cfg.btb_entries, cfg.btb_assoc)
+
+    # Observability (mirrors the reference engine, with the per-retire
+    # track()/f-string lookups hoisted into a lane-handle cache).
+    probe = probe if probe is not None and probe.enabled else None
+    rob_hist = sb_hist = None
+    tracer = None
+    span_cat = None
+    lanes = None
+    retire_t = None
+    if probe is not None:
+        if probe.metrics.enabled:
+            from ...obs.metrics import occupancy_bounds
+
+            rob_hist = probe.metrics.histogram(
+                "ds.rob_occupancy", occupancy_bounds(window)
+            )
+            sb_hist = probe.metrics.histogram(
+                "ds.store_buffer_depth", occupancy_bounds(store_depth)
+            )
+            # Histogram state is commutative (bucket counts/sum/max), so
+            # the hot loop bumps flat per-occupancy weight arrays and the
+            # instruments are flushed once after the run — same snapshot,
+            # no per-cycle bisect/method-call cost.
+            rob_occ = [0] * (window + 2)
+            sb_occ = [0] * (store_depth + 2)
+        tracer = probe.tracer
+        if tracer is not None:
+            from ...obs.tracer import CAT_CPU, CAT_MEM, CAT_SYNC
+
+            span_cat = [CAT_CPU] * _N_CLS
+            for cls in _MEM_CLASSES:
+                span_cat[cls] = CAT_SYNC if cls in _ACQ or (
+                    cls == 4  # RELEASE
+                ) else CAT_MEM
+            lanes = [None] * window
+            proc_name = f"ds-cpu{net_cpu}"
+            track = tracer.track
+            events_append = tracer.events.append
+            # With no network sharing the tracer, retire spans are the
+            # only events and the only span-budget consumers, and every
+            # row retires in program order — so the hot loop just stores
+            # each row's retire cycle and the span dicts are built in
+            # one pass at the end.  A network interleaves miss spans and
+            # budget consumption mid-run, so spans stay inline then.
+            if network is None:
+                retire_t = [0] * n
+    spans_dropped = 0
+
+    blockers_l = [()] * _N_CLS
+    for cls in _MEM_CLASSES:
+        blockers_l[cls] = tuple(
+            earlier for earlier in _MEM_CLASSES
+            if model.requires(earlier, cls)
+        )
+
+    # ---- flat per-row state --------------------------------------------
+    complete_t = [-1] * n
+    ready_t = [-1] * n
+    decode_t = [0] * n
+    performed = bytearray(n)
+    issued = bytearray(n)
+    pending = bytearray(n)
+    has_deps = bytearray(n)              # gate for the dependent lists
+    deps_l: list = [None] * n            # producer row -> dependent rows
+    hw_start: dict[int, int] = {}        # contended acquires only
+
+    t = 0
+    fetch_i = 0
+    rob_head = 0                          # ROB = rows [rob_head, fetch_i)
+    fetch_stalled = -1
+    events: list[tuple[int, int]] = []    # heap: misses / head-waits only
+    due_next: list[int] = []              # completions due at due_t
+    due_t = 0
+    lsu_ready: list[int] = []             # idx-sorted loads/acquires
+    fu_ready: list[list[int]] = [[] for _ in range(_N_FU)]
+    fu_heaps = tuple(fu_ready)
+    fu_mask = 0                           # bit f set iff fu_ready[f]
+    # Preset bookkeeping: a decoded non-memory op whose operands are
+    # ready by t+1, whose class has no ready or dep-deferred older op,
+    # and whose prediction was correct provably issues at t+1 and
+    # completes at t+2; its completion time is written at decode and it
+    # never touches the ready heaps or the event queues.  The phantom
+    # issue still consumes the class's t+1 slot (fu_taken_gen), and
+    # dep-deferred ops per class are counted (fu_pending) to disable
+    # the proof while an older op could wake in between.
+    fu_pending = [0] * _N_FU
+    fu_taken_gen = [-1] * _N_FU
+    store_buffer: list[int] = []
+    store_head = 0
+    sb_tail = 0                           # == len(store_buffer)
+    store_scan = 0                        # first possibly-unissued slot
+    uq: list[deque[int]] = [deque() for _ in range(_N_CLS)]
+    pending_stores: dict[int, deque[int]] = {}
+    frontier_val = [0] * _N_CLS
+    frontier_gen = [-1] * _N_CLS
+    rejected_gen = [-1] * _N_CLS
+
+    busy = sync = read = write = other = 0
+    ev_t = _HUGE                          # events[0][0], cached
+
+    # The helper binds its state through default arguments, not a
+    # closure: a closure would turn every captured name into a cell
+    # variable and tax each access in the cycle loop below.
+    def blocked(
+        own: str, h: int,
+        issued=issued, blockers_l=blockers_l, cls_l=cls_l, uq=uq,
+        performed=performed,
+    ) -> str:
+        if issued[h]:
+            return own
+        best = h
+        best_cls = -1
+        for earlier in blockers_l[cls_l[h]]:
+            dq = uq[earlier]
+            while dq and performed[dq[0]]:
+                dq.popleft()
+            if dq and dq[0] < best:
+                best = dq[0]
+                best_cls = earlier
+        if best_cls < 0:
+            return own
+        if best_cls in _STORE_LIKE:
+            return "write"
+        if best_cls in _ACQ:
+            return "sync"
+        return "read"
+
+    streak_ok = iw == 1
+
+    # ---- main cycle loop ------------------------------------------------
+    while True:
+        # Steady-state streak: while no event is pending, every ready
+        # queue and the store buffer are empty, and fetch is running,
+        # a cycle is exactly "decode one preset-eligible op, retire the
+        # head" — commit both without touching the phase machinery.
+        # Any condition the proof needs (dependence, memory class,
+        # misprediction, class contention) breaks to the general loop,
+        # which re-enters the streak on the next cycle.
+        if streak_ok:
+            while (
+                ev_t > t
+                and not due_next
+                and not fu_mask
+                and not lsu_ready
+                and store_scan >= sb_tail  # no unissued store wants the port
+                and fetch_stalled < 0
+                and rob_head < fetch_i < n
+                and fetch_i - rob_head < window
+            ):
+                i = fetch_i
+                if cls_l[i] or misp_l[i]:
+                    break
+                h = rob_head
+                if store_like_l[h]:
+                    break
+                hc = complete_t[h]
+                if hc < 0 or hc > t:
+                    break
+                if cls_l[h] >= 3 and not performed[h]:
+                    break
+                p = prod1_l[i]
+                if p >= 0:
+                    ct = complete_t[p]
+                    if ct < 0 or (ct > t and store_like_l[p]):
+                        break
+                p = prod2_l[i]
+                if p >= 0:
+                    ct = complete_t[p]
+                    if ct < 0 or (ct > t and store_like_l[p]):
+                        break
+                fu = fu_l[i]
+                if fu == _FU_LOAD_STORE or fu_pending[fu]:
+                    break
+                decode_t[i] = t
+                ready_t[i] = t + 1
+                complete_t[i] = t + 2
+                fu_taken_gen[fu] = t + 1
+                fetch_i = i + 1
+                if tracer is not None:
+                    if retire_t is not None:
+                        retire_t[h] = t
+                    elif probe.span_budget > 0:
+                        probe.span_budget -= 1
+                        lane = h % window
+                        handle = lanes[lane]
+                        if handle is None:
+                            handle = lanes[lane] = track(
+                                proc_name, f"lane{lane}"
+                            )
+                        ev = {
+                            "name": _OP_NAME[op_l[h]],
+                            "cat": span_cat[cls_l[h]], "ph": "X",
+                            "ts": decode_t[h], "dur": t + 1 - decode_t[h],
+                            "pid": handle[0], "tid": handle[1],
+                        }
+                        if cls_l[h]:
+                            ev["args"] = {
+                                "addr": addr_l[h], "stall": stall_l[h],
+                            }
+                        events_append(ev)
+                    else:
+                        spans_dropped += 1
+                rob_head = h + 1
+                busy += 1
+                if rob_hist is not None:
+                    rob_occ[fetch_i - rob_head] += 1
+                    sb_occ[sb_tail - store_head] += 1
+                t += 1
+
+        progressed = False
+
+        # Phase 1: completions / performs whose time has come.  The
+        # due-next bucket first, then the heap; same-cycle order is
+        # immaterial (see module docstring).
+        if due_next and due_t <= t:
+            done, due_next = due_next, []
+            etime = due_t
+            for i in done:
+                progressed = True
+                if complete_t[i] < 0:
+                    complete_t[i] = etime
+                if acq_wait_l[i] and hw_start.get(i, -1) < 0:
+                    continue
+                if cls_l[i] and not performed[i]:
+                    performed[i] = 1
+                    if store_like_l[i]:
+                        dq = pending_stores.get(addr_l[i])
+                        if dq:
+                            while dq and performed[dq[0]]:
+                                dq.popleft()
+                            if not dq:
+                                del pending_stores[addr_l[i]]
+                if fetch_stalled == i:
+                    fetch_stalled = -1
+                if has_deps[i]:
+                    has_deps[i] = 0
+                    for j in deps_l[i]:
+                        p = pending[j] - 1
+                        pending[j] = p
+                        if not p:
+                            # Inlined wake(j, etime) — dependent wakes
+                            # are the hot edge of every miss return.
+                            ready_t[j] = etime
+                            if store_like_l[j]:
+                                complete_t[j] = etime
+                            else:
+                                fu = fu_l[j]
+                                if fu == _FU_LOAD_STORE:
+                                    insort(lsu_ready, j)
+                                else:
+                                    fu_pending[fu] -= 1
+                                    heappush(fu_ready[fu], j)
+                                    fu_mask |= 1 << fu
+        if ev_t <= t:
+            while events and events[0][0] <= t:
+                etime, i = heappop(events)
+                progressed = True
+                if complete_t[i] < 0:
+                    complete_t[i] = etime
+                if acq_wait_l[i] and hw_start.get(i, -1) < 0:
+                    continue
+                if cls_l[i] and not performed[i]:
+                    performed[i] = 1
+                    if store_like_l[i]:
+                        dq = pending_stores.get(addr_l[i])
+                        if dq:
+                            while dq and performed[dq[0]]:
+                                dq.popleft()
+                            if not dq:
+                                del pending_stores[addr_l[i]]
+                if fetch_stalled == i:
+                    fetch_stalled = -1
+                if has_deps[i]:
+                    has_deps[i] = 0
+                    for j in deps_l[i]:
+                        p = pending[j] - 1
+                        pending[j] = p
+                        if not p:
+                            # Inlined wake(j, etime) — dependent wakes
+                            # are the hot edge of every miss return.
+                            ready_t[j] = etime
+                            if store_like_l[j]:
+                                complete_t[j] = etime
+                            else:
+                                fu = fu_l[j]
+                                if fu == _FU_LOAD_STORE:
+                                    insort(lsu_ready, j)
+                                else:
+                                    fu_pending[fu] -= 1
+                                    heappush(fu_ready[fu], j)
+                                    fu_mask |= 1 << fu
+            ev_t = events[0][0] if events else _HUGE
+
+        # Drop performed stores from the buffer head.
+        if store_head < sb_tail:
+            while store_head < sb_tail and performed[store_buffer[store_head]]:
+                store_head += 1
+                progressed = True
+            if store_head > _COMPACT_FLOOR:
+                shift = store_head
+                store_head = _compact(store_buffer, store_head)
+                if store_head == 0:
+                    sb_tail -= shift
+                    store_scan -= shift
+
+        # Phase 2: issue to functional units (bitmask = nonempty heaps).
+        if fu_mask:
+            m = fu_mask
+            while m:
+                low = m & -m
+                m ^= low
+                f = low.bit_length() - 1
+                if fu_taken_gen[f] == t:
+                    continue  # slot claimed by a preset issue this cycle
+                heap = fu_heaps[f]
+                started = 0
+                while heap and started < iw and ready_t[heap[0]] <= t:
+                    due_next.append(heappop(heap))
+                    progressed = True
+                    started += 1
+                if not heap:
+                    fu_mask ^= low
+            if due_next:
+                due_t = t + 1
+
+        # Phase 2b: the memory port.  Issued stores stay in the buffer
+        # until performed but never become candidates again, so the
+        # candidate scan starts from a persistent pointer.
+        if store_scan < store_head:
+            store_scan = store_head
+        while store_scan < sb_tail and (
+            issued[store_buffer[store_scan]]
+            or performed[store_buffer[store_scan]]
+        ):
+            store_scan += 1
+        if lsu_ready or store_scan < sb_tail:
+            port_i = -1
+            port_pos = -1
+            n_rejected = 0
+            for pos, i in enumerate(lsu_ready):
+                if ready_t[i] > t:
+                    continue
+                cls = cls_l[i]
+                if speculative and cls == _MC_READ:
+                    port_i = i
+                    port_pos = pos
+                    break
+                if rejected_gen[cls] == t:
+                    continue
+                if frontier_gen[cls] == t:
+                    frontier = frontier_val[cls]
+                else:
+                    frontier = _HUGE
+                    for earlier in blockers_l[cls]:
+                        dq = uq[earlier]
+                        while dq and performed[dq[0]]:
+                            dq.popleft()
+                        if dq and dq[0] < frontier:
+                            frontier = dq[0]
+                    frontier_val[cls] = frontier
+                    frontier_gen[cls] = t
+                if i <= frontier:
+                    port_i = i
+                    port_pos = pos
+                    break
+                rejected_gen[cls] = t
+                n_rejected += 1
+                if n_rejected == 3:
+                    break
+            store_i = -1
+            if store_scan < sb_tail:
+                i = store_buffer[store_scan]
+                cls = cls_l[i]
+                if frontier_gen[cls] == t:
+                    frontier = frontier_val[cls]
+                else:
+                    frontier = _HUGE
+                    for earlier in blockers_l[cls]:
+                        dq = uq[earlier]
+                        while dq and performed[dq[0]]:
+                            dq.popleft()
+                        if dq and dq[0] < frontier:
+                            frontier = dq[0]
+                    frontier_val[cls] = frontier
+                    frontier_gen[cls] = t
+                if i <= frontier:
+                    store_i = i
+
+            if port_i >= 0 and (store_i < 0 or port_i < store_i):
+                i = port_i
+                del lsu_ready[port_pos]
+                stall = stall_l[i]
+                forwarded = False
+                if pending_stores and cls_l[i] == _MC_READ:
+                    dq = pending_stores.get(addr_l[i])
+                    if dq:
+                        while dq and performed[dq[0]]:
+                            dq.popleft()
+                        if not dq:
+                            del pending_stores[addr_l[i]]
+                    if dq and dq[0] < i:
+                        forwarded = True
+                if forwarded:
+                    latency = 1
+                else:
+                    if (
+                        network is not None
+                        and stall > 0
+                        and cls_l[i] == _MC_READ
+                    ):
+                        stall = network.replay_miss(
+                            net_cpu, addr_l[i], False, t
+                        )
+                    if prefetch and stall > 0 and ready_t[i] >= 0:
+                        stall = max(0, stall - max(0, t - ready_t[i]))
+                    latency = 1 + stall
+                if latency == 1:  # hit or forwarded: due next cycle
+                    due_next.append(i)
+                    due_t = t + 1
+                else:
+                    heappush(events, (t + latency, i))
+                    if t + latency < ev_t:
+                        ev_t = t + latency
+                issued[i] = 1
+                progressed = True
+            elif store_i >= 0:
+                i = store_i
+                issued[i] = 1
+                store_scan += 1
+                stall = stall_l[i]
+                if (
+                    network is not None
+                    and stall > 0
+                    and cls_l[i] == _MC_WRITE
+                ):
+                    stall = network.replay_miss(net_cpu, addr_l[i], True, t)
+                if prefetch and stall > 0 and ready_t[i] >= 0:
+                    stall = max(0, stall - max(0, t - ready_t[i]))
+                if stall:
+                    heappush(events, (t + 1 + stall, i))
+                    if t + 1 + stall < ev_t:
+                        ev_t = t + 1 + stall
+                else:
+                    due_next.append(i)
+                    due_t = t + 1
+                progressed = True
+
+        # Phase 3: decode up to issue_width instructions.
+        decoded = 0
+        while (
+            decoded < iw
+            and fetch_i < n
+            and fetch_i - rob_head < window
+            and fetch_stalled < 0
+        ):
+            i = fetch_i
+            cls = cls_l[i]
+            decode_t[i] = t
+            fetch_i = i + 1
+            decoded += 1
+            progressed = True
+            if cls:
+                uq[cls].append(i)
+                if store_like_l[i] and addr_l[i] >= 0:
+                    a = addr_l[i]
+                    dq = pending_stores.get(a)
+                    if dq is None:
+                        pending_stores[a] = dq = deque()
+                    dq.append(i)
+            ps = 0
+            if not ignore_deps:
+                # A producer with a known *future* completion time is a
+                # preset op finishing at most at t+1, so this consumer
+                # is still ready at t+1; only unknown completions and
+                # store-like producers (which wake dependents at their
+                # perform, not their completion) defer the consumer.
+                p = prod1_l[i]
+                if p >= 0:
+                    ct = complete_t[p]
+                    if ct < 0 or (ct > t and store_like_l[p]):
+                        ps = 1
+                        if has_deps[p]:
+                            deps_l[p].append(i)
+                        else:
+                            has_deps[p] = 1
+                            deps_l[p] = [i]
+                p = prod2_l[i]
+                if p >= 0:
+                    ct = complete_t[p]
+                    if ct < 0 or (ct > t and store_like_l[p]):
+                        ps += 1
+                        if has_deps[p]:
+                            deps_l[p].append(i)
+                        else:
+                            has_deps[p] = 1
+                            deps_l[p] = [i]
+                pending[i] = ps
+            if ps == 0:
+                # Inlined wake(i, t + 1) — the per-instruction hot path.
+                ready_t[i] = t + 1
+                if store_like_l[i]:
+                    complete_t[i] = t + 1
+                else:
+                    fu = fu_l[i]
+                    if fu == _FU_LOAD_STORE:
+                        lsu_ready.append(i)  # i is the largest row yet
+                    elif (
+                        cls == 0
+                        and iw == 1
+                        and not fu_ready[fu]
+                        and not fu_pending[fu]
+                        and not misp_l[i]
+                    ):
+                        # Preset: ready at t+1, class idle and no older
+                        # op can wake before then, single issue slot is
+                        # free -> issues at t+1, completes at t+2.
+                        complete_t[i] = t + 2
+                        fu_taken_gen[fu] = t + 1
+                    else:
+                        heappush(fu_ready[fu], i)
+                        fu_mask |= 1 << fu
+            elif not store_like_l[i]:
+                fu = fu_l[i]
+                if fu != _FU_LOAD_STORE:
+                    fu_pending[fu] += 1
+            if misp_l[i]:
+                fetch_stalled = i
+                break
+
+        # Phase 4: retire in order.
+        retired = 0
+        stall_reason = None
+        while retired < iw and rob_head < fetch_i:
+            h = rob_head
+            cls = cls_l[h]
+            if store_like_l[h]:
+                ct = complete_t[h]
+                if ct < 0 or ct > t:
+                    stall_reason = "other"
+                    break
+                if sb_tail - store_head >= store_depth:
+                    stall_reason = "write"
+                    break
+                store_buffer.append(h)
+                sb_tail += 1
+            elif cls >= 3 and not performed[h]:  # ACQUIRE or BARRIER
+                ct = complete_t[h]
+                if acq_wait_l[h] and 0 <= ct <= t and (
+                    hw_start.get(h, -1) < 0
+                ):
+                    hw_start[h] = t
+                    heappush(events, (t + wait_l[h], h))
+                    if t + wait_l[h] < ev_t:
+                        ev_t = t + wait_l[h]
+                    stall_reason = "sync"
+                else:
+                    stall_reason = blocked("sync", h)
+                break
+            else:
+                ct = complete_t[h]
+                if ct < 0 or ct > t:
+                    if cls == _MC_READ:
+                        stall_reason = blocked("read", h)
+                    elif cls >= 3:
+                        stall_reason = blocked("sync", h)
+                    else:
+                        stall_reason = "other"
+                    break
+            if tracer is not None:
+                if retire_t is not None:
+                    retire_t[h] = t
+                elif probe.span_budget > 0:
+                    probe.span_budget -= 1
+                    lane = h % window
+                    handle = lanes[lane]
+                    if handle is None:
+                        handle = lanes[lane] = track(
+                            proc_name, f"lane{lane}"
+                        )
+                    ev = {
+                        "name": _OP_NAME[op_l[h]], "cat": span_cat[cls],
+                        "ph": "X", "ts": decode_t[h],
+                        "dur": t + 1 - decode_t[h],
+                        "pid": handle[0], "tid": handle[1],
+                    }
+                    if cls:
+                        ev["args"] = {
+                            "addr": addr_l[h], "stall": stall_l[h],
+                        }
+                    events_append(ev)
+                else:
+                    spans_dropped += 1
+            rob_head = h + 1
+            retired += 1
+            progressed = True
+
+        # ---- attribution and time advance -------------------------------
+        if retired:
+            busy += 1
+            if rob_hist is not None:
+                rob_occ[fetch_i - rob_head] += 1
+                sb_occ[sb_tail - store_head] += 1
+            t += 1
+            continue
+
+        if fetch_i >= n and rob_head >= fetch_i and store_head >= sb_tail:
+            break
+
+        if stall_reason is None:
+            if rob_head < fetch_i:
+                stall_reason = "other"
+            elif store_head < sb_tail:
+                stall_reason = "write"  # draining the store buffer
+            else:
+                stall_reason = "other"
+
+        if progressed:
+            cycles = 1
+        else:
+            # Idle jump.  Preset ops have no events, so the horizon is
+            # the earliest of: the event heap, the ROB head's known
+            # future completion (it enables a retire), and t+1 if any
+            # ready heap is nonempty (a claim-deferred op issues then).
+            next_t = ev_t
+            if fu_mask and t + 1 < next_t:
+                next_t = t + 1
+            if rob_head < fetch_i:
+                hc = complete_t[rob_head]
+                if t < hc < next_t:
+                    next_t = hc
+            if next_t >= _HUGE:
+                cycles = 1
+            else:
+                cycles = next_t - t if next_t > t + 1 else 1
+        if stall_reason == "read":
+            read += cycles
+        elif stall_reason == "sync":
+            sync += cycles
+        elif stall_reason == "write":
+            write += cycles
+        else:
+            other += cycles
+        if rob_hist is not None:
+            rob_occ[fetch_i - rob_head] += cycles
+            sb_occ[sb_tail - store_head] += cycles
+        t += cycles
+
+    if retire_t is not None and n:
+        budget = probe.span_budget
+        emit_n = n if n <= budget else budget
+        probe.span_budget = budget - emit_n
+        spans_dropped += n - emit_n
+        # Rows retire in program order, so lanes are first used in
+        # ascending order — pre-allocating them here emits the same
+        # thread-name metadata, in the same order, as the inline path.
+        handles = [
+            track(proc_name, f"lane{lane}")
+            for lane in range(emit_n if emit_n < window else window)
+        ]
+        for h in range(emit_n):
+            pid, tid = handles[h % window]
+            cls = cls_l[h]
+            dt = decode_t[h]
+            ev = {
+                "name": _OP_NAME[op_l[h]], "cat": span_cat[cls],
+                "ph": "X", "ts": dt, "dur": retire_t[h] + 1 - dt,
+                "pid": pid, "tid": tid,
+            }
+            if cls:
+                ev["args"] = {"addr": addr_l[h], "stall": stall_l[h]}
+            events_append(ev)
+    if rob_hist is not None:
+        for occ, weight in enumerate(rob_occ):
+            if weight:
+                rob_hist.observe(occ, weight)
+        for occ, weight in enumerate(sb_occ):
+            if weight:
+                sb_hist.observe(occ, weight)
+    if spans_dropped:
+        probe.metrics.counter("trace.spans_dropped").inc(spans_dropped)
+    return ExecutionBreakdown(
+        label=label or f"DS-{model.name}-w{window}",
+        busy=busy, sync=sync, read=read, write=write, other=other,
+        instructions=n,
+        extras={"cycles": t},
+    )

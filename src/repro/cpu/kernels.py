@@ -1,0 +1,146 @@
+"""Shared numpy passes over trace columns (the fast-path kernels).
+
+The fast engines in :mod:`repro.cpu.static_fast` and
+:mod:`repro.cpu.ds.event_engine` owe their speed to a simple split:
+everything that depends only on the *trace contents* (not on simulated
+time) is precomputed here in batch, and the remaining time-dependent
+work runs event-driven over the handful of rows that can actually stall.
+
+Three kernels:
+
+* :func:`mem_event_rows` — the row indices carrying a memory class,
+  selected with one vectorized compare instead of a per-row branch;
+* :func:`control_mispredicts` — the full branch-prediction outcome
+  column.  BTB state evolves only on control rows, in trace order,
+  independent of simulated time, so the per-decode predict/update pair
+  of the scalar engine collapses into one linear pass done up front;
+* :func:`reg_use_rows` — for each architectural register, the sorted
+  row indices that read it.  The SS model uses this to turn "stall at
+  first use of a pending load" into a bounded ``searchsorted`` window
+  instead of a per-row operand check;
+* :func:`producer_rows` — for each row and each source operand, the
+  most recent earlier row writing that register.  Renaming through the
+  reorder buffer links a consumer to the *last* writer at decode, and
+  decode order equals trace order, so the DS engine's ``last_writer``
+  dict collapses into one ``searchsorted`` per register done up front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import Op, is_control
+
+#: Opcode-indexed control-flow table as a numpy mask source.
+_N_OPS = max(Op) + 1
+_IS_CONTROL_NP = np.zeros(_N_OPS, dtype=bool)
+for _op in Op:
+    _IS_CONTROL_NP[_op] = is_control(_op)
+
+_OP_MEMBER = [None] * _N_OPS
+for _op in Op:
+    _OP_MEMBER[_op] = _op
+
+
+def mem_event_rows(mem_class_col: np.ndarray) -> np.ndarray:
+    """Row indices whose memory class is not NONE, ascending."""
+    return np.nonzero(mem_class_col)[0]
+
+
+def control_mispredicts(
+    op_col: np.ndarray,
+    pc_col: np.ndarray,
+    next_pc_col: np.ndarray,
+    btb,
+) -> np.ndarray:
+    """Predict every control row through ``btb``, returning a full-length
+    boolean column: True where fetch would stall on a misprediction.
+
+    Replays exactly the predict/update sequence the scalar DS engine
+    performs at decode (decode order == trace order), including the BTB's
+    sentinel outcomes: -2 (direct jump, always correct) and -1 (indirect
+    target miss, always wrong).
+    """
+    n = len(op_col)
+    misp = np.zeros(n, dtype=bool)
+    ctrl = np.nonzero(_IS_CONTROL_NP[op_col])[0]
+    if not ctrl.size:
+        return misp
+    ops = op_col[ctrl].tolist()
+    pcs = pc_col[ctrl].tolist()
+    next_pcs = next_pc_col[ctrl].tolist()
+    rows = ctrl.tolist()
+    predict = btb.predict
+    update = btb.update
+    members = _OP_MEMBER
+    for k in range(len(rows)):
+        op = members[ops[k]]
+        pc = pcs[k]
+        next_pc = next_pcs[k]
+        fallthrough = pc + 1
+        prediction = predict(op, pc, fallthrough)
+        if prediction == -2:
+            correct = True
+        elif prediction == -1:
+            correct = False
+        else:
+            correct = prediction == next_pc
+        update(op, pc, next_pc != fallthrough, next_pc)
+        if not correct:
+            misp[rows[k]] = True
+    return misp
+
+
+def reg_use_rows(
+    rs1_col: np.ndarray, rs2_col: np.ndarray
+) -> dict[int, np.ndarray]:
+    """Map each register id (>= 0) to the ascending row indices reading
+    it via rs1 or rs2.  A row reading the same register twice appears
+    twice; consumers tolerate duplicates."""
+    n = len(rs1_col)
+    rows = np.arange(n, dtype=np.int64)
+    regs = np.concatenate(
+        [rs1_col.astype(np.int64), rs2_col.astype(np.int64)]
+    )
+    both_rows = np.concatenate([rows, rows])
+    mask = regs >= 0
+    regs = regs[mask]
+    both_rows = both_rows[mask]
+    if not regs.size:
+        return {}
+    order = np.lexsort((both_rows, regs))
+    regs = regs[order]
+    both_rows = both_rows[order]
+    cuts = np.nonzero(np.diff(regs))[0] + 1
+    starts = np.concatenate([[0], cuts])
+    ends = np.concatenate([cuts, [len(regs)]])
+    return {
+        int(regs[s]): both_rows[s:e]
+        for s, e in zip(starts.tolist(), ends.tolist())
+    }
+
+
+def producer_rows(
+    rd_col: np.ndarray, rs1_col: np.ndarray, rs2_col: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """For each row, the most recent *earlier* row writing each source
+    register (-1 when the operand is absent, register 0, or never
+    written before).  Register 0 is hardwired zero on both sides,
+    matching the scalar engine's ``src > 0`` / ``rd > 0`` guards."""
+    n = len(rd_col)
+    prod1 = np.full(n, -1, dtype=np.int64)
+    prod2 = np.full(n, -1, dtype=np.int64)
+    rd = rd_col.astype(np.int64)
+    write_rows = np.nonzero(rd > 0)[0]
+    if not write_rows.size:
+        return prod1, prod2
+    write_regs = rd[write_rows]
+    for reg in np.unique(write_regs).tolist():
+        writers = write_rows[write_regs == reg]
+        for src_col, prod in ((rs1_col, prod1), (rs2_col, prod2)):
+            uses = np.nonzero(src_col == reg)[0]
+            if not uses.size:
+                continue
+            pos = np.searchsorted(writers, uses, side="left") - 1
+            prod[uses] = np.where(pos >= 0, writers[pos], -1)
+    return prod1, prod2

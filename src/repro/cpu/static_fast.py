@@ -1,0 +1,713 @@
+"""Event-driven fast path for the static models (BASE, SSBR and SS).
+
+Byte-identical reimplementations of :mod:`repro.cpu.base` and
+:mod:`repro.cpu.static`, built on two observations about the in-order
+machines:
+
+1. Only rows that touch memory can move simulated time by anything other
+   than the unconditional ``t += 1; busy += 1`` — and while the write
+   buffer is *clean* (every entry freed at or before the current time),
+   even most memory rows are no-ops: a hit read checks a drained buffer,
+   and a hit write pushes an entry that performs and frees instantly.
+   The truly *sparse* events are misses, releases, and synchronization.
+
+2. Between processed events, ``t`` advances exactly one cycle per row,
+   so the simulated time of any skipped row is recoverable in closed
+   form.  Skipped hit-writes are folded lazily: when the next real event
+   arrives, the buffer state is reconstructed as if the last skipped
+   write had just been pushed, which is exactly what the scalar model's
+   lazy drain would have left behind.  Under SC/PC the last skipped
+   hit-read folds into ``last_read_perform`` the same way.
+
+Whenever the clean-buffer invariant breaks — a write miss leaves
+``last_free > t``, serialization leaves ``last_perform > t``, or a
+negative synchronization wait jumps time backwards — the loop drops into
+*dense* mode and runs the exact scalar body over every memory row until
+the buffer is clean again.
+
+For SS, rows that can stall on a pending register (operand use of an
+outstanding load), reads forced by SC/PC read serialization, and reads
+that may find the read buffer full are discovered dynamically: each is
+bounded by a ``perform - t`` window (t advances at least one cycle per
+row), so candidate rows come from ``bisect`` over precomputed sorted
+index lists and merge into the event stream through small heaps.  A
+synchronization row that moves ``t`` backwards re-arms the windows.
+
+All trace-derived indices (event rows, per-register use lists, last
+write/read scans) depend only on the trace contents, so they are built
+once and memoised on ``trace.fastpath_cache`` — a consistency-model
+sweep over one trace pays for them once.
+
+Probed runs (buffer-depth histograms observe *every* push) delegate to
+the scalar implementations so the histograms stay exact; results are
+byte-identical either way.  The scalar implementations remain the
+differential oracle — see ``tests/test_fastpath.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from collections import deque
+
+import numpy as np
+
+from ..consistency import ConsistencyModel
+from ..isa import MemClass
+from ..tango import Trace
+from .kernels import mem_event_rows, reg_use_rows
+from .results import ExecutionBreakdown
+from .static import (
+    READ_BUFFER_DEPTH,
+    WRITE_BUFFER_DEPTH,
+    WriteBuffer,
+    _buffer_histogram,
+    simulate_ss,
+    simulate_ssbr,
+)
+
+_MC_NONE = int(MemClass.NONE)
+_MC_READ = int(MemClass.READ)
+_MC_WRITE = int(MemClass.WRITE)
+_MC_ACQUIRE = int(MemClass.ACQUIRE)
+_MC_RELEASE = int(MemClass.RELEASE)
+_MC_BARRIER = int(MemClass.BARRIER)
+
+
+class _TraceIndex:
+    """Model-independent derived indices of one trace, computed once.
+
+    Everything here is a function of the trace columns alone — event row
+    numbers, sparse-event positions, last-write/last-read scans, sorted
+    per-register use lists — so one instance serves every consistency
+    model, network, and static model run over the same trace.
+    """
+
+    __slots__ = (
+        "n", "ev_l", "n_ev", "cls_l", "stall_l", "wait_l", "addr_l",
+        "rd_l", "rs1_l", "rs2_l", "sp_l", "n_sp", "write_pos_l",
+        "read_posm_l", "read_rows_l", "read_pos_l", "pos_of_row",
+        "users", "ds",
+    )
+
+    def __init__(self, trace: Trace) -> None:
+        #: Lazily attached repro.cpu.ds.event_engine._DSIndex.
+        self.ds = None
+        self.n = n = len(trace)
+        cols = trace.np_columns()
+        rd_np, rs1_np, rs2_np = cols[3], cols[4], cols[5]
+        addr_np, stall_np, wait_np, mc_np = cols[6], cols[7], cols[8], cols[9]
+        ev = mem_event_rows(mc_np)
+        n_ev = len(ev)
+        mc_ev = mc_np[ev]
+        stall_ev = stall_np[ev]
+        self.ev_l = ev.tolist()
+        self.n_ev = n_ev
+        self.cls_l = mc_ev.tolist()
+        self.stall_l = stall_ev.tolist()
+        self.wait_l = wait_np[ev].tolist()
+        self.addr_l = addr_np[ev].tolist()
+        self.rd_l = rd_np[ev].tolist()
+        self.rs1_l = rs1_np.tolist()
+        self.rs2_l = rs2_np.tolist()
+        # Sparse events: anything that can observably change state while
+        # the write buffer is clean — misses, releases, sync.
+        self.sp_l = np.nonzero(
+            (stall_ev > 0) | (mc_ev >= _MC_ACQUIRE)
+        )[0].tolist()
+        self.n_sp = len(self.sp_l)
+        positions = np.arange(n_ev)
+        # Position of the last write / last read at or before each
+        # position, for the lazy folds over skipped clean rows.
+        self.write_pos_l = np.maximum.accumulate(
+            np.where(mc_ev == _MC_WRITE, positions, -1)
+        ).tolist()
+        self.read_posm_l = np.maximum.accumulate(
+            np.where(mc_ev == _MC_READ, positions, -1)
+        ).tolist()
+        read_pos = np.nonzero(mc_ev == _MC_READ)[0]
+        self.read_pos_l = read_pos.tolist()
+        self.read_rows_l = ev[read_pos].tolist()
+        pos_of_row = np.full(n, -1, dtype=np.int64)
+        pos_of_row[ev] = positions
+        self.pos_of_row = pos_of_row.tolist()
+        self.users = {
+            reg: rows.tolist()
+            for reg, rows in reg_use_rows(rs1_np, rs2_np).items()
+        }
+
+
+def _trace_index(trace: Trace) -> _TraceIndex:
+    idx = trace.fastpath_cache
+    if idx is None or idx.n != len(trace):
+        idx = _TraceIndex(trace)
+        trace.fastpath_cache = idx
+    return idx
+
+
+def simulate_base_fast(
+    trace: Trace, label: str = "BASE", network=None
+) -> ExecutionBreakdown:
+    """BASE as pure column arithmetic (drop-in for ``simulate_base``).
+
+    Without a network the breakdown is three masked sums.  With one, the
+    replay calls must still happen serially at the exact cycles the
+    scalar model issues them (the network is stateful), so only the
+    non-memory rows are skipped.
+    """
+    n = len(trace)
+    if n and network is None:
+        cols = trace.np_columns()
+        stall_np, wait_np, mc_np = cols[7], cols[8], cols[9]
+        stall64 = stall_np.astype(np.int64)
+        read = int(stall64[mc_np == _MC_READ].sum())
+        write = int(
+            stall64[(mc_np == _MC_WRITE) | (mc_np == _MC_RELEASE)].sum()
+        )
+        sync_mask = (mc_np == _MC_ACQUIRE) | (mc_np == _MC_BARRIER)
+        sync = int(stall64[sync_mask].sum() + wait_np[sync_mask].sum())
+        return ExecutionBreakdown(
+            label=label, busy=n, sync=sync, read=read, write=write,
+            instructions=n,
+        )
+    sync = read = write = 0
+    if n:
+        cpu = trace.cpu
+        replay = network.replay_miss
+        idx = _trace_index(trace)
+        ev_l, cls_l = idx.ev_l, idx.cls_l
+        stall_l, wait_l, addr_l = idx.stall_l, idx.wait_l, idx.addr_l
+        t = 0
+        prev = -1
+        for p in range(idx.n_ev):
+            i = ev_l[p]
+            t += i - prev
+            prev = i
+            cls = cls_l[p]
+            stall = stall_l[p]
+            if cls == _MC_READ:
+                if stall:
+                    lat = replay(cpu, addr_l[p], False, t)
+                    read += lat
+                    t += lat
+            elif cls == _MC_WRITE:
+                if stall:
+                    lat = replay(cpu, addr_l[p], True, t)
+                    write += lat
+                    t += lat
+            elif cls == _MC_RELEASE:
+                write += stall
+                t += stall
+            else:  # acquire or barrier
+                wait = wait_l[p]
+                sync += wait + stall
+                if wait + stall > 0:
+                    t += wait + stall
+    return ExecutionBreakdown(
+        label=label, busy=n, sync=sync, read=read, write=write,
+        instructions=n,
+    )
+
+
+def _fold_skipped_writes(buf: WriteBuffer, tau: int, addr: int) -> None:
+    """Reconstruct the buffer as the scalar model would have left it after
+    a run of skipped clean hit-writes whose last one was to ``addr`` at
+    time ``tau``: one live entry, ``last_perform == last_free == tau``.
+    (The earlier skipped writes were already drained by that push.)"""
+    buf.last_perform = tau
+    buf.last_free = tau
+    buf._entries.append((tau, addr))
+    if addr >= 0:
+        buf._pending_addrs[addr] = buf._pending_addrs.get(addr, 0) + 1
+
+
+def simulate_ssbr_fast(
+    trace: Trace,
+    model: ConsistencyModel,
+    label: str | None = None,
+    write_buffer_depth: int = WRITE_BUFFER_DEPTH,
+    network=None,
+    probe=None,
+) -> ExecutionBreakdown:
+    """SSBR over sparse events only (drop-in for ``simulate_ssbr``)."""
+    if _buffer_histogram(
+        probe, "static.write_buffer_depth", write_buffer_depth
+    ) is not None:
+        # Depth histograms observe every push; keep them exact.
+        return simulate_ssbr(
+            trace, model, label=label,
+            write_buffer_depth=write_buffer_depth,
+            network=network, probe=probe,
+        )
+    cpu = trace.cpu
+    buf = WriteBuffer(model, write_buffer_depth)
+    n = len(trace)
+    t = 0
+    busy = n  # one busy cycle per retired row, unconditionally
+    sync = read = write = 0
+    last_release_perform = 0
+    bypass = model.reads_bypass_writes
+    wo_rc = model.name in ("WO", "RC")
+    req_rel_acq = model.requires(MemClass.RELEASE, MemClass.ACQUIRE)
+    if n:
+        idx = _trace_index(trace)
+        ev_l, cls_l, stall_l = idx.ev_l, idx.cls_l, idx.stall_l
+        wait_l, addr_l, sp_l = idx.wait_l, idx.addr_l, idx.sp_l
+        write_pos_l = idx.write_pos_l
+        n_ev, n_sp = idx.n_ev, idx.n_sp
+        pos = 0   # first unprocessed event position (dense cursor)
+        si = 0    # sparse cursor
+        prev = -1
+        while True:
+            if buf.last_free > t or buf.last_perform > t:
+                # Dirty buffer: every memory row matters until it drains.
+                if pos >= n_ev:
+                    break
+                p = pos
+            else:
+                while si < n_sp and sp_l[si] < pos:
+                    si += 1
+                if si >= n_sp:
+                    break
+                p = sp_l[si]
+                si += 1
+                if p > pos:
+                    lwp = write_pos_l[p - 1]
+                    if lwp >= pos:
+                        # Fold the skipped clean hit-writes at linear
+                        # time: each skipped row advanced t by one.
+                        _fold_skipped_writes(
+                            buf, t + (ev_l[lwp] - prev), addr_l[lwp]
+                        )
+            i = ev_l[p]
+            t += i - prev
+            prev = i
+            pos = p + 1
+            cls = cls_l[p]
+            stall = stall_l[p]
+            if cls == _MC_READ:
+                if not bypass:
+                    drained = buf.drain_time()
+                    if drained > t:
+                        write += drained - t
+                        t = drained
+                if stall and not buf.holds_addr(addr_l[p], t):
+                    if network is not None:
+                        stall = network.replay_miss(cpu, addr_l[p], False, t)
+                    read += stall
+                    t += stall
+            elif cls == _MC_WRITE or cls == _MC_RELEASE:
+                floor = 0
+                if cls == _MC_RELEASE and wo_rc:
+                    floor = buf.last_perform
+                if network is not None and stall and cls == _MC_WRITE:
+                    stall = network.replay_miss(cpu, addr_l[p], True, t)
+                t, full_stall = buf.push(
+                    t, stall, addr_l[p], perform_floor=floor
+                )
+                write += full_stall
+                if cls == _MC_RELEASE:
+                    last_release_perform = max(
+                        last_release_perform, buf.last_perform
+                    )
+            else:  # acquire or barrier
+                wait = wait_l[p]
+                if cls == _MC_BARRIER or not bypass:
+                    drained = buf.drain_time()
+                    if drained > t:
+                        write += drained - t
+                        t = drained
+                elif req_rel_acq and last_release_perform > t:
+                    write += last_release_perform - t
+                    t = last_release_perform
+                sync += wait + stall
+                if network is None or wait + stall > 0:
+                    t += wait + stall
+        # Rows after the last processed event advance time one cycle
+        # each; trailing clean hit-writes free before the end of trace,
+        # so the final drain below sees them already retired.
+        t += (n - 1) - prev
+    drained = buf.drain_time()
+    if drained > t:
+        write += drained - t
+        t = drained
+    return ExecutionBreakdown(
+        label=label or f"SSBR-{model.name}",
+        busy=busy, sync=sync, read=read, write=write,
+        instructions=n,
+    )
+
+
+def simulate_ss_fast(
+    trace: Trace,
+    model: ConsistencyModel,
+    label: str | None = None,
+    write_buffer_depth: int = WRITE_BUFFER_DEPTH,
+    read_buffer_depth: int = READ_BUFFER_DEPTH,
+    network=None,
+    probe=None,
+) -> ExecutionBreakdown:
+    """SS over sparse + dynamically discovered events (drop-in for
+    ``simulate_ss``)."""
+    if (
+        _buffer_histogram(
+            probe, "static.write_buffer_depth", write_buffer_depth
+        ) is not None
+        or _buffer_histogram(
+            probe, "static.read_buffer_depth", read_buffer_depth
+        ) is not None
+    ):
+        return simulate_ss(
+            trace, model, label=label,
+            write_buffer_depth=write_buffer_depth,
+            read_buffer_depth=read_buffer_depth,
+            network=network, probe=probe,
+        )
+    cpu = trace.cpu
+    buf = WriteBuffer(model, write_buffer_depth)
+    n = len(trace)
+    reg_ready: dict[int, int] = {}
+    outstanding: deque[int] = deque()
+    t = 0
+    busy = n
+    sync = read = write = 0
+    last_read_perform = 0
+    last_release_perform = 0
+    serialize_reads = model.name in ("SC", "PC")
+    bypass = model.reads_bypass_writes
+    wo_rc = model.name in ("WO", "RC")
+    req_rel_acq = model.requires(MemClass.RELEASE, MemClass.ACQUIRE)
+    if n:
+        idx = _trace_index(trace)
+        ev_l, cls_l, stall_l = idx.ev_l, idx.cls_l, idx.stall_l
+        wait_l, addr_l, rd_l = idx.wait_l, idx.addr_l, idx.rd_l
+        rs1_l, rs2_l, sp_l = idx.rs1_l, idx.rs2_l, idx.sp_l
+        write_pos_l, read_posm_l = idx.write_pos_l, idx.read_posm_l
+        read_rows_l, read_pos_l = idx.read_rows_l, idx.read_pos_l
+        pos_of_row, users = idx.pos_of_row, idx.users
+        n_ev, n_sp = idx.n_ev, idx.n_sp
+        # Non-memory rows that may stall on a pending register.
+        dyn: list[int] = []
+        # Event-array positions forced to run their full body: memory
+        # rows with a possibly-pending operand, reads inside an SC/PC
+        # serialization window, reads that may find the buffer full.
+        forced: list[int] = []
+        # Highest read row already pushed to ``forced`` by a window —
+        # overlapping serialization windows re-arm only the new tail.
+        forced_hi = -1
+        # Registers with possibly-pending ready times (backjump re-arm).
+        armed: dict[int, int] = {}
+
+        def arm(reg: int, perform: int, row: int) -> None:
+            # Only the FIRST use inside the stall window can block:
+            # processing it advances t to at least ``perform``, after
+            # which every later use of the register sees a ready value.
+            # (A backward time jump re-arms, so the window re-opens.)
+            armed[reg] = perform
+            use = users.get(reg)
+            if use is None:
+                return
+            lo = bisect_right(use, row)
+            if lo >= len(use):
+                return
+            j = use[lo]
+            if j > row + (perform - t):
+                return
+            pj = pos_of_row[j]
+            if pj >= 0:
+                heapq.heappush(forced, pj)
+            else:
+                heapq.heappush(dyn, j)
+
+        def arm_reads(row: int, horizon: int) -> None:
+            """Force full processing of read rows in (row, row+horizon]."""
+            nonlocal forced_hi
+            end = row + horizon
+            if end <= forced_hi:
+                return
+            lo = bisect_right(read_rows_l, max(row, forced_hi))
+            hi = bisect_right(read_rows_l, end)
+            for fp in read_pos_l[lo:hi]:
+                heapq.heappush(forced, fp)
+            forced_hi = end
+
+        pos = 0
+        si = 0
+        prev = -1
+        n_reads = len(read_rows_l)
+
+        def next_sparse_row() -> int:
+            nonlocal si
+            while si < n_sp and sp_l[si] < pos:
+                si += 1
+            return ev_l[sp_l[si]] if si < n_sp else n
+
+        def fold_to(row: int) -> None:
+            """Consume the skipped clean positions whose row precedes
+            ``row``: reconstruct the buffer after their last hit-write
+            and (under SC/PC) the serialization point after their last
+            hit-read, both at linear time — every skipped row advances
+            ``t`` exactly one cycle from ``(prev, t)``."""
+            nonlocal pos, last_read_perform
+            lo = pos
+            while pos < n_ev and ev_l[pos] < row:
+                pos += 1
+            if pos == lo:
+                return
+            lwp = write_pos_l[pos - 1]
+            if lwp >= lo:
+                _fold_skipped_writes(
+                    buf, t + (ev_l[lwp] - prev), addr_l[lwp]
+                )
+            if serialize_reads:
+                lrpp = read_posm_l[pos - 1]
+                if lrpp >= lo:
+                    tau = t + (ev_l[lrpp] - prev)
+                    if tau > last_read_perform:
+                        last_read_perform = tau
+
+        while True:
+            while dyn and dyn[0] <= prev:
+                heapq.heappop(dyn)
+            while forced and ev_l[forced[0]] <= prev:
+                heapq.heappop(forced)
+            dense = buf.last_free > t or buf.last_perform > t
+            if dense:
+                p = pos if pos < n_ev else -1
+            else:
+                while si < n_sp and sp_l[si] < pos:
+                    si += 1
+                p = sp_l[si] if si < n_sp else -1
+                if forced and (p < 0 or ev_l[forced[0]] < ev_l[p]):
+                    p = forced[0]
+            nxt_m = ev_l[p] if p >= 0 else n
+            nxt_d = dyn[0] if dyn else n
+            if nxt_m >= n and nxt_d >= n:
+                break
+            if nxt_d < nxt_m:
+                # A non-memory row that may stall on a pending operand.
+                i = heapq.heappop(dyn)
+                if not dense and pos < n_ev and ev_l[pos] < i:
+                    fold_to(i)
+                t += i - prev
+                prev = i
+                avail = t
+                r = rs1_l[i]
+                if r >= 0:
+                    v = reg_ready.get(r, 0)
+                    if v > avail:
+                        avail = v
+                r = rs2_l[i]
+                if r >= 0:
+                    v = reg_ready.get(r, 0)
+                    if v > avail:
+                        avail = v
+                if avail > t:
+                    read += avail - t
+                    t = avail
+                continue
+            # A memory row (dense walk, sparse event, or forced row).
+            i = ev_l[p]
+            if not dense:
+                if p > pos:
+                    fold_to(i)
+                if si < n_sp and sp_l[si] == p:
+                    si += 1
+            t += i - prev
+            prev = i
+            pos = p + 1
+            avail = t
+            r = rs1_l[i]
+            if r >= 0:
+                v = reg_ready.get(r, 0)
+                if v > avail:
+                    avail = v
+            r = rs2_l[i]
+            if r >= 0:
+                v = reg_ready.get(r, 0)
+                if v > avail:
+                    avail = v
+            if avail > t:
+                read += avail - t
+                t = avail
+            cls = cls_l[p]
+            stall = stall_l[p]
+            if cls == _MC_READ:
+                while outstanding and outstanding[0] <= t:
+                    outstanding.popleft()
+                if len(outstanding) >= read_buffer_depth:
+                    stall_until = outstanding[0]
+                    read += stall_until - t
+                    t = stall_until
+                    while outstanding and outstanding[0] <= t:
+                        outstanding.popleft()
+                start = t
+                if not bypass:
+                    start = max(start, buf.drain_time())
+                    if start > t:
+                        write += start - t
+                        t = start
+                if serialize_reads and last_read_perform > start:
+                    start = last_read_perform
+                if stall and not buf.holds_addr(addr_l[p], t):
+                    if network is not None:
+                        stall = network.replay_miss(
+                            cpu, addr_l[p], False, start
+                        )
+                    perform = start + stall
+                else:
+                    perform = start
+                last_read_perform = max(last_read_perform, perform)
+                if perform > t:
+                    outstanding.append(perform)
+                    rd = rd_l[p]
+                    if rd >= 0:
+                        reg_ready[rd] = perform
+                        arm(rd, perform, i)
+                    if len(outstanding) >= read_buffer_depth:
+                        arm_reads(i, max(outstanding) - t)
+                if serialize_reads and last_read_perform > t:
+                    if buf.last_free > t or buf.last_perform > t:
+                        # Dense mode visits every read anyway; the
+                        # window only needs covering past the drain.
+                        arm_reads(i, last_read_perform - t)
+                    else:
+                        # Chain walk: process the serialization window's
+                        # reads inline — each hit read in the window
+                        # starts at last_read_perform, so they chain
+                        # back-to-back until the window closes, the
+                        # read buffer fills (jumping t forward), or
+                        # another event interleaves.
+                        ri = bisect_right(read_rows_l, i)
+                        while last_read_perform > t and ri < n_reads:
+                            rrow = read_rows_l[ri]
+                            if t + (rrow - prev) >= last_read_perform:
+                                break  # window closes before this read
+                            while dyn and dyn[0] <= prev:
+                                heapq.heappop(dyn)
+                            while forced and ev_l[forced[0]] <= prev:
+                                heapq.heappop(forced)
+                            if (
+                                rrow >= next_sparse_row()
+                                or (dyn and dyn[0] < rrow)
+                                or (forced and ev_l[forced[0]] < rrow)
+                            ):
+                                break  # another event comes first
+                            rp = read_pos_l[ri]
+                            ri += 1
+                            if ev_l[pos] < rrow:
+                                fold_to(rrow)
+                            t += rrow - prev
+                            prev = rrow
+                            pos = rp + 1
+                            avail = t
+                            r = rs1_l[rrow]
+                            if r >= 0:
+                                v = reg_ready.get(r, 0)
+                                if v > avail:
+                                    avail = v
+                            r = rs2_l[rrow]
+                            if r >= 0:
+                                v = reg_ready.get(r, 0)
+                                if v > avail:
+                                    avail = v
+                            if avail > t:
+                                read += avail - t
+                                t = avail
+                            while outstanding and outstanding[0] <= t:
+                                outstanding.popleft()
+                            if len(outstanding) >= read_buffer_depth:
+                                stall_until = outstanding[0]
+                                read += stall_until - t
+                                t = stall_until
+                                while outstanding and outstanding[0] <= t:
+                                    outstanding.popleft()
+                            start = t
+                            if not bypass:
+                                start = max(start, buf.drain_time())
+                                if start > t:
+                                    write += start - t
+                                    t = start
+                            if last_read_perform > start:
+                                start = last_read_perform
+                            # Non-sparse rows are hits (stall == 0).
+                            perform = start
+                            if perform > last_read_perform:
+                                last_read_perform = perform
+                            if perform > t:
+                                outstanding.append(perform)
+                                rd = rd_l[rp]
+                                if rd >= 0:
+                                    reg_ready[rd] = perform
+                                    arm(rd, perform, rrow)
+                                if len(outstanding) >= read_buffer_depth:
+                                    arm_reads(rrow, max(outstanding) - t)
+                        if last_read_perform > t:
+                            arm_reads(prev, last_read_perform - t)
+            elif cls == _MC_WRITE or cls == _MC_RELEASE:
+                floor = 0
+                if cls == _MC_RELEASE and wo_rc:
+                    floor = max(
+                        buf.last_perform,
+                        max(outstanding) if outstanding else 0,
+                    )
+                if network is not None and stall and cls == _MC_WRITE:
+                    stall = network.replay_miss(cpu, addr_l[p], True, t)
+                t, full_stall = buf.push(
+                    t, stall, addr_l[p], perform_floor=floor
+                )
+                write += full_stall
+                if cls == _MC_RELEASE:
+                    last_release_perform = max(
+                        last_release_perform, buf.last_perform
+                    )
+            else:  # acquire or barrier
+                wait = wait_l[p]
+                if cls == _MC_BARRIER or not bypass:
+                    reads_done = max(outstanding) if outstanding else 0
+                    if reads_done > t:
+                        read += reads_done - t
+                        t = reads_done
+                    drained = buf.drain_time()
+                    if drained > t:
+                        write += drained - t
+                        t = drained
+                elif req_rel_acq and last_release_perform > t:
+                    write += last_release_perform - t
+                    t = last_release_perform
+                elif serialize_reads and last_read_perform > t:
+                    read += last_read_perform - t
+                    t = last_read_perform
+                sync += wait + stall
+                if network is None or wait + stall > 0:
+                    t += wait + stall
+                    if wait + stall < 0:
+                        # Time jumped backwards: monotone-t windows no
+                        # longer bound later rows; re-arm everything
+                        # still pending from here.
+                        for reg in list(armed):
+                            perform = armed[reg]
+                            if (
+                                perform <= t
+                                or reg_ready.get(reg, 0) != perform
+                            ):
+                                del armed[reg]
+                            else:
+                                arm(reg, perform, i)
+                        if serialize_reads and last_read_perform > t:
+                            arm_reads(i, last_read_perform - t)
+                outstanding.clear()
+        t += (n - 1) - prev
+    reads_done = max(outstanding) if outstanding else 0
+    if reads_done > t:
+        read += reads_done - t
+        t = reads_done
+    drained = buf.drain_time()
+    if drained > t:
+        write += drained - t
+        t = drained
+    return ExecutionBreakdown(
+        label=label or f"SS-{model.name}",
+        busy=busy, sync=sync, read=read, write=write,
+        instructions=n,
+    )

@@ -46,6 +46,7 @@ class ChromeTracer:
         self._meta: list[dict] = []
         self._tracks: dict[tuple[str, str], tuple[int, int]] = {}
         self._processes: dict[str, int] = {}
+        self._thread_counts: dict[str, int] = {}
 
     # -- track allocation ----------------------------------------------
 
@@ -63,7 +64,8 @@ class ChromeTracer:
                 "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
                 "args": {"name": process},
             })
-        tid = sum(1 for (p, _), _ids in self._tracks.items() if p == process)
+        tid = self._thread_counts.get(process, 0)
+        self._thread_counts[process] = tid + 1
         self._meta.append({
             "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
             "args": {"name": thread},

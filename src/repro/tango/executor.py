@@ -46,7 +46,7 @@ from ..net import build_network
 from ..sync import SyncManager, Wakeup
 from .interp import ExecutionError, ThreadState, execute_instruction
 from .stats import CpuStats, RunStats
-from .trace import Trace, TraceRecord
+from .trace import Trace
 
 _SYNC_OPS = frozenset({
     Op.LOCK, Op.UNLOCK, Op.BARRIER, Op.EVWAIT, Op.EVSET, Op.EVCLEAR,
@@ -189,19 +189,19 @@ class TangoExecutor:
         trace = self.traces.get(tid)
         if trace is None:
             return
-        trace.append(
-            TraceRecord(
-                op=instr.op,
-                pc=pc,
-                next_pc=next_pc,
-                rd=-1 if instr.rd is None else instr.rd,
-                rs1=-1 if instr.rs1 is None else instr.rs1,
-                rs2=-1 if instr.rs2 is None else instr.rs2,
-                addr=addr,
-                stall=stall,
-                wait=wait,
-                mem_class=mem_class,
-            )
+        # Flat ints straight into the column arrays — no per-row
+        # TraceRecord materialization on the emit path.
+        trace.append_row(
+            int(instr.op),
+            pc,
+            next_pc,
+            -1 if instr.rd is None else instr.rd,
+            -1 if instr.rs1 is None else instr.rs1,
+            -1 if instr.rs2 is None else instr.rs2,
+            addr,
+            stall,
+            wait,
+            int(mem_class),
         )
 
     # -- synchronization completion --------------------------------------------

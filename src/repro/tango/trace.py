@@ -26,12 +26,17 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..isa import MemClass, Op
 
 #: Bump whenever the pickle layout of :class:`Trace` (or anything reachable
 #: from a cached ``AppRun``) changes.  The trace cache includes this in the
 #: cache key, so stale pickles are never even opened.
 TRACE_FORMAT_VERSION = 2
+
+#: numpy dtype corresponding to each array typecode used by the columns.
+_NP_DTYPES = {"B": np.uint8, "h": np.int16, "i": np.int32, "q": np.int64}
 
 #: (field name, array typecode) for every column, in row order.
 #: Narrow typecodes keep pickles small: opcodes and memory classes fit a
@@ -100,10 +105,13 @@ class Trace:
     """
 
     __slots__ = ("cpu", "op", "pc", "next_pc", "rd", "rs1", "rs2",
-                 "addr", "stall", "wait", "mem_class")
+                 "addr", "stall", "wait", "mem_class", "fastpath_cache")
 
     def __init__(self, cpu: int = 0) -> None:
         self.cpu = cpu
+        # Scratch slot for derived row indices (see cpu/static_fast.py);
+        # never pickled or compared, invalidated by length checks.
+        self.fastpath_cache = None
         for name, typecode in TRACE_COLUMNS:
             setattr(self, name, array(typecode))
 
@@ -147,6 +155,25 @@ class Trace:
         """The raw column arrays, in ``TRACE_COLUMNS`` order."""
         return (self.op, self.pc, self.next_pc, self.rd, self.rs1,
                 self.rs2, self.addr, self.stall, self.wait, self.mem_class)
+
+    def np_columns(self) -> tuple:
+        """Zero-copy read-only numpy views, in ``TRACE_COLUMNS`` order.
+
+        Each view aliases the column's ``array`` buffer directly
+        (``np.frombuffer``) — no bytes are copied.  Views are built fresh
+        on every call because ``append_row`` may reallocate the buffers;
+        do not cache them across appends.
+        """
+        views = []
+        for name, typecode in TRACE_COLUMNS:
+            col = getattr(self, name)
+            if len(col):
+                view = np.frombuffer(col, dtype=_NP_DTYPES[typecode])
+            else:  # frombuffer rejects empty buffers
+                view = np.empty(0, dtype=_NP_DTYPES[typecode])
+            view.flags.writeable = False
+            views.append(view)
+        return tuple(views)
 
     def __len__(self) -> int:
         return len(self.op)
@@ -209,6 +236,7 @@ class Trace:
                 f"{TRACE_FORMAT_VERSION}; regenerate it"
             )
         self.cpu = state["cpu"]
+        self.fastpath_cache = None
         for name, typecode in TRACE_COLUMNS:
             col = array(typecode)
             stored_typecode, raw = state["columns"][name]
@@ -226,29 +254,29 @@ class Trace:
         return sum(1 for r in self if predicate(r))
 
     def read_misses(self) -> int:
-        read = int(MemClass.READ)
-        return sum(
-            1 for cls, stall in zip(self.mem_class, self.stall)
-            if cls == read and stall > 0
-        )
+        if not len(self):
+            return 0
+        cols = self.np_columns()
+        cls, stall = cols[9], cols[7]
+        return int(((cls == int(MemClass.READ)) & (stall > 0)).sum())
 
     def write_misses(self) -> int:
-        write = int(MemClass.WRITE)
-        return sum(
-            1 for cls, stall in zip(self.mem_class, self.stall)
-            if cls == write and stall > 0
-        )
+        if not len(self):
+            return 0
+        cols = self.np_columns()
+        cls, stall = cols[9], cols[7]
+        return int(((cls == int(MemClass.WRITE)) & (stall > 0)).sum())
 
     def total_read_stall(self) -> int:
-        read = int(MemClass.READ)
-        return sum(
-            stall for cls, stall in zip(self.mem_class, self.stall)
-            if cls == read
-        )
+        if not len(self):
+            return 0
+        cols = self.np_columns()
+        cls, stall = cols[9], cols[7]
+        return int(stall[cls == int(MemClass.READ)].sum())
 
     def total_write_stall(self) -> int:
-        write = int(MemClass.WRITE)
-        return sum(
-            stall for cls, stall in zip(self.mem_class, self.stall)
-            if cls == write
-        )
+        if not len(self):
+            return 0
+        cols = self.np_columns()
+        cls, stall = cols[9], cols[7]
+        return int(stall[cls == int(MemClass.WRITE)].sum())

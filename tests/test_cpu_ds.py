@@ -279,3 +279,46 @@ class TestInstrumentation:
         assert len(proc.read_miss_distances) == 2
         # The dependent second load issues much later than it decoded.
         assert max(proc.read_miss_issue_delays) >= 49
+
+
+class TestCompaction:
+    """Head-list compaction is pure memory management: any threshold
+    must produce the identical breakdown (see `_compact`'s docstring)."""
+
+    @staticmethod
+    def _churny_trace():
+        # Long enough to retire far more rows than a tiny floor, with
+        # stores that linger in the buffer and misses that stall heads.
+        tb = TraceBuilder()
+        for i in range(120):
+            tb.load(rd=1, stall=50 if i % 3 == 0 else 0,
+                    addr=0x1000 + 16 * i)
+            tb.store(rs2=1, stall=50 if i % 4 == 0 else 0,
+                     addr=0x8000 + 16 * i)
+            alu_block(tb, 2)
+            if i % 20 == 19:
+                tb.acquire(stall=50, wait=5)
+                tb.release(stall=50)
+        return tb.build()
+
+    @pytest.mark.parametrize("floor", (0, 2, 10**9))
+    def test_threshold_never_changes_results(self, floor, monkeypatch):
+        from repro.cpu.ds import engine, event_engine
+        from repro.cpu.ds.engine import simulate_ds
+        from repro.cpu.ds.event_engine import simulate_ds_fast
+
+        trace = self._churny_trace()
+        baseline_scalar = simulate_ds(trace, RC, DSConfig(window=16))
+        baseline_fast = simulate_ds_fast(trace, RC, DSConfig(window=16))
+        assert baseline_scalar == baseline_fast
+        monkeypatch.setattr(engine, "_COMPACT_FLOOR", floor)
+        monkeypatch.setattr(event_engine, "_COMPACT_FLOOR", floor)
+        for model in (SC, PC, RC):
+            for kw in (dict(window=16), dict(window=64),
+                       dict(window=16, store_buffer_depth=4)):
+                scalar = simulate_ds(trace, model, DSConfig(**kw))
+                fast = simulate_ds_fast(trace, model, DSConfig(**kw))
+                assert scalar == fast, (floor, kw)
+        assert simulate_ds(trace, RC, DSConfig(window=16)) == baseline_scalar
+        assert (simulate_ds_fast(trace, RC, DSConfig(window=16))
+                == baseline_fast)

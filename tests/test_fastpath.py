@@ -7,22 +7,43 @@ results exactly — trace for trace, counter for counter, byte for byte.
 
 from __future__ import annotations
 
+import pickle
+
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from trace_helpers import TraceBuilder
 
 from repro import MultiprocessorConfig, TangoExecutor, build_app
 from repro.apps import APP_NAMES
 from repro.cli import main
+from repro.consistency import get_model
 from repro.experiments import (
     TraceStore,
     figure3_configs,
     generate_traces,
     simulate_app_models,
 )
-from repro.cpu import ProcessorConfig, simulate
+from repro.cpu import (
+    ProcessorConfig,
+    simulate,
+    simulate_base,
+    simulate_base_fast,
+    simulate_ds,
+    simulate_ds_fast,
+    simulate_ss,
+    simulate_ss_fast,
+    simulate_ssbr,
+    simulate_ssbr_fast,
+)
+from repro.cpu.ds import DSConfig
 from repro.net import build_network
 from repro.obs import ChromeTracer, MetricsRegistry, Probe
 from repro.tango.trace import TRACE_FORMAT_VERSION
 from repro.verify import ExecutionRecorder
+
+MODELS = ("SC", "PC", "WO", "RC")
 
 
 def _run(app: str, compiled: bool, network: str = "ideal", probe=None):
@@ -159,6 +180,198 @@ class TestProbeByteIdentity:
             return simulate(trace, config, network=net, probe=probe)
 
         assert breakdown(self._probe()) == breakdown(None)
+
+
+@pytest.fixture(scope="module")
+def lu_trace():
+    """One real tiny-preset trace, shared by the differential tests."""
+    return _run("lu", compiled=True).trace(0)
+
+
+class TestStaticFastEngines:
+    """`static_fast` batch kernels vs. the scalar BASE/SSBR/SS models."""
+
+    def test_base_matches_scalar(self, lu_trace):
+        assert simulate_base_fast(lu_trace) == simulate_base(lu_trace)
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize("network", ("ideal", "mesh"))
+    def test_ssbr_ss_match_scalar(self, lu_trace, model_name, network):
+        model = get_model(model_name)
+
+        def net():
+            return (None if network == "ideal"
+                    else build_network("mesh", 16, 16))
+
+        assert (simulate_ssbr_fast(lu_trace, model, network=net())
+                == simulate_ssbr(lu_trace, model, network=net()))
+        assert (simulate_ss_fast(lu_trace, model, network=net())
+                == simulate_ss(lu_trace, model, network=net()))
+
+
+class TestDSEventEngine:
+    """The event-driven DS engine vs. the per-cycle scalar oracle."""
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize("network", ("ideal", "mesh"))
+    def test_matches_scalar_oracle(self, lu_trace, model_name, network):
+        model = get_model(model_name)
+        for kw in (
+            dict(window=16),
+            dict(window=64),
+            dict(window=256),
+            dict(window=64, prefetch=True),
+            dict(window=64, speculative_loads=True),
+            dict(window=64, perfect_branch_prediction=True),
+            dict(window=64, ignore_data_dependences=True),
+            dict(window=32, issue_width=4),
+            dict(window=64, store_buffer_depth=4),
+        ):
+            def net():
+                return (None if network == "ideal"
+                        else build_network("mesh", 16, 16))
+
+            ref = simulate_ds(lu_trace, model, DSConfig(network=net(), **kw))
+            fast = simulate_ds_fast(
+                lu_trace, model, DSConfig(network=net(), **kw)
+            )
+            assert fast == ref, kw
+
+    @pytest.mark.parametrize("network", ("ideal", "mesh"))
+    def test_probe_stream_matches_scalar(self, lu_trace, network):
+        """Instrumented runs agree on everything the probe records:
+        occupancy histograms, retire spans (deferred without a network,
+        interleaved with miss spans behind one), and the breakdown."""
+        model = get_model("RC")
+
+        def run(fn):
+            net = (None if network == "ideal"
+                   else build_network("mesh", 16, 16))
+            probe = Probe(metrics=MetricsRegistry(), tracer=ChromeTracer())
+            if net is not None:
+                net.attach_probe(probe)
+            breakdown = fn(
+                lu_trace, model, DSConfig(window=64, network=net),
+                probe=probe,
+            )
+            return breakdown, probe
+
+        ref_bd, ref_probe = run(simulate_ds)
+        fast_bd, fast_probe = run(simulate_ds_fast)
+        assert fast_bd == ref_bd
+        assert (fast_probe.metrics.snapshot()
+                == ref_probe.metrics.snapshot())
+        assert fast_probe.tracer.events == ref_probe.tracer.events
+        assert fast_probe.span_budget == ref_probe.span_budget
+
+
+class TestEngineSelection:
+    """`ProcessorConfig.engine` / the CLI's global `--engine` flag."""
+
+    @pytest.mark.parametrize("kind", ("base", "ssbr", "ss", "ds"))
+    def test_reference_engine_equivalent(self, lu_trace, kind):
+        fast = ProcessorConfig(kind=kind, model="WO", window=64,
+                               engine="fast")
+        ref = ProcessorConfig(kind=kind, model="WO", window=64,
+                              engine="reference")
+        assert simulate(lu_trace, fast) == simulate(lu_trace, ref)
+
+    def test_unknown_engine_rejected(self, lu_trace):
+        config = ProcessorConfig(engine="warp")
+        with pytest.raises(ValueError, match="engine"):
+            simulate(lu_trace, config)
+
+    def test_default_engine_switch_retargets_new_configs(self, monkeypatch):
+        from repro import cpu
+
+        assert ProcessorConfig().engine == "fast"
+        monkeypatch.setattr(cpu, "DEFAULT_ENGINE", "reference")
+        assert ProcessorConfig().engine == "reference"
+
+
+@st.composite
+def small_traces(draw):
+    """Random short traces mixing every memory class and sync episodes."""
+    tb = TraceBuilder()
+    regs = st.integers(-1, 5)
+    stalls = st.sampled_from((0, 0, 0, 1, 5, 18, 50))
+    addrs = st.builds(lambda k: 0x1000 + 16 * k, st.integers(0, 7))
+    n = draw(st.integers(1, 30))
+    for _ in range(n):
+        kind = draw(st.sampled_from((
+            "alu", "alu", "fp", "load", "load", "store", "branch",
+            "acquire", "release", "barrier",
+        )))
+        if kind == "alu":
+            tb.alu(rd=draw(regs), rs1=draw(regs), rs2=draw(regs))
+        elif kind == "fp":
+            tb.fp(rd=draw(regs), rs1=draw(regs), rs2=draw(regs))
+        elif kind == "load":
+            tb.load(rd=draw(regs), rs1=draw(regs), addr=draw(addrs),
+                    stall=draw(stalls))
+        elif kind == "store":
+            tb.store(rs2=draw(regs), rs1=draw(regs), addr=draw(addrs),
+                     stall=draw(stalls))
+        elif kind == "branch":
+            tb.branch(taken=draw(st.booleans()), rs1=draw(regs),
+                      rs2=draw(regs))
+        elif kind == "acquire":
+            tb.acquire(addr=draw(addrs), stall=draw(stalls),
+                       wait=draw(st.sampled_from((0, 0, 2, 9))))
+        elif kind == "release":
+            tb.release(addr=draw(addrs), stall=draw(stalls))
+        else:
+            tb.barrier(addr=draw(addrs), stall=draw(stalls),
+                       wait=draw(st.sampled_from((0, 0, 4))))
+    return tb.build()
+
+
+class TestFastpathFuzz:
+    """Property-based differential: on arbitrary small traces, every
+    fast engine must agree with its scalar oracle, for every model."""
+
+    @given(trace=small_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_all_models_match_scalar(self, trace):
+        assert simulate_base_fast(trace) == simulate_base(trace)
+        for name in MODELS:
+            model = get_model(name)
+            assert (simulate_ssbr_fast(trace, model)
+                    == simulate_ssbr(trace, model))
+            assert (simulate_ss_fast(trace, model)
+                    == simulate_ss(trace, model))
+            for kw in (
+                dict(window=4),
+                dict(window=16, issue_width=2),
+                dict(window=8, store_buffer_depth=2),
+            ):
+                fast = simulate_ds_fast(trace, model, DSConfig(**kw))
+                ref = simulate_ds(trace, model, DSConfig(**kw))
+                assert fast == ref, (name, kw)
+
+
+class TestTraceRoundTrip:
+    """Trace pickling is byte-stable and the zero-copy views survive."""
+
+    def test_pickle_round_trip_byte_identity(self, lu_trace):
+        blob = pickle.dumps(lu_trace, protocol=pickle.HIGHEST_PROTOCOL)
+        clone = pickle.loads(blob)
+        assert clone == lu_trace
+        reblob = pickle.dumps(clone, protocol=pickle.HIGHEST_PROTOCOL)
+        assert reblob == blob
+        for ours, theirs in zip(lu_trace.np_columns(), clone.np_columns()):
+            assert ours.dtype == theirs.dtype
+            assert np.array_equal(ours, theirs)
+
+    def test_fastpath_cache_never_pickled(self, lu_trace):
+        # Populate the derived-index cache, then make sure the pickle
+        # neither carries it nor resurrects it.
+        simulate_ds_fast(lu_trace, get_model("RC"), DSConfig(window=16))
+        assert lu_trace.fastpath_cache is not None
+        state = lu_trace.__getstate__()
+        assert set(state) == {"version", "cpu", "columns"}
+        clone = pickle.loads(pickle.dumps(lu_trace))
+        assert clone.fastpath_cache is None
 
 
 class TestCacheVersioning:
