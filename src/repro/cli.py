@@ -16,19 +16,41 @@ Commands:
   combination: occupancy histograms, stall attribution per consistency
   model, and (``--trace``) a Perfetto-loadable timeline plus a
   machine-readable run manifest under ``results/profiles/``.
+* ``batch`` — resilient config-grid sweep on the supervised worker
+  pool: deduplicated sub-runs, content-addressed results, retries with
+  backoff, and partial results + a failure report when jobs keep
+  failing (exit code 5).
+* ``status`` / ``results`` — inspect a batch's per-job state / its
+  completed results from the content-addressed store.
 * ``all`` — regenerate everything into ``results/``.
+
+Exit codes are uniform across subcommands (see the README table):
+0 success, 1 simulation/verification/validation failure, 2 usage
+error, 3 bad configuration value, 4 cache/store I/O error, 5 partial
+batch results, 130 interrupted by SIGINT/SIGTERM.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from . import MultiprocessorConfig, TangoExecutor, build_app
+from . import service
 from .apps import APP_NAMES
 from .net import NETWORK_KINDS
 from . import experiments as exp
+
+#: Uniform CLI exit codes (documented in README).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2  # produced by argparse itself
+EXIT_BAD_CONFIG = 3
+EXIT_IO = 4
+EXIT_PARTIAL = 5
+EXIT_INTERRUPTED = 130
 
 
 def _store(args) -> exp.TraceStore:
@@ -133,7 +155,9 @@ def cmd_contention(args) -> None:
     )
     apps = tuple(args.apps) if args.apps else None
     print(exp.format_contention(
-        exp.run_contention(store, apps=apps, networks=networks)
+        exp.run_contention(
+            store, apps=apps, networks=networks, jobs=args.jobs
+        )
     ))
 
 
@@ -207,6 +231,79 @@ def cmd_verify(args) -> int:
         + ("OK" if failures == 0 else f"FAILED ({failures} targets)")
     )
     return 0 if failures == 0 else 1
+
+
+def _chaos_from_args(args) -> service.ChaosSpec | None:
+    """Assemble the fault-injection spec from the ``--chaos-*`` flags."""
+    crash: dict[int, int] = {}
+    hang: dict[int, int] = {}
+    corrupt: dict[int, int] = {}
+    fail: dict[int, int] = {}
+    for mapping, specs in (
+        (crash, args.chaos_crash),
+        (hang, args.chaos_hang),
+        (corrupt, args.chaos_corrupt),
+        (fail, args.chaos_fail),
+    ):
+        for spec in specs or ():
+            service.parse_chaos_arg(mapping, spec)
+    if not (crash or hang or corrupt or fail):
+        return None
+    return service.ChaosSpec(
+        crash=crash, hang=hang, corrupt=corrupt, fail=fail
+    )
+
+
+def cmd_batch(args) -> int:
+    grid = service.expand_grid(
+        apps=tuple(args.apps) if args.apps else APP_NAMES,
+        kinds=tuple(args.kinds),
+        models=tuple(m.upper() for m in args.models),
+        windows=tuple(args.windows),
+        networks=tuple(args.networks),
+        penalties=tuple(args.penalties),
+        procs=args.procs,
+        preset=args.preset,
+        engine=args.engine,
+    )
+    command = "python -m repro batch " + " ".join(
+        f"--{k} {v}" for k, v in (
+            ("jobs", args.jobs), ("timeout", args.timeout),
+            ("max-attempts", args.max_attempts),
+        )
+    )
+    report = service.run_batch(
+        grid,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        out_dir=args.out,
+        store_dir=args.store,
+        timeout=args.timeout if args.timeout > 0 else None,
+        max_attempts=args.max_attempts,
+        seed=args.seed,
+        chaos=_chaos_from_args(args),
+        command=command,
+    )
+    print(report.format_summary())
+    return EXIT_PARTIAL if report.partial else EXIT_OK
+
+
+def cmd_status(args) -> int:
+    state = service.load_state(service.find_batch(args.out, args.id))
+    print(service.format_status(state))
+    jobs = state.get("jobs", [])
+    degraded = any(
+        j["state"] in ("failed", "cancelled") for j in jobs
+    )
+    # Mirror the batch's own exit: 5 when degraded, 0 otherwise (a
+    # batch still in flight is not a failure — status is a live view).
+    return EXIT_PARTIAL if degraded else EXIT_OK
+
+
+def cmd_results(args) -> int:
+    state = service.load_state(service.find_batch(args.out, args.id))
+    print(service.format_results(state))
+    return EXIT_OK
 
 
 def cmd_all(args) -> None:
@@ -296,6 +393,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cont.add_argument("--apps", nargs="*", choices=APP_NAMES,
                         help="restrict to these applications")
+    p_cont.add_argument("--jobs", type=int, default=1,
+                        help="supervised worker processes (one app's "
+                             "replay per worker)")
     p_cont.set_defaults(func=cmd_contention)
 
     p_prof = sub.add_parser(
@@ -370,6 +470,87 @@ def build_parser() -> argparse.ArgumentParser:
                             "WO/RC)")
     p_ver.set_defaults(func=cmd_verify)
 
+    p_batch = sub.add_parser(
+        "batch",
+        help="resilient config-grid sweep on the supervised pool",
+        description=(
+            "Decompose a config grid (apps x kinds x models x windows "
+            "x networks x penalties) into deduplicated jobs and run "
+            "them on the supervised worker pool: per-job wall-clock "
+            "timeouts, automatic worker restart, seeded "
+            "exponential-backoff retries, and a quarantine list.  "
+            "Results land in a content-addressed store keyed by "
+            "(config hash, trace schema version, git revision), so "
+            "repeated or overlapping sweeps only pay for their unique "
+            "work.  A batch with permanently failing jobs still "
+            "completes, printing partial results plus a structured "
+            "failure report and exiting with code 5."
+        ),
+    )
+    p_batch.add_argument("--apps", nargs="*", choices=APP_NAMES,
+                         help="applications to sweep (default: all)")
+    p_batch.add_argument("--kinds", nargs="*", default=["ds"],
+                         choices=service.KINDS,
+                         help="processor kinds to sweep")
+    p_batch.add_argument("--models", nargs="*", default=["RC"],
+                         type=lambda s: s.upper(),
+                         choices=service.MODELS,
+                         help="consistency models to sweep")
+    p_batch.add_argument("--windows", nargs="*", type=int, default=[64],
+                         help="DS reorder-buffer windows to sweep")
+    p_batch.add_argument("--networks", nargs="*", default=["ideal"],
+                         choices=NETWORK_KINDS,
+                         help="interconnect backends to sweep")
+    p_batch.add_argument("--penalties", nargs="*", type=int,
+                         default=[50],
+                         help="miss penalties (cycles) to sweep")
+    p_batch.add_argument("--jobs", type=int, default=1,
+                         help="supervised worker processes")
+    p_batch.add_argument("--timeout", type=float, default=0.0,
+                         help="per-job wall-clock budget in seconds "
+                              "(0 = unlimited)")
+    p_batch.add_argument("--max-attempts", type=int, default=3,
+                         help="attempts per job before quarantine")
+    p_batch.add_argument("--seed", type=int, default=0,
+                         help="seed for retry backoff jitter")
+    p_batch.add_argument("--out", default=str(service.DEFAULT_BATCH_DIR),
+                         help="batch state/report directory")
+    p_batch.add_argument("--store", default=None,
+                         help="content-addressed result store directory "
+                              "(default: <out>/store)")
+    for flag, what in (
+        ("--chaos-crash", "SIGKILL the worker"),
+        ("--chaos-hang", "hang past the timeout"),
+        ("--chaos-corrupt", "corrupt the result payload"),
+        ("--chaos-fail", "raise a transient exception"),
+    ):
+        p_batch.add_argument(
+            flag, nargs="*", metavar="IDX[:N]", default=[],
+            help=f"fault injection (testing): {what} for scheduled job "
+                 f"IDX on its first N attempts (default: all attempts)",
+        )
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_status = sub.add_parser(
+        "status",
+        help="per-job state of a batch (latest, or --id)",
+    )
+    p_status.add_argument("--id", default=None, help="batch id")
+    p_status.add_argument("--out",
+                          default=str(service.DEFAULT_BATCH_DIR),
+                          help="batch state directory")
+    p_status.set_defaults(func=cmd_status)
+
+    p_results = sub.add_parser(
+        "results",
+        help="completed results of a batch from the result store",
+    )
+    p_results.add_argument("--id", default=None, help="batch id")
+    p_results.add_argument("--out",
+                           default=str(service.DEFAULT_BATCH_DIR),
+                           help="batch state directory")
+    p_results.set_defaults(func=cmd_results)
+
     p_all = sub.add_parser("all", help="regenerate everything")
     p_all.add_argument("--output", default="results")
     p_all.add_argument("--jobs", type=int, default=1,
@@ -380,12 +561,44 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Dispatch a subcommand, mapping failures to uniform exit codes.
+
+    Every failure class gets a distinct code and a one-line message on
+    stderr instead of a traceback (set ``REPRO_DEBUG=1`` to re-raise
+    for debugging).  Argparse itself exits 2 on usage errors.
+    """
     args = build_parser().parse_args(argv)
     from . import cpu
 
     cpu.DEFAULT_ENGINE = args.engine
-    rc = args.func(args)
-    return rc if isinstance(rc, int) else 0
+    try:
+        rc = args.func(args)
+    except (service.BatchInterrupted, KeyboardInterrupt) as exc:
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except service.JobsFailedError as exc:
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except (service.ResultStoreError, OSError) as exc:
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"I/O error: {exc}", file=sys.stderr)
+        return EXIT_IO
+    except (ValueError, KeyError) as exc:
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_CONFIG
+    except AssertionError as exc:
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"validation failed: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    return rc if isinstance(rc, int) else EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

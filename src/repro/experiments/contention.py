@@ -27,6 +27,7 @@ from __future__ import annotations
 from ..cpu import ExecutionBreakdown, ProcessorConfig, simulate
 from ..isa import MemClass
 from ..net import NETWORK_KINDS, NetworkConfig, build_network
+from ..service.pool import run_jobs
 from .report import format_table
 from .runner import TraceStore, default_store
 
@@ -63,11 +64,51 @@ def _ideal_summary(trace, miss_penalty: int) -> dict:
     }
 
 
+def _app_contention(
+    store: TraceStore,
+    app: str,
+    networks: tuple[str, ...],
+    network_config: NetworkConfig | None,
+) -> dict[str, list[tuple[ExecutionBreakdown, dict]]]:
+    """All (model, network) replays for one application."""
+    run = store.get(app)
+    configs = contention_configs()
+    per_net: dict[str, list[tuple[ExecutionBreakdown, dict]]] = {}
+    for kind in networks:
+        rows = []
+        for cfg in configs:
+            net = build_network(
+                kind, store.n_procs, store.line_size, network_config
+            )
+            breakdown = simulate(run.trace, cfg, network=net)
+            if net is None:
+                summary = _ideal_summary(run.trace, store.miss_penalty)
+            else:
+                summary = net.summary()
+                links = net.link_summary()
+                summary["q_mean"] = links["mean_depth"]
+                summary["q_max"] = links["max_depth"]
+            rows.append((breakdown, summary))
+        per_net[kind] = rows
+    return per_net
+
+
+def _contention_worker(
+    spec: dict,
+    app: str,
+    networks: tuple[str, ...],
+    network_config: NetworkConfig | None,
+) -> dict[str, list[tuple[ExecutionBreakdown, dict]]]:
+    """Pool worker: one app's full contention replay (fresh store)."""
+    return _app_contention(TraceStore(**spec), app, networks, network_config)
+
+
 def run_contention(
     store: TraceStore | None = None,
     apps: tuple[str, ...] | None = None,
     networks: tuple[str, ...] = NETWORK_KINDS,
     network_config: NetworkConfig | None = None,
+    jobs: int = 1,
 ) -> dict[str, dict[str, list[tuple[ExecutionBreakdown, dict]]]]:
     """Replay every app through every (model, network) combination.
 
@@ -75,35 +116,33 @@ def run_contention(
     ``(breakdown, miss_latency_summary)`` pairs, one per config of
     :func:`contention_configs`, where the summary carries the model's
     observed miss-latency distribution (count / mean / p50 / p99 / max).
+
+    With ``jobs > 1`` (and an on-disk trace cache) each application's
+    replay runs in its own supervised worker; results are assembled in
+    canonical app order, identical to the serial path.
     """
     store = store or default_store()
-    configs = contention_configs()
-    results: dict[str, dict[str, list[tuple[ExecutionBreakdown, dict]]]] = {}
     from ..apps import APP_NAMES
 
-    for app in APP_NAMES:
-        if apps is not None and app not in apps:
-            continue
-        run = store.get(app)
-        per_net: dict[str, list[tuple[ExecutionBreakdown, dict]]] = {}
-        for kind in networks:
-            rows = []
-            for cfg in configs:
-                net = build_network(
-                    kind, store.n_procs, store.line_size, network_config
-                )
-                breakdown = simulate(run.trace, cfg, network=net)
-                if net is None:
-                    summary = _ideal_summary(run.trace, store.miss_penalty)
-                else:
-                    summary = net.summary()
-                    links = net.link_summary()
-                    summary["q_mean"] = links["mean_depth"]
-                    summary["q_max"] = links["max_depth"]
-                rows.append((breakdown, summary))
-            per_net[kind] = rows
-        results[app] = per_net
-    return results
+    names = [
+        a for a in APP_NAMES if apps is None or a in apps
+    ]
+    if jobs > 1 and len(names) > 1 and store.cache_dir is not None:
+        from .runner import generate_traces
+
+        generate_traces(store, tuple(names), jobs)
+        spec = store.spec()
+        per_app = run_jobs(
+            _contention_worker,
+            [(spec, a, tuple(networks), network_config) for a in names],
+            jobs=jobs,
+            labels=[f"contention:{a}" for a in names],
+        )
+        return dict(zip(names, per_app))
+    return {
+        app: _app_contention(store, app, tuple(networks), network_config)
+        for app in names
+    }
 
 
 def format_contention(

@@ -18,15 +18,17 @@ penalty, and processor 0 as the traced processor.
 For multi-core hosts the module also provides process-pool fan-out:
 :func:`generate_traces` builds the five application traces concurrently
 and :func:`simulate_app_models` distributes independent (model, window)
-processor simulations across workers.  Results are collected in
-submission order, so output is byte-identical regardless of ``jobs``.
+processor simulations across workers.  The fan-out runs on the
+supervised pool of :mod:`repro.service` — a worker that crashes, hangs,
+or returns a torn payload is restarted and its job retried instead of
+aborting the sweep.  Results are collected in submission order, so
+output is byte-identical regardless of ``jobs``.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -43,6 +45,7 @@ from ..tango import (
     TangoExecutor,
     Trace,
 )
+from ..service.pool import run_jobs
 from ..tango.trace import TRACE_FORMAT_VERSION, TraceFormatError
 
 DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / ".cache" / "traces"
@@ -219,19 +222,25 @@ def generate_traces(
 ) -> list[AppRun]:
     """Materialise application runs, fanning out across processes.
 
-    With ``jobs > 1`` each missing trace is generated in its own worker
-    process (workers share the on-disk cache); results are collected in
-    canonical application order, so the outcome is independent of worker
-    scheduling.  ``jobs <= 1`` is the plain serial path.
+    With ``jobs > 1`` each missing trace is generated in its own
+    supervised worker process (workers share the on-disk cache, and a
+    crashed or wedged worker is restarted with its trace retried);
+    results are collected in canonical application order, so the
+    outcome is independent of worker scheduling.  ``jobs <= 1`` is the
+    plain serial path.
     """
     names = _select_apps(apps)
     missing = [a for a in names if a not in store._runs]
     if jobs > 1 and len(missing) > 1:
         spec = store.spec()
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_gen_worker, spec, a) for a in missing]
-            for app, future in zip(missing, futures):
-                store._runs[app] = future.result()
+        runs = run_jobs(
+            _gen_worker,
+            [(spec, a) for a in missing],
+            jobs=jobs,
+            labels=[f"trace:{a}" for a in missing],
+        )
+        for app, run in zip(missing, runs):
+            store._runs[app] = run
     return [store.get(a) for a in names]
 
 
@@ -266,23 +275,23 @@ def simulate_app_models(
     if jobs > 1 and store.cache_dir is not None and names:
         generate_traces(store, tuple(names), jobs)
         spec = store.spec()
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            if len(names) > 1:
-                futures = [
-                    pool.submit(_sim_worker, spec, a, configs)
-                    for a in names
-                ]
-                return {
-                    a: f.result() for a, f in zip(names, futures)
-                }
-            app = names[0]
-            futures = [
-                pool.submit(_sim_worker, spec, app, chunk)
-                for chunk in _chunk(list(configs), jobs)
-            ]
-            return {
-                app: [bd for f in futures for bd in f.result()]
-            }
+        if len(names) > 1:
+            batches = run_jobs(
+                _sim_worker,
+                [(spec, a, configs) for a in names],
+                jobs=jobs,
+                labels=[f"sim:{a}" for a in names],
+            )
+            return dict(zip(names, batches))
+        app = names[0]
+        chunks = _chunk(list(configs), jobs)
+        batches = run_jobs(
+            _sim_worker,
+            [(spec, app, chunk) for chunk in chunks],
+            jobs=jobs,
+            labels=[f"sim:{app}[{i}]" for i in range(len(chunks))],
+        )
+        return {app: [bd for batch in batches for bd in batch]}
     return {
         a: [simulate(store.get(a).trace, cfg) for cfg in configs]
         for a in names

@@ -1,0 +1,89 @@
+"""Resilient batch-simulation service layer.
+
+The layer between "one CLI invocation" and "sustained sweep traffic":
+
+* :class:`SupervisedPool` / :func:`run_jobs` — process fan-out with
+  heartbeats, per-job wall-clock timeouts, automatic worker restart,
+  seeded exponential backoff + jitter retries, and a quarantine list
+  (the drop-in replacement for the repo's former bare
+  ``ProcessPoolExecutor`` paths);
+* :mod:`~repro.service.jobs` — config-grid decomposition into
+  deduplicated, shardable :class:`SweepJob`\\ s;
+* :class:`ResultStore` — content-addressed results keyed by (canonical
+  config hash, trace schema version, git revision) with embedded
+  checksums and regenerate-on-corruption loads;
+* :mod:`~repro.service.chaos` — real fault injection (SIGKILL, hangs,
+  payload corruption, transient failures) used by the tests and the CI
+  smoke to prove the supervisor recovers;
+* :func:`run_batch` — graceful degradation: partial results plus a
+  structured failure report, surfaced via ``python -m repro
+  batch``/``status``/``results``.
+"""
+
+from .chaos import (
+    ALWAYS,
+    ChaosSpec,
+    ChaosTransientError,
+    echo_job,
+    parse_chaos_arg,
+    sleep_job,
+    square_job,
+)
+from .errors import (
+    AttemptFailure,
+    BatchInterrupted,
+    JobFailure,
+    JobsFailedError,
+    ResultStoreError,
+    ServiceError,
+)
+from .batch import (
+    BATCH_STATE_SCHEMA,
+    BatchReport,
+    DEFAULT_BATCH_DIR,
+    JobRecord,
+    find_batch,
+    format_results,
+    format_status,
+    load_state,
+    run_batch,
+)
+from .jobs import KINDS, MODELS, SweepJob, expand_grid, shard
+from .pool import Job, SupervisedPool, run_jobs
+from .store import RESULT_STORE_SCHEMA, ResultStore, result_key
+
+__all__ = [
+    "ALWAYS",
+    "AttemptFailure",
+    "BATCH_STATE_SCHEMA",
+    "BatchInterrupted",
+    "BatchReport",
+    "ChaosSpec",
+    "ChaosTransientError",
+    "DEFAULT_BATCH_DIR",
+    "Job",
+    "JobFailure",
+    "JobRecord",
+    "JobsFailedError",
+    "KINDS",
+    "MODELS",
+    "RESULT_STORE_SCHEMA",
+    "ResultStore",
+    "ResultStoreError",
+    "ServiceError",
+    "SupervisedPool",
+    "SweepJob",
+    "echo_job",
+    "expand_grid",
+    "find_batch",
+    "format_results",
+    "format_status",
+    "load_state",
+    "parse_chaos_arg",
+    "result_key",
+    "run_batch",
+    "run_jobs",
+    "shard",
+    "sleep_job",
+    "square_job",
+]

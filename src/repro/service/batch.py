@@ -1,0 +1,411 @@
+"""Batch runner: sweeps with graceful degradation and live status.
+
+``run_batch`` ties the service layer together: the sweep scheduler
+(:mod:`repro.service.jobs`) decomposes the grid, the content-addressed
+:class:`~repro.service.store.ResultStore` satisfies every sub-run that
+any earlier batch already computed, and the
+:class:`~repro.service.pool.SupervisedPool` computes the rest under
+supervision.  A batch never raises on job failure: it returns partial
+results plus a structured failure report, persisted as
+``state.json``/``manifest.json`` under ``<out>/<batch-id>/`` so that
+``python -m repro status`` and ``results`` can inspect a batch during
+and after the run.  Only SIGINT/SIGTERM interrupt a batch, and even
+then the state file records how far it got.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..obs.manifest import build_manifest, write_manifest
+from ..obs.metrics import MetricsRegistry
+from .errors import BatchInterrupted
+from .jobs import SweepJob
+from .pool import STATE_DONE, Job, SupervisedPool
+from .store import ResultStore
+
+BATCH_STATE_SCHEMA = "repro-batch-state/1"
+
+DEFAULT_BATCH_DIR = Path("results") / "batches"
+
+
+def _sweep_worker(config: dict, cache_dir: str | None):
+    """Worker-side: run one canonical sub-run to an ExecutionBreakdown.
+
+    Imports stay inside the function so :mod:`repro.service` never
+    imports :mod:`repro.experiments` at module level (the experiments
+    layer imports the pool, and cycles must stay one-directional).
+    """
+    from ..cpu import ProcessorConfig, simulate
+    from ..experiments.runner import TraceStore
+    from ..net import build_network
+
+    job = SweepJob(**config)
+    store = TraceStore(
+        n_procs=job.procs,
+        miss_penalty=job.penalty,
+        preset=job.preset,
+        cache_dir=cache_dir,
+    )
+    run = store.get(job.app)
+    cfg = ProcessorConfig(
+        kind=job.kind,
+        model=job.model if job.kind != "base" else "RC",
+        window=job.window,
+        engine=job.engine,
+    )
+    # Like the contention experiment: traces come from the shared ideal
+    # cache; a non-ideal backend re-times misses at replay.
+    network = build_network(job.network, job.procs, store.line_size)
+    return simulate(run.trace, cfg, network=network)
+
+
+@dataclass
+class JobRecord:
+    """Persisted per-job state for status/results reporting."""
+
+    key: str
+    label: str
+    config: dict
+    state: str = "pending"
+    attempts: int = 0
+    source: str | None = None  # "store" (dedup hit) or "computed"
+    history: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "label": self.label,
+            "config": self.config,
+            "state": self.state,
+            "attempts": self.attempts,
+            "source": self.source,
+            "history": list(self.history),
+        }
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one batch: partial results + structured failures."""
+
+    batch_id: str
+    out_dir: Path
+    store_dir: Path
+    records: list[JobRecord]
+    interrupted: bool = False
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def completed(self) -> list[JobRecord]:
+        return [r for r in self.records if r.state == "done"]
+
+    @property
+    def failed(self) -> list[JobRecord]:
+        return [r for r in self.records if r.state == "failed"]
+
+    @property
+    def cancelled(self) -> list[JobRecord]:
+        return [r for r in self.records if r.state == "cancelled"]
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.failed or self.cancelled or self.interrupted)
+
+    def failure_report(self) -> dict:
+        """The structured failure report embedded in state.json."""
+        return {
+            "failed": [r.to_dict() for r in self.failed],
+            "cancelled": [r.label for r in self.cancelled],
+            "interrupted": self.interrupted,
+            "counters": self.counters,
+        }
+
+    def format_summary(self) -> str:
+        total = len(self.records)
+        done = len(self.completed)
+        dedup = sum(1 for r in self.records if r.source == "store")
+        lines = [
+            f"batch {self.batch_id}: {done}/{total} jobs done"
+            f" ({dedup} from result store), "
+            f"{len(self.failed)} failed, {len(self.cancelled)} cancelled"
+        ]
+        for name in ("retries", "timeouts", "crashes", "corrupt_payloads",
+                     "worker_restarts", "quarantined"):
+            value = self.counters.get(f"service.{name}", 0)
+            if value:
+                lines.append(f"  {name}: {value}")
+        for rec in self.failed:
+            steps = "; ".join(
+                f"#{h['attempt']} {h['reason']}: {h['detail']}"
+                for h in rec.history
+            )
+            lines.append(
+                f"  FAILED {rec.label} after {rec.attempts} attempts"
+                f" ({steps})"
+            )
+        if self.interrupted:
+            lines.append("  interrupted before completion")
+        lines.append(f"  state: {self.out_dir / 'state.json'}")
+        return "\n".join(lines)
+
+
+def _batch_id(keys: list[str]) -> str:
+    material = "|".join(sorted(keys))
+    return hashlib.sha256(material.encode()).hexdigest()[:12]
+
+
+def _write_state(path: Path, state: dict) -> None:
+    """Atomic JSON write so `status` never reads a torn state file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(state, indent=2) + "\n")
+    os.replace(tmp, path)
+
+
+def run_batch(
+    sweep: list[SweepJob],
+    *,
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+    out_dir: Path | str = DEFAULT_BATCH_DIR,
+    store_dir: Path | str | None = None,
+    timeout: float | None = None,
+    max_attempts: int = 3,
+    seed: int = 0,
+    chaos=None,
+    metrics: MetricsRegistry | None = None,
+    command: str = "",
+) -> BatchReport:
+    """Run a sweep resiliently; always returns a report, never raises
+    for job-level failures.  Raises :class:`BatchInterrupted` only on
+    SIGINT/SIGTERM — after persisting the partial state.
+    """
+    m = metrics if metrics is not None else MetricsRegistry(enabled=True)
+    out_root = Path(out_dir)
+    store = ResultStore(
+        Path(store_dir) if store_dir else out_root / "store", metrics=m
+    )
+    t_start = time.time()
+
+    keys = [store.key(job.config()) for job in sweep]
+    records = [
+        JobRecord(key=key, label=job.label(), config=job.config())
+        for key, job in zip(keys, sweep)
+    ]
+    batch_dir = out_root / _batch_id(keys)
+    state_path = batch_dir / "state.json"
+
+    def persist(extra: dict | None = None) -> None:
+        state = {
+            "schema": BATCH_STATE_SCHEMA,
+            "batch_id": batch_dir.name,
+            "command": command,
+            "git_rev": store.git_rev,
+            "store_dir": str(store.root),
+            "jobs": [r.to_dict() for r in records],
+        }
+        if extra:
+            state.update(extra)
+        _write_state(state_path, state)
+
+    # Content-addressed dedup: anything a previous batch (or a shared
+    # grid point of this one) already computed is done before any
+    # worker spawns.
+    misses: list[tuple[JobRecord, SweepJob]] = []
+    for record, job in zip(records, sweep):
+        if store.get_bytes(record.key) is not None:
+            record.state = "done"
+            record.source = "store"
+        else:
+            misses.append((record, job))
+    persist()
+
+    pool_jobs: list[Job] = []
+    by_index: dict[int, JobRecord] = {}
+    for i, (record, job) in enumerate(misses):
+        by_index[i] = record
+        pool_jobs.append(
+            Job(
+                index=i,
+                fn=_sweep_worker,
+                args=(asdict(job), str(cache_dir) if cache_dir else None),
+                label=record.label,
+            )
+        )
+
+    interrupted = False
+    if pool_jobs:
+        pool = SupervisedPool(
+            workers=jobs,
+            timeout=timeout,
+            max_attempts=max_attempts,
+            seed=seed,
+            chaos=chaos,
+            metrics=m,
+            install_signal_handlers=True,
+        )
+
+        def on_update(job: Job) -> None:
+            record = by_index[job.index]
+            record.state = job.state
+            record.attempts = job.attempts
+            record.history = [h.to_dict() for h in job.history]
+            if job.state == STATE_DONE and job.payload is not None:
+                record.source = "computed"
+                store.put_bytes(
+                    record.key, job.payload,
+                    meta={"label": record.label, "config": record.config},
+                )
+            persist()
+
+        try:
+            pool.run(pool_jobs, on_update=on_update)
+        except BatchInterrupted:
+            interrupted = True
+
+    counters = {
+        name: inst.value
+        for name, inst in (
+            (n, m.get(n)) for n in (
+                "service.jobs_total", "service.jobs_done",
+                "service.retries", "service.timeouts", "service.crashes",
+                "service.corrupt_payloads", "service.worker_restarts",
+                "service.quarantined", "service.store_hits",
+                "service.store_misses", "service.store_corrupt",
+            )
+        )
+        if inst is not None
+    }
+    report = BatchReport(
+        batch_id=batch_dir.name,
+        out_dir=batch_dir,
+        store_dir=store.root,
+        records=records,
+        interrupted=interrupted,
+        counters=counters,
+    )
+    persist(extra={"failure_report": report.failure_report()})
+    manifest = build_manifest(
+        command=command or "repro batch",
+        config={
+            "jobs": jobs,
+            "timeout": timeout,
+            "max_attempts": max_attempts,
+            "seed": seed,
+            "n_sweep_jobs": len(sweep),
+        },
+        timings={"total": time.time() - t_start},
+        outputs={"state": state_path},
+    )
+    write_manifest(batch_dir / "manifest.json", manifest)
+    if interrupted:
+        raise BatchInterrupted(
+            f"batch {report.batch_id} interrupted; partial state at "
+            f"{state_path}"
+        )
+    return report
+
+
+# -- status / results inspection ---------------------------------------
+
+
+def find_batch(
+    out_dir: Path | str = DEFAULT_BATCH_DIR, batch_id: str | None = None
+) -> Path:
+    """The state file for ``batch_id``, or the most recent batch."""
+    root = Path(out_dir)
+    if batch_id is not None:
+        path = root / batch_id / "state.json"
+        if not path.is_file():
+            raise FileNotFoundError(f"no batch state at {path}")
+        return path
+    candidates = sorted(
+        root.glob("*/state.json"), key=lambda p: p.stat().st_mtime
+    )
+    if not candidates:
+        raise FileNotFoundError(f"no batches under {root}")
+    return candidates[-1]
+
+
+def load_state(state_path: Path) -> dict:
+    state = json.loads(Path(state_path).read_text())
+    if state.get("schema") != BATCH_STATE_SCHEMA:
+        raise ValueError(
+            f"unrecognised batch state schema {state.get('schema')!r}"
+        )
+    return state
+
+
+def format_status(state: dict) -> str:
+    jobs = state.get("jobs", [])
+    by_state: dict[str, int] = {}
+    for job in jobs:
+        by_state[job["state"]] = by_state.get(job["state"], 0) + 1
+    counts = ", ".join(
+        f"{state_name}={n}" for state_name, n in sorted(by_state.items())
+    )
+    lines = [
+        f"batch {state.get('batch_id')} — {len(jobs)} jobs ({counts})"
+    ]
+    for job in jobs:
+        marker = {
+            "done": "ok",
+            "failed": "FAILED",
+            "cancelled": "cancelled",
+        }.get(job["state"], job["state"])
+        src = f" [{job['source']}]" if job.get("source") else ""
+        lines.append(
+            f"  {job['label']:<40} {marker}{src}"
+            + (f" (attempts {job['attempts']})" if job["attempts"] > 1
+               else "")
+        )
+        for h in job.get("history", []):
+            lines.append(
+                f"      attempt {h['attempt']}: {h['reason']}"
+                f" — {h['detail']}"
+            )
+    report = state.get("failure_report")
+    if report and report.get("interrupted"):
+        lines.append("  batch was interrupted before completion")
+    return "\n".join(lines)
+
+
+def format_results(state: dict) -> str:
+    """Render completed results (loaded from the content store)."""
+    from ..experiments.report import format_table  # lazy: avoid cycle
+
+    store = ResultStore(state["store_dir"])
+    rows = []
+    missing = 0
+    for job in state.get("jobs", []):
+        if job["state"] != "done":
+            continue
+        breakdown = store.get(job["key"])
+        if breakdown is None:
+            missing += 1
+            continue
+        rows.append([
+            job["label"],
+            breakdown.total,
+            breakdown.busy,
+            breakdown.sync,
+            breakdown.read,
+            breakdown.write,
+            job["key"][:12],
+        ])
+    table = format_table(
+        ["job", "cycles", "busy", "sync", "read", "write", "key"],
+        rows,
+        title=f"Batch {state.get('batch_id')} — completed results",
+    )
+    if missing:
+        table += (
+            f"\n({missing} result(s) missing from the store — "
+            f"evicted or corrupt; re-run the batch to regenerate)"
+        )
+    return table

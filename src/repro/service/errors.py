@@ -1,0 +1,96 @@
+"""Error types and failure records for the resilient service layer.
+
+Every failure the supervised pool can observe — a worker killed by a
+signal, a job running past its wall-clock budget, a payload that fails
+its checksum, a plain Python exception — is normalised into a
+:class:`JobFailure` record with the full per-attempt history, so a
+sweep that degrades still produces a structured report instead of a
+traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Canonical failure reasons recorded per attempt.
+REASON_CRASH = "crash"          # worker process died (e.g. SIGKILL)
+REASON_TIMEOUT = "timeout"      # job exceeded its wall-clock budget
+REASON_CORRUPT = "corrupt"      # payload checksum/unpickle mismatch
+REASON_ERROR = "error"          # job raised a Python exception
+
+
+class ServiceError(Exception):
+    """Base class for service-layer errors."""
+
+
+class ResultStoreError(ServiceError):
+    """A result-store record failed validation (corrupt/foreign file)."""
+
+
+class BatchInterrupted(ServiceError):
+    """The pool was shut down by SIGINT/SIGTERM before completing."""
+
+
+@dataclass
+class AttemptFailure:
+    """One failed attempt of one job."""
+
+    attempt: int
+    reason: str          # one of the REASON_* constants
+    detail: str          # exception repr / timeout budget / checksum info
+    backoff: float       # seconds waited before the next attempt (0 if none)
+
+    def to_dict(self) -> dict:
+        return {
+            "attempt": self.attempt,
+            "reason": self.reason,
+            "detail": self.detail,
+            "backoff": round(self.backoff, 4),
+        }
+
+
+@dataclass
+class JobFailure:
+    """A job that exhausted its attempts (quarantined)."""
+
+    index: int
+    label: str
+    attempts: int
+    history: list[AttemptFailure] = field(default_factory=list)
+
+    @property
+    def reason(self) -> str:
+        """The final attempt's failure reason."""
+        return self.history[-1].reason if self.history else "unknown"
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "attempts": self.attempts,
+            "reason": self.reason,
+            "history": [h.to_dict() for h in self.history],
+        }
+
+    def format(self) -> str:
+        steps = "; ".join(
+            f"#{h.attempt} {h.reason}: {h.detail}" for h in self.history
+        )
+        return (
+            f"[{self.label}] FAILED after {self.attempts} attempts"
+            f" ({steps})"
+        )
+
+
+class JobsFailedError(ServiceError):
+    """Raised by strict pool entry points when any job is quarantined.
+
+    Carries the structured failure records so callers that *can* degrade
+    gracefully (the batch runner) never need to re-parse a message.
+    """
+
+    def __init__(self, failures: list[JobFailure]) -> None:
+        self.failures = failures
+        lines = [f"{len(failures)} job(s) failed permanently:"]
+        lines += [f.format() for f in failures]
+        super().__init__("\n".join(lines))

@@ -1,0 +1,132 @@
+"""Sweep decomposition: config grid → deduplicated, shardable jobs.
+
+A batch request is a grid — application × processor kind × consistency
+model × window × network × miss penalty — but many grid points collapse
+onto the same simulation: BASE ignores the consistency model and the
+window, the static models (SSBR/SS) ignore the window.  Each grid point
+is canonicalised into a :class:`SweepJob` whose ``config()`` dict drops
+the irrelevant axes, so the scheduler dedupes identical sub-runs before
+any worker starts and the content-addressed store dedupes them across
+batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps import APP_NAMES
+
+KINDS = ("base", "ssbr", "ss", "ds")
+MODELS = ("SC", "PC", "WO", "RC")
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One canonical sub-run of a sweep."""
+
+    app: str
+    kind: str = "ds"
+    model: str = "RC"
+    window: int = 64
+    network: str = "ideal"
+    penalty: int = 50
+    procs: int = 16
+    preset: str = "default"
+    engine: str = "fast"
+
+    def config(self) -> dict:
+        """The canonical, JSON-able config this job is addressed by.
+
+        The ``engine`` knob is deliberately excluded: fast and
+        reference engines are byte-identical by contract, so their
+        results share one record.
+        """
+        return {
+            "app": self.app,
+            "kind": self.kind,
+            "model": self.model if self.kind != "base" else "-",
+            "window": self.window if self.kind == "ds" else 0,
+            "network": self.network,
+            "penalty": self.penalty,
+            "procs": self.procs,
+            "preset": self.preset,
+        }
+
+    def label(self) -> str:
+        bits = [self.app, self.kind]
+        if self.kind != "base":
+            bits.append(self.model)
+        if self.kind == "ds":
+            bits.append(f"w{self.window}")
+        bits.append(self.network)
+        bits.append(f"m{self.penalty}")
+        return "/".join(bits)
+
+
+def expand_grid(
+    apps,
+    kinds=("ds",),
+    models=("RC",),
+    windows=(64,),
+    networks=("ideal",),
+    penalties=(50,),
+    *,
+    procs: int = 16,
+    preset: str = "default",
+    engine: str = "fast",
+) -> list[SweepJob]:
+    """Expand a config grid into deduplicated jobs, in grid order.
+
+    Raises ``ValueError`` for unknown axis values so a bad request
+    fails before any worker is spawned.
+    """
+    for app in apps:
+        if app not in APP_NAMES:
+            raise ValueError(f"unknown application {app!r}")
+    for kind in kinds:
+        if kind not in KINDS:
+            raise ValueError(f"unknown processor kind {kind!r}")
+    for model in models:
+        if model.upper() not in MODELS:
+            raise ValueError(f"unknown consistency model {model!r}")
+    for window in windows:
+        if window < 1:
+            raise ValueError(f"bad window {window!r}")
+    for penalty in penalties:
+        if penalty < 0:
+            raise ValueError(f"bad miss penalty {penalty!r}")
+
+    seen: dict[tuple, SweepJob] = {}
+    for app in apps:
+        for penalty in penalties:
+            for network in networks:
+                for kind in kinds:
+                    for model in models:
+                        for window in windows:
+                            job = SweepJob(
+                                app=app,
+                                kind=kind,
+                                model=model.upper(),
+                                window=window,
+                                network=network,
+                                penalty=penalty,
+                                procs=procs,
+                                preset=preset,
+                                engine=engine,
+                            )
+                            ckey = tuple(sorted(job.config().items()))
+                            if ckey not in seen:
+                                seen[ckey] = job
+    return list(seen.values())
+
+
+def shard(jobs: list, n_shards: int) -> list[list]:
+    """Split jobs into at most ``n_shards`` contiguous shards."""
+    n = max(1, min(n_shards, len(jobs)))
+    size, extra = divmod(len(jobs), n)
+    shards, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        shards.append(jobs[start:end])
+        start = end
+    return shards

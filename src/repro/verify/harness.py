@@ -16,10 +16,10 @@ resulting log must pass under *every* model.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..apps import build_app
+from ..service.pool import run_jobs
 from ..tango.executor import MultiprocessorConfig, TangoExecutor
 from .checker import CheckResult, check_execution
 from .litmus import ALL_MODELS, CATALOG
@@ -114,14 +114,21 @@ def verify_apps(
     miss_penalty: int = 50,
     jobs: int = 1,
 ) -> list[AppVerifyResult]:
-    """Verify several applications, optionally across worker processes."""
+    """Verify several applications, optionally across worker processes.
+
+    The fan-out runs on the supervised pool: a worker that dies or
+    wedges is restarted and its application retried, so one bad run
+    cannot abort the whole verification sweep.
+    """
     job_list = [
         (app, tuple(models), n_procs, preset, miss_penalty) for app in apps
     ]
-    if jobs > 1 and len(job_list) > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(_app_job, job_list))
-    return [_app_job(job) for job in job_list]
+    return run_jobs(
+        _app_job,
+        [(job,) for job in job_list],
+        jobs=jobs,
+        labels=[f"verify:{job[0]}" for job in job_list],
+    )
 
 
 def tango_crosscheck(test) -> dict[str, CheckResult]:

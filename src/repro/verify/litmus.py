@@ -42,12 +42,12 @@ window degenerates to program order, so the forbidden sets still hold.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..asm import AsmBuilder
 from ..consistency.models import ConsistencyModel, get_model
+from ..service.pool import run_jobs
 from .checker import check_execution
 from .relaxed import RelaxedEngine
 
@@ -448,10 +448,15 @@ def verify_litmus(
         for name in names
         for model in models
     ]
-    if jobs > 1 and len(jobs_list) > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(_litmus_job, jobs_list))
-    return [_litmus_job(job) for job in jobs_list]
+    # Supervised fan-out: a crashed or hung worker is restarted and the
+    # (deterministic, seeded) litmus job retried rather than aborting
+    # the sweep.
+    return run_jobs(
+        _litmus_job,
+        [(job,) for job in jobs_list],
+        jobs=jobs,
+        labels=[f"litmus:{name}/{model}" for name, model, *_ in jobs_list],
+    )
 
 
 def format_litmus_report(results: list[LitmusResult]) -> str:

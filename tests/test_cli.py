@@ -132,6 +132,76 @@ class TestNetworkFlag:
         assert "verification OK" in out
 
 
+class TestBatchCommands:
+    def test_batch_parses_grid_and_service_flags(self):
+        args = build_parser().parse_args(
+            ["batch", "--apps", "lu", "ocean", "--kinds", "base", "ds",
+             "--models", "rc", "--windows", "16", "64",
+             "--jobs", "4", "--timeout", "30", "--max-attempts", "2",
+             "--chaos-crash", "0", "--chaos-hang", "1:1"]
+        )
+        assert args.command == "batch"
+        assert args.apps == ["lu", "ocean"]
+        assert args.kinds == ["base", "ds"]
+        assert args.models == ["RC"]
+        assert (args.jobs, args.timeout, args.max_attempts) == (4, 30.0, 2)
+        assert args.chaos_crash == ["0"]
+        assert args.chaos_hang == ["1:1"]
+
+    def test_unknown_axis_values_exit_usage(self):
+        parser = build_parser()
+        for argv in (["batch", "--apps", "doom"],
+                     ["batch", "--kinds", "vliw"],
+                     ["batch", "--models", "tso"],
+                     ["batch", "--networks", "torus"]):
+            with pytest.raises(SystemExit) as exc_info:
+                parser.parse_args(argv)
+            assert exc_info.value.code == 2
+
+    def test_bad_window_exits_bad_config(self, capsys, tmp_path):
+        rc = main(["batch", "--apps", "lu", "--windows", "0",
+                   "--out", str(tmp_path)])
+        assert rc == 3
+        assert "bad window" in capsys.readouterr().err
+
+    def test_status_without_batches_exits_io(self, capsys, tmp_path):
+        rc = main(["status", "--out", str(tmp_path / "nothing")])
+        assert rc == 4
+        assert "I/O error" in capsys.readouterr().err
+
+    def test_batch_status_results_end_to_end(self, capsys, tmp_path):
+        common = ["--preset", "tiny", "--procs", "4",
+                  "--cache-dir", str(tmp_path / "traces")]
+        out = str(tmp_path / "batches")
+        rc = main(common + ["batch", "--apps", "lu",
+                            "--kinds", "base", "ds", "--jobs", "2",
+                            "--out", out])
+        assert rc == 0
+        assert "2/2 jobs done" in capsys.readouterr().out
+
+        assert main(["status", "--out", out]) == 0
+        status = capsys.readouterr().out
+        assert "lu/base" in status and "lu/ds/RC/w64" in status
+
+        assert main(["results", "--out", out]) == 0
+        results = capsys.readouterr().out
+        assert "cycles" in results and "lu/ds/RC/w64" in results
+
+    def test_chaos_batch_exits_partial(self, capsys, tmp_path):
+        common = ["--preset", "tiny", "--procs", "4",
+                  "--cache-dir", str(tmp_path / "traces")]
+        out = str(tmp_path / "batches")
+        rc = main(common + ["batch", "--apps", "lu",
+                            "--kinds", "base", "ds", "--jobs", "2",
+                            "--out", out, "--max-attempts", "2",
+                            "--chaos-fail", "0"])
+        assert rc == 5
+        summary = capsys.readouterr().out
+        assert "1 failed" in summary and "FAILED" in summary
+        # status mirrors the degraded exit code.
+        assert main(["status", "--out", out]) == 5
+
+
 class TestProfileCommand:
     def test_defaults(self):
         args = build_parser().parse_args(["profile", "lu"])
