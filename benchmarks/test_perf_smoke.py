@@ -84,6 +84,20 @@ def test_perf_smoke():
     mesh = build_network("mesh", config.n_cpus, config.line_size)
     _, mesh_s = _timed(lambda: simulate(trace, ds_cfg, network=mesh))
 
+    # Co-simulation throughput: every processor of a 4-node tiny LU
+    # stepping against one shared mesh (the ThreadStepper fast path),
+    # in co-simulated cycles per second of wall time.
+    from repro.cosim import run_cosim
+    from repro.experiments.runner import TraceStore
+
+    cosim_store = TraceStore(n_procs=4, preset="tiny")
+    crun = cosim_store.get_cosim("lu")
+    cosim_result, cosim_s = _timed(lambda: run_cosim(
+        crun, ProcessorConfig(kind="ds", model="RC", window=64),
+        network_kind="mesh", line_size=cosim_store.line_size,
+    ))
+    cosim_cycles = sum(cosim_result.cycles())
+
     # Vectorized engines vs. their scalar oracles, on the same trace.
     # SS is the static model with the most per-row work; DS pairs the
     # event-driven engine against the per-cycle reference.
@@ -170,6 +184,9 @@ def test_perf_smoke():
         "ds_mesh_seconds": round(mesh_s, 4),
         "ds_mesh_instr_per_s": round(n / mesh_s),
         "ds_mesh_misses_timed": len(mesh.latencies),
+        "cosim_procs": len(cosim_result.breakdowns),
+        "cosim_seconds": round(cosim_s, 4),
+        "cosim_cycles_per_s": round(cosim_cycles / cosim_s),
         "static_instr_per_s": round(n / static_fast_s),
         "static_scalar_instr_per_s": round(n / static_scalar_s),
         "static_speedup": round(static_scalar_s / static_fast_s, 2),
@@ -191,6 +208,7 @@ def test_perf_smoke():
     assert payload["ds_instr_per_s"] > 0
     assert payload["ds_mesh_instr_per_s"] > 0
     assert payload["ds_mesh_misses_timed"] > 0
+    assert payload["cosim_cycles_per_s"] > 0
     assert payload["cache_batch_lookups_per_s"] > 0
     assert payload["verify_events_per_s"] > 0
     # The compiled engine must never regress below the reference one.

@@ -161,6 +161,37 @@ def cmd_contention(args) -> None:
     ))
 
 
+def cmd_cosim(args) -> int:
+    from . import cosim
+
+    # Traces are generated on the ideal backend (cache-shareable); the
+    # co-simulation serves every miss on its own shared fabric.
+    store = exp.TraceStore(
+        n_procs=args.procs, miss_penalty=args.penalty,
+        preset=args.preset, cache_dir=args.cache_dir,
+    )
+    argv_echo = (
+        f"python -m repro --procs {args.procs} --preset {args.preset} "
+        f"--network {args.network} --engine {args.engine} "
+        f"cosim {args.app} --kind {args.kind} --model {args.model} "
+        f"--window {args.window} --sync {args.sync}"
+    )
+    result = cosim.run_cosim_app(
+        args.app, store,
+        kind=args.kind, model=args.model, window=args.window,
+        network=args.network, sync_mode=args.sync,
+        contexts=args.contexts, trace=args.trace,
+        out_dir=args.out, command=argv_echo,
+    )
+    print(result.report)
+    if result.errors:
+        print()
+        for err in result.errors:
+            print(f"VALIDATION FAILED: {err}")
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
 def cmd_profile(args) -> int:
     from . import obs
 
@@ -397,6 +428,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="supervised worker processes (one app's "
                              "replay per worker)")
     p_cont.set_defaults(func=cmd_contention)
+
+    p_cosim = sub.add_parser(
+        "cosim",
+        help="co-simulate all processors on one shared fabric",
+        description=(
+            "Execution-driven co-simulation: advance every processor "
+            "of the application against a single shared network with "
+            "live directory state, feeding each miss's actual fabric "
+            "latency (including queueing behind the other processors' "
+            "concurrent misses) back into the issuing CPU's timing.  "
+            "--sync live additionally resolves lock/barrier waits from "
+            "the co-simulated timeline instead of the trace's baked "
+            "waits.  With --out, writes metrics + a validated run "
+            "manifest (and --trace a Perfetto timeline)."
+        ),
+    )
+    p_cosim.add_argument("app", choices=APP_NAMES)
+    p_cosim.add_argument("--kind", default="ds",
+                         choices=("base", "ssbr", "ss", "ds", "mc"),
+                         help="processor model co-simulated on every "
+                              "node (mc groups --contexts traces per "
+                              "node)")
+    p_cosim.add_argument("--model", default="RC",
+                         type=lambda s: s.upper(),
+                         choices=("SC", "PC", "WO", "RC"),
+                         help="consistency model")
+    p_cosim.add_argument("--window", type=int, default=64,
+                         help="DS reorder-buffer window")
+    p_cosim.add_argument("--sync", default="replay",
+                         choices=("replay", "live"),
+                         help="sync waits: trace-baked (replay) or "
+                              "resolved live from the recorded "
+                              "schedule (scalar steppers only)")
+    p_cosim.add_argument("--contexts", type=int, default=1,
+                         help="contexts per node for --kind mc")
+    p_cosim.add_argument("--trace", action="store_true",
+                         help="emit a Chrome trace_event JSON timeline "
+                              "(requires --out)")
+    p_cosim.add_argument("--out", default=None,
+                         help="write metrics + run manifest under this "
+                              "directory")
+    p_cosim.set_defaults(func=cmd_cosim)
 
     p_prof = sub.add_parser(
         "profile",

@@ -1,0 +1,49 @@
+"""Execution-driven co-simulation of all processors on one shared fabric.
+
+The paper evaluates each processor model in isolation with a fixed miss
+penalty, and the ``contention`` experiment replays each model through a
+*fresh* network afterwards.  This package closes the loop: every
+processor of the multiprocessor advances against a **single shared**
+:mod:`repro.net` fabric with live directory state, and each access's
+actual network latency — including queueing behind the *other*
+processors' concurrent misses — feeds back into the issuing CPU's
+timing.
+
+The moving parts:
+
+* :mod:`repro.cpu.requests` — every CPU model restructured as a
+  resumable stepper that suspends at each miss and acquire;
+* :class:`CosimEngine` — the global scheduler interleaving all
+  steppers' requests on the shared network in timestamp order, with
+  cross-processor sync wait edges (live mode) resolved from the
+  recorded :class:`repro.sync.SyncSchedule`;
+* :func:`run_cosim` / :func:`replay_solo` — the high-level entry
+  points used by the ``cosim`` CLI subcommand, the ``contention``
+  experiment, and the ``cosim`` batch job kind.
+"""
+
+from .engine import (
+    CosimEngine,
+    CosimNode,
+    CosimResult,
+    GenStepper,
+    ImmediateStepper,
+    ThreadStepper,
+)
+from .report import CosimAppResult, format_cosim_report, run_cosim_app
+from .run import build_node, replay_solo, run_cosim
+
+__all__ = [
+    "CosimAppResult",
+    "CosimEngine",
+    "CosimNode",
+    "CosimResult",
+    "GenStepper",
+    "ImmediateStepper",
+    "ThreadStepper",
+    "build_node",
+    "format_cosim_report",
+    "replay_solo",
+    "run_cosim",
+    "run_cosim_app",
+]

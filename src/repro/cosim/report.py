@@ -1,0 +1,223 @@
+"""``python -m repro cosim`` — one co-simulated run, fully reported.
+
+Co-simulates every processor of one application on one shared fabric
+and reports the per-processor outcomes (cycles, served misses with
+their latency distribution) plus the fabric-level view the per-model
+replays cannot see: link queueing and directory occupancy *under the
+combined load of all processors at once*.
+
+With an output directory the run also writes the observability
+artifacts of the ``profile`` subcommand — a Perfetto-loadable
+``trace.json`` with per-processor miss lanes (opt-in), a deterministic
+``metrics.json``, and a validated ``manifest.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..cpu import ProcessorConfig
+from .run import run_cosim
+
+
+@dataclass
+class CosimAppResult:
+    """Everything one co-simulated run produced."""
+
+    app: str
+    config: dict
+    result: object  # CosimResult
+    report: str
+    out_dir: Path | None = None
+    outputs: dict[str, Path] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def run_cosim_app(
+    app: str,
+    store,
+    kind: str = "ds",
+    model: str = "RC",
+    window: int = 64,
+    network: str = "ideal",
+    sync_mode: str = "replay",
+    contexts: int = 1,
+    trace: bool = False,
+    metrics: bool = True,
+    out_dir: Path | str | None = None,
+    command: str = "",
+) -> CosimAppResult:
+    """Co-simulate ``app`` and (optionally) write run artifacts.
+
+    ``store`` is a :class:`~repro.experiments.runner.TraceStore`; the
+    all-processor trace set plus the recorded sync schedule come from
+    its co-simulation cache.  With ``out_dir`` set, the trace/metrics/
+    manifest triple lands under ``<out_dir>/<run-id>/`` and the
+    manifest is schema-validated (failures land in ``errors``).
+    """
+    from ..obs import (
+        ChromeTracer,
+        MetricsRegistry,
+        Probe,
+        build_manifest,
+        validate_manifest,
+        validate_trace,
+        write_manifest,
+    )
+
+    kind = kind.lower()
+    model = model.upper()
+    timings: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    crun = store.get_cosim(app)
+    timings["trace_generation"] = time.perf_counter() - t0
+
+    write_artifacts = out_dir is not None
+    registry = MetricsRegistry(enabled=write_artifacts)
+    tracer = ChromeTracer() if (trace and write_artifacts) else None
+    probe = Probe(metrics=registry, tracer=tracer)
+
+    t0 = time.perf_counter()
+    config = ProcessorConfig(kind=kind, model=model, window=window)
+    result = run_cosim(
+        crun, config,
+        network_kind=network,
+        line_size=store.line_size,
+        sync_mode=sync_mode,
+        contexts=contexts,
+        probe=probe if write_artifacts else None,
+    )
+    timings["cosim_run"] = time.perf_counter() - t0
+
+    label = f"MC-k{contexts}" if kind == "mc" else config.label()
+    config_dict = {
+        "app": app,
+        "kind": kind,
+        "model": model,
+        "window": window,
+        "network": network,
+        "sync": sync_mode,
+        "contexts": contexts,
+        "engine": config.engine,
+        "n_procs": store.n_procs,
+        "miss_penalty": store.miss_penalty,
+        "preset": store.preset,
+        "trace": trace,
+        "metrics": metrics,
+    }
+    errors: list[str] = []
+    outputs: dict[str, Path] = {}
+    run_id = (
+        f"{app}-cosim-{kind}-{model.lower()}-{network}-{sync_mode}"
+    )
+
+    if write_artifacts:
+        out_path = Path(out_dir) / run_id
+        out_path.mkdir(parents=True, exist_ok=True)
+        t0 = time.perf_counter()
+        if tracer is not None:
+            trace_path = out_path / "trace.json"
+            tracer.write(trace_path, other_data={"run_id": run_id})
+            outputs["trace"] = trace_path
+            errors += [
+                f"trace: {e}"
+                for e in validate_trace(json.loads(trace_path.read_text()))
+            ]
+        if metrics:
+            metrics_path = out_path / "metrics.json"
+            metrics_path.write_text(json.dumps(
+                registry.snapshot(), sort_keys=True, indent=1,
+            ) + "\n")
+            outputs["metrics"] = metrics_path
+        manifest_path = out_path / "manifest.json"
+        manifest = build_manifest(
+            command or f"python -m repro cosim {app}",
+            config_dict, timings | {"write": time.perf_counter() - t0},
+            outputs,
+        )
+        write_manifest(manifest_path, manifest)
+        outputs["manifest"] = manifest_path
+        errors += [
+            f"manifest: {e}"
+            for e in validate_manifest(
+                json.loads(manifest_path.read_text())
+            )
+        ]
+    else:
+        out_path = None
+
+    report = format_cosim_report(run_id, label, result, outputs)
+    return CosimAppResult(
+        app=app, config=config_dict, result=result, report=report,
+        out_dir=out_path, outputs=outputs, errors=errors,
+    )
+
+
+def format_cosim_report(
+    run_id: str, label: str, result, outputs: dict | None = None
+) -> str:
+    """Per-processor and fabric-level view of one co-simulated run."""
+    from ..experiments.report import format_table
+
+    rows = []
+    for idx, breakdown in enumerate(result.breakdowns):
+        miss = result.node_miss_summary(idx)
+        sync = result.sync_waits[idx]
+        rows.append([
+            f"cpu{idx}", breakdown.total, breakdown.busy,
+            breakdown.sync, breakdown.read, breakdown.write,
+            miss["count"], float(miss["mean"]), miss["p50"], miss["p99"],
+            sum(sync) if sync else "-",
+        ])
+    lines = [
+        f"cosim {run_id}",
+        f"  {len(result.breakdowns)} x {label} on one shared "
+        f"'{result.network_kind}' fabric, {result.sync_mode} sync",
+        "",
+        format_table(
+            ["node", "cycles", "busy", "sync", "read", "write",
+             "misses", "lat mean", "p50", "p99", "live waits"],
+            rows,
+            title="per-processor outcomes",
+        ),
+    ]
+
+    if result.net_summary is not None:
+        net = result.net_summary
+        links = result.link_summary
+        directory = result.dir_summary
+        lines.append("")
+        lines.append(format_table(
+            ["misses", "lat mean", "p50", "p99", "max",
+             "q mean", "q max"],
+            [[net["count"], float(net["mean"]), net["p50"], net["p99"],
+              net["max"], float(links["mean_depth"]),
+              links["max_depth"]]],
+            title="shared fabric (all processors' load combined)",
+            float_fmt="{:.2f}",
+        ))
+        lines.append("")
+        lines.append(format_table(
+            ["serves", "wait mean", "wait max", "hottest node",
+             "its serves"],
+            [[directory["serves"], float(directory["mean_wait"]),
+              directory["max_wait"], directory["hottest_node"],
+              directory["hottest_serves"]]],
+            title="directory occupancy",
+            float_fmt="{:.2f}",
+        ))
+
+    if outputs:
+        lines.append("")
+        lines.append("outputs:")
+        for name, path in sorted(outputs.items()):
+            lines.append(f"  {name}: {path}")
+    return "\n".join(lines)

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from ..consistency import ConsistencyModel, get_model
 from ..tango import Trace
-from .base import simulate_base
+from .base import base_stepper, simulate_base
 from .ds import (
     BranchTargetBuffer,
     DSConfig,
@@ -31,9 +31,16 @@ from .multicontext import (
     MultiContextProcessor,
     simulate_multicontext,
 )
+from .requests import MemRequest, ReleaseNotify, SyncRequest, drive
 from .scheduling import ScheduleStats, schedule_reads_early
 from .results import ExecutionBreakdown
-from .static import WriteBuffer, simulate_ss, simulate_ssbr
+from .static import (
+    WriteBuffer,
+    simulate_ss,
+    simulate_ssbr,
+    ss_stepper,
+    ssbr_stepper,
+)
 from .static_fast import (
     simulate_base_fast,
     simulate_ss_fast,
@@ -154,12 +161,19 @@ __all__ = [
     "DSConfig",
     "DSProcessor",
     "ExecutionBreakdown",
+    "MemRequest",
     "MultiContextConfig",
     "MultiContextProcessor",
     "ProcessorConfig",
+    "ReleaseNotify",
     "ScheduleStats",
+    "SyncRequest",
+    "base_stepper",
+    "drive",
     "schedule_reads_early",
     "simulate_multicontext",
+    "ss_stepper",
+    "ssbr_stepper",
     "WriteBuffer",
     "simulate",
     "simulate_base",

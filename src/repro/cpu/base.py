@@ -6,12 +6,20 @@ There is no overlap of any kind, so execution time is simply the sum of
 one cycle per instruction plus every memory stall and every
 synchronization wait, and the breakdown attribution is exact by
 construction.
+
+The timing loop lives in :func:`base_stepper`, a resumable stepper
+(:mod:`repro.cpu.requests`): it suspends at every miss and every
+acquire, so the same model runs standalone (:func:`simulate_base`
+drives it with the trace's baked latencies or a private network) and
+under the co-simulation engine, where the answers come from the shared
+fabric and from other processors' progress.
 """
 
 from __future__ import annotations
 
 from ..isa import MemClass
 from ..tango import Trace
+from .requests import MemRequest, ReleaseNotify, SyncRequest, drive
 from .results import ExecutionBreakdown
 
 _MC_READ = int(MemClass.READ)
@@ -21,76 +29,51 @@ _MC_RELEASE = int(MemClass.RELEASE)
 _MC_BARRIER = int(MemClass.BARRIER)
 
 
-def simulate_base(
-    trace: Trace, label: str = "BASE", network=None
-) -> ExecutionBreakdown:
-    """Run the BASE model over a trace (columnar: flat-int iteration).
+def base_stepper(
+    trace: Trace, label: str = "BASE", clamp_time: bool = False
+):
+    """The BASE timing loop as a resumable stepper.
 
-    With a :class:`repro.net.ContentionNetwork` attached, each miss's
-    latency is re-timed through the interconnect at the cycle the
-    serial processor reaches it, instead of using the trace's baked
-    stall (which then only marks hit/miss).
+    One access at a time: each miss is requested at the cycle the serial
+    processor reaches it.  With ``clamp_time`` set the clock never runs
+    backwards on a negative sync wait (a wakeup granted before this
+    processor's virtual time) — the network-replay behaviour; without it
+    the accounting matches the closed-form fixed-penalty sums.
     """
-    sync = 0
-    read = 0
-    write = 0
-    if network is not None:
-        return _simulate_base_network(trace, label, network)
-    for cls, stall, wait in zip(trace.mem_class, trace.stall, trace.wait):
-        if cls == _MC_READ:
-            read += stall
-        elif cls == _MC_WRITE or cls == _MC_RELEASE:
-            # Releases are folded into write time, as in the paper.
-            write += stall
-        elif cls == _MC_ACQUIRE or cls == _MC_BARRIER:
-            sync += wait + stall
-    return ExecutionBreakdown(
-        label=label,
-        busy=len(trace),
-        sync=sync,
-        read=read,
-        write=write,
-        instructions=len(trace),
-    )
-
-
-def _simulate_base_network(
-    trace: Trace, label: str, network
-) -> ExecutionBreakdown:
-    """BASE with per-miss network timing: one access at a time, each
-    re-timed at the cycle it begins, so the unloaded network sees the
-    serial processor's widely spaced requests."""
     cpu = trace.cpu
-    replay = network.replay_miss
     sync = 0
     read = 0
     write = 0
     t = 0
+    ordinal = 0
     for cls, stall, wait, addr in zip(
         trace.mem_class, trace.stall, trace.wait, trace.addr
     ):
         t += 1
         if cls == _MC_READ:
             if stall:
-                lat = replay(cpu, addr, False, t)
+                lat = yield MemRequest(addr, False, t, stall)
                 read += lat
                 t += lat
         elif cls == _MC_WRITE:
             if stall:
-                lat = replay(cpu, addr, True, t)
+                lat = yield MemRequest(addr, True, t, stall)
                 write += lat
                 t += lat
         elif cls == _MC_RELEASE:
             # Sync-variable access latency is not a coherence miss.
             write += stall
             t += stall
+            yield ReleaseNotify(cpu, ordinal, t, addr)
+            ordinal += 1
         elif cls == _MC_ACQUIRE or cls == _MC_BARRIER:
-            sync += wait + stall
-            # The trace can carry a negative wait (a wakeup granted
-            # before this processor's virtual time); the accounting
-            # keeps it, but the network clock must not run backwards.
-            if wait + stall > 0:
-                t += wait + stall
+            w = yield SyncRequest(cpu, ordinal, cls, t, wait, stall, addr)
+            ordinal += 1
+            sync += w + stall
+            # The trace can carry a negative wait; the accounting keeps
+            # it, but a stateful network's clock must not run backwards.
+            if not clamp_time or w + stall > 0:
+                t += w + stall
     return ExecutionBreakdown(
         label=label,
         busy=len(trace),
@@ -99,3 +82,19 @@ def _simulate_base_network(
         write=write,
         instructions=len(trace),
     )
+
+
+def simulate_base(
+    trace: Trace, label: str = "BASE", network=None
+) -> ExecutionBreakdown:
+    """Run the BASE model over a trace by driving its stepper.
+
+    With a :class:`repro.net.ContentionNetwork` attached, each miss's
+    latency is re-timed through the interconnect at the cycle the
+    serial processor reaches it, instead of using the trace's baked
+    stall (which then only marks hit/miss).
+    """
+    stepper = base_stepper(
+        trace, label=label, clamp_time=network is not None
+    )
+    return drive(stepper, network=network, cpu=trace.cpu)

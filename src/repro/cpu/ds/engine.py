@@ -52,12 +52,14 @@ from dataclasses import dataclass
 from ...consistency import ConsistencyModel
 from ...isa import FuClass, MemClass, Op, fu_class, is_control
 from ...tango import Trace
+from ..requests import MemRequest, ReleaseNotify, SyncRequest, drive
 from ..results import ExecutionBreakdown
 from .btb import BranchTargetBuffer
 
 _MC_NONE = int(MemClass.NONE)
 _MC_READ = int(MemClass.READ)
 _MC_WRITE = int(MemClass.WRITE)
+_MC_RELEASE = int(MemClass.RELEASE)
 
 _MEM_CLASSES = tuple(int(cls) for cls in (
     MemClass.READ,
@@ -145,7 +147,7 @@ class _Entry:
         "idx", "op", "fu", "mem_cls", "addr", "stall", "wait",
         "decode_time", "ready_time", "complete_time", "performed",
         "pending_srcs", "dependents", "issued",
-        "needs_head_wait", "head_wait_start",
+        "needs_head_wait", "head_wait_start", "sync_ordinal",
     )
 
     def __init__(
@@ -172,6 +174,7 @@ class _Entry:
         # variable's *access latency* remains overlappable.
         self.needs_head_wait = mem_cls in _ACQ and wait > 0
         self.head_wait_start = -1
+        self.sync_ordinal = -1
 
 
 class _UnperformedTracker:
@@ -239,6 +242,23 @@ class DSProcessor:
         self.read_miss_distances: list[int] = []
 
     def run(self, label: str | None = None) -> ExecutionBreakdown:
+        """Drive :meth:`steps` to completion (standalone replay)."""
+        return drive(
+            self.steps(label=label),
+            network=self.config.network,
+            cpu=self.trace.cpu,
+        )
+
+    def steps(self, label: str | None = None, live_sync: bool = False):
+        """The DS timing loop as a resumable stepper.
+
+        Suspends at every miss the memory port issues (the answer
+        re-times it); with ``live_sync`` it also suspends each acquire
+        reaching the reorder-buffer head (the answer is the wait,
+        resolved from the other processors' actual progress) and
+        announces each release's perform time, instead of using the
+        trace's baked waits.
+        """
         cfg = self.config
         model = self.model
         (col_op, col_pc, col_next_pc, col_rd, col_rs1, col_rs2,
@@ -248,8 +268,8 @@ class DSProcessor:
         store_depth = cfg.resolved_store_depth()
         ignore_deps = cfg.ignore_data_dependences
         perfect_bp = cfg.perfect_branch_prediction
-        network = cfg.network
         net_cpu = self.trace.cpu
+        sync_ordinal = 0
 
         # Observability (all optional; None keeps the loop probe-free).
         probe = self.probe
@@ -394,6 +414,11 @@ class DSProcessor:
                                 dq.popleft()
                             if not dq:
                                 del pending_stores[entry.addr]
+                        if live_sync and entry.mem_cls == _MC_RELEASE:
+                            yield ReleaseNotify(
+                                net_cpu, entry.sync_ordinal, etime,
+                                entry.addr,
+                            )
                 if fetch_stalled_on is entry:
                     fetch_stalled_on = None
                 if entry.dependents:
@@ -508,16 +533,12 @@ class DSProcessor:
                 if forwarded:
                     latency = 1
                 else:
-                    if (
-                        network is not None
-                        and stall > 0
-                        and entry.mem_cls == _MC_READ
-                    ):
+                    if stall > 0 and entry.mem_cls == _MC_READ:
                         # Re-time the miss at actual issue: this is where
                         # overlapped misses from the lockup-free cache
                         # contend on the network and at directories.
-                        stall = network.replay_miss(
-                            net_cpu, entry.addr, False, t
+                        stall = yield MemRequest(
+                            entry.addr, False, t, stall
                         )
                     if cfg.prefetch and stall > 0 and entry.ready_time >= 0:
                         # Non-binding prefetch started when the address
@@ -531,14 +552,8 @@ class DSProcessor:
                 entry = store_candidate
                 entry.issued = True
                 stall = entry.stall
-                if (
-                    network is not None
-                    and stall > 0
-                    and entry.mem_cls == _MC_WRITE
-                ):
-                    stall = network.replay_miss(
-                        net_cpu, entry.addr, True, t
-                    )
+                if stall > 0 and entry.mem_cls == _MC_WRITE:
+                    stall = yield MemRequest(entry.addr, True, t, stall)
                 if cfg.prefetch and stall > 0 and entry.ready_time >= 0:
                     stall = max(0, stall - max(0, t - entry.ready_time))
                 schedule(entry, t + 1 + stall)
@@ -566,6 +581,14 @@ class DSProcessor:
                 rob.append(entry)
                 if cls != _MC_NONE:
                     unperformed.add(cls, entry)
+                    if live_sync and (cls in _ACQ or cls == _MC_RELEASE):
+                        # Ordinals key the recorded sync schedule; every
+                        # acquire waits at the head so its live wait can
+                        # be queried even when the baked wait was zero.
+                        entry.sync_ordinal = sync_ordinal
+                        sync_ordinal += 1
+                        if cls in _ACQ:
+                            entry.needs_head_wait = True
                     if cls in _STORE_LIKE and entry.addr >= 0:
                         dq = pending_stores.get(entry.addr)
                         if dq is None:
@@ -633,6 +656,7 @@ class DSProcessor:
             # Phase 4: retire in order (bandwidth == issue width).
             retired = 0
             stall_reason = None
+            sync_requery = False
             while retired < cfg.issue_width and rob_head < len(rob):
                 head = rob[rob_head]
                 cls = head.mem_cls
@@ -653,9 +677,41 @@ class DSProcessor:
                         and 0 <= head.complete_time <= t
                         and head.head_wait_start < 0
                     ):
+                        if live_sync:
+                            w = yield SyncRequest(
+                                net_cpu, head.sync_ordinal, cls, t,
+                                head.wait, head.stall, head.addr,
+                            )
+                            if w < 0:
+                                # Unresolved: the enabling release has not
+                                # yet performed on the co-simulated
+                                # timeline.  Keep cycling (our own store
+                                # buffer must stay live — parking the
+                                # whole stepper here can deadlock two
+                                # processors on each other's buffered
+                                # releases) and re-query next cycle.
+                                stall_reason = "sync"
+                                sync_requery = True
+                                break
+                        else:
+                            w = head.wait
                         head.head_wait_start = t
-                        schedule(head, t + head.wait)
-                        stall_reason = "sync"
+                        if w > 0:
+                            schedule(head, t + w)
+                            stall_reason = "sync"
+                        else:
+                            # A live wait resolved to zero: perform now
+                            # and let retirement proceed this cycle.
+                            head.performed = True
+                            if fetch_stalled_on is head:
+                                fetch_stalled_on = None
+                            if head.dependents:
+                                for dep in head.dependents:
+                                    dep.pending_srcs -= 1
+                                    if dep.pending_srcs == 0:
+                                        wake(dep, t)
+                                head.dependents = None
+                            continue
                     else:
                         stall_reason = blocked_reason(head, "sync")
                     break
@@ -721,7 +777,9 @@ class DSProcessor:
                 else:
                     stall_reason = "other"
 
-            if progressed or not events:
+            if progressed or sync_requery or not events:
+                # An unresolved live sync query pins the advance to one
+                # cycle: the grant can arrive before the next local event.
                 cycles = 1
             else:
                 # Nothing can change until the next event: jump.

@@ -28,6 +28,7 @@ import heapq
 
 from ..isa import MemClass
 from ..tango import Trace
+from .requests import MemRequest, drive
 from .results import ExecutionBreakdown
 
 
@@ -56,13 +57,27 @@ class MultiContextProcessor:
 
     def run(self, label: str | None = None) -> ExecutionBreakdown:
         """Simulate until every context's trace is exhausted."""
+        return drive(self.steps(label=label))
+
+    def steps(self, label: str | None = None):
+        """The multicontext timing loop as a resumable stepper.
+
+        Suspends at every read miss (the answer re-times it through
+        whatever serves the request — the trace's baked stall standalone,
+        the shared fabric under co-simulation).  Synchronization stays
+        replayed from the trace's baked waits: with K contexts
+        multiplexed onto one request stream, a context parked on an
+        unresolved cross-processor wait would block its siblings, so the
+        live-sync mode is reserved for the single-context models.
+        """
         switch_penalty = self.config.switch_penalty
         k = len(self.traces)
         positions = [0] * k
-        # Columnar views: the run loop reads only these three fields.
+        # Columnar views: the run loop reads only these four fields.
         mc_cols = [tr.mem_class for tr in self.traces]
         stall_cols = [tr.stall for tr in self.traces]
         wait_cols = [tr.wait for tr in self.traces]
+        addr_cols = [tr.addr for tr in self.traces]
         #: contexts ready to run now (FIFO round-robin order).
         ready = list(range(k))
         #: min-heap of (wakeup_time, context) for stalled contexts.
@@ -99,6 +114,7 @@ class MultiContextProcessor:
             mc = mc_cols[ctx]
             stalls = stall_cols[ctx]
             waits = wait_cols[ctx]
+            addrs = addr_cols[ctx]
             pos = positions[ctx]
             n = len(mc)
 
@@ -107,6 +123,13 @@ class MultiContextProcessor:
             while pos < n:
                 cls = mc[pos]
                 stall = stalls[pos] + waits[pos]
+                if cls == MemClass.READ and stalls[pos] > 0:
+                    # A read miss: re-time it at the cycle the access
+                    # begins (the coming t + 1).
+                    lat = yield MemRequest(
+                        addrs[pos], False, t + 1, stalls[pos]
+                    )
+                    stall = lat + waits[pos]
                 pos += 1
                 busy += 1
                 t += 1

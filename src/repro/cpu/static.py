@@ -30,6 +30,7 @@ from collections import deque
 from ..consistency import ConsistencyModel
 from ..isa import MemClass
 from ..tango import Trace
+from .requests import MemRequest, ReleaseNotify, SyncRequest, drive
 from .results import ExecutionBreakdown
 
 WRITE_BUFFER_DEPTH = 16
@@ -117,20 +118,21 @@ def _buffer_histogram(probe, name: str, capacity: int):
     return probe.metrics.histogram(name, occupancy_bounds(capacity))
 
 
-def simulate_ssbr(
+def ssbr_stepper(
     trace: Trace,
     model: ConsistencyModel,
     label: str | None = None,
     write_buffer_depth: int = WRITE_BUFFER_DEPTH,
-    network=None,
+    clamp_time: bool = False,
     probe=None,
-) -> ExecutionBreakdown:
-    """Run the SSBR (static scheduling, blocking reads) model.
+):
+    """The SSBR timing loop as a resumable stepper.
 
-    With ``network`` set, every miss (the trace's baked stall marks
-    hit/miss) is re-timed through the interconnect at the cycle the
-    access begins, so miss latency varies with load.  ``probe``
-    (a :class:`repro.obs.Probe`) samples write-buffer depth per push;
+    Suspends at every miss (the answer re-times it) and every acquire
+    (the answer is the wait), and announces each release's perform time.
+    ``clamp_time`` keeps the clock from running backwards on a negative
+    sync wait — the behaviour required when a stateful network consumes
+    the request times.  ``probe`` samples write-buffer depth per push;
     it never alters timing.
     """
     cpu = trace.cpu
@@ -141,6 +143,7 @@ def simulate_ssbr(
     t = 0
     busy = sync = read = write = 0
     last_release_perform = 0
+    ordinal = 0
     for cls, stall, wait, addr in zip(
         trace.mem_class, trace.stall, trace.wait, trace.addr
     ):
@@ -155,8 +158,7 @@ def simulate_ssbr(
                     write += drained - t
                     t = drained
             if stall and not buf.holds_addr(addr, t):
-                if network is not None:
-                    stall = network.replay_miss(cpu, addr, False, t)
+                stall = yield MemRequest(addr, False, t, stall)
                 read += stall
                 t += stall
         elif cls == _MC_WRITE or cls == _MC_RELEASE:
@@ -166,8 +168,8 @@ def simulate_ssbr(
                 # already completed (blocking), writes via the buffer's
                 # serialization floor.
                 floor = buf.last_perform
-            if network is not None and stall and cls == _MC_WRITE:
-                stall = network.replay_miss(cpu, addr, True, t)
+            if stall and cls == _MC_WRITE:
+                stall = yield MemRequest(addr, True, t, stall)
             t, full_stall = buf.push(
                 t, stall, addr, perform_floor=floor
             )
@@ -178,6 +180,10 @@ def simulate_ssbr(
                 last_release_perform = max(
                     last_release_perform, buf.last_perform
                 )
+                # The buffered release performs at the buffer's (now
+                # maximal) perform time, possibly in this cpu's future.
+                yield ReleaseNotify(cpu, ordinal, buf.last_perform, addr)
+                ordinal += 1
         else:  # acquire or barrier
             if cls == _MC_BARRIER or not model.reads_bypass_writes:
                 drained = buf.drain_time()
@@ -192,12 +198,14 @@ def simulate_ssbr(
                 # lets an acquire bypass a pending release.
                 write += last_release_perform - t
                 t = last_release_perform
-            sync += wait + stall
+            w = yield SyncRequest(cpu, ordinal, cls, t, wait, stall, addr)
+            ordinal += 1
+            sync += w + stall
             # A negative wait (wakeup granted before this processor's
             # virtual time) is kept in the accounting, but under a
             # network the clock must not run backwards.
-            if network is None or wait + stall > 0:
-                t += wait + stall
+            if not clamp_time or w + stall > 0:
+                t += w + stall
     # Final drain so configurations are comparable end-to-end.
     drained = buf.drain_time()
     if drained > t:
@@ -210,21 +218,42 @@ def simulate_ssbr(
     )
 
 
-def simulate_ss(
+def simulate_ssbr(
+    trace: Trace,
+    model: ConsistencyModel,
+    label: str | None = None,
+    write_buffer_depth: int = WRITE_BUFFER_DEPTH,
+    network=None,
+    probe=None,
+) -> ExecutionBreakdown:
+    """Run the SSBR (static scheduling, blocking reads) model.
+
+    With ``network`` set, every miss (the trace's baked stall marks
+    hit/miss) is re-timed through the interconnect at the cycle the
+    access begins, so miss latency varies with load.  Drives
+    :func:`ssbr_stepper` to completion.
+    """
+    stepper = ssbr_stepper(
+        trace, model, label=label,
+        write_buffer_depth=write_buffer_depth,
+        clamp_time=network is not None, probe=probe,
+    )
+    return drive(stepper, network=network, cpu=trace.cpu)
+
+
+def ss_stepper(
     trace: Trace,
     model: ConsistencyModel,
     label: str | None = None,
     write_buffer_depth: int = WRITE_BUFFER_DEPTH,
     read_buffer_depth: int = READ_BUFFER_DEPTH,
-    network=None,
+    clamp_time: bool = False,
     probe=None,
-) -> ExecutionBreakdown:
-    """Run the SS (static scheduling, non-blocking reads) model.
-
-    ``network`` re-times each miss at the cycle its access begins, and
-    ``probe`` samples write-/read-buffer depths (see
-    :func:`simulate_ssbr`).
-    """
+):
+    """The SS timing loop as a resumable stepper (see
+    :func:`ssbr_stepper` for the protocol).  A read miss is requested at
+    its *start* cycle — after read serialization under SC/PC — which may
+    lie ahead of the processor's own clock."""
     cpu = trace.cpu
     buf = WriteBuffer(model, write_buffer_depth)
     wb_hist = _buffer_histogram(
@@ -239,6 +268,7 @@ def simulate_ss(
     busy = sync = read = write = 0
     last_read_perform = 0
     last_release_perform = 0
+    ordinal = 0
     serialize_reads = model.name in ("SC", "PC")
 
     def all_reads_done() -> int:
@@ -282,8 +312,7 @@ def simulate_ss(
                 # performed; the processor itself does not stall.
                 start = last_read_perform
             if stall and not buf.holds_addr(addr, t):
-                if network is not None:
-                    stall = network.replay_miss(cpu, addr, False, start)
+                stall = yield MemRequest(addr, False, start, stall)
                 perform = start + stall
             else:
                 perform = start
@@ -298,8 +327,8 @@ def simulate_ss(
             floor = 0
             if cls == _MC_RELEASE and model.name in ("WO", "RC"):
                 floor = max(buf.last_perform, all_reads_done())
-            if network is not None and stall and cls == _MC_WRITE:
-                stall = network.replay_miss(cpu, addr, True, t)
+            if stall and cls == _MC_WRITE:
+                stall = yield MemRequest(addr, True, t, stall)
             t, full_stall = buf.push(
                 t, stall, addr, perform_floor=floor
             )
@@ -310,6 +339,8 @@ def simulate_ss(
                 last_release_perform = max(
                     last_release_perform, buf.last_perform
                 )
+                yield ReleaseNotify(cpu, ordinal, buf.last_perform, addr)
+                ordinal += 1
         else:  # acquire or barrier
             if cls == _MC_BARRIER or not model.reads_bypass_writes:
                 reads_done = all_reads_done()
@@ -329,12 +360,14 @@ def simulate_ss(
             elif serialize_reads and last_read_perform > t:
                 read += last_read_perform - t
                 t = last_read_perform
-            sync += wait + stall
+            w = yield SyncRequest(cpu, ordinal, cls, t, wait, stall, addr)
+            ordinal += 1
+            sync += w + stall
             # A negative wait (wakeup granted before this processor's
             # virtual time) is kept in the accounting, but under a
             # network the clock must not run backwards.
-            if network is None or wait + stall > 0:
-                t += wait + stall
+            if not clamp_time or w + stall > 0:
+                t += w + stall
             outstanding.clear()
     reads_done = all_reads_done()
     if reads_done > t:
@@ -349,3 +382,27 @@ def simulate_ss(
         busy=busy, sync=sync, read=read, write=write,
         instructions=len(trace),
     )
+
+
+def simulate_ss(
+    trace: Trace,
+    model: ConsistencyModel,
+    label: str | None = None,
+    write_buffer_depth: int = WRITE_BUFFER_DEPTH,
+    read_buffer_depth: int = READ_BUFFER_DEPTH,
+    network=None,
+    probe=None,
+) -> ExecutionBreakdown:
+    """Run the SS (static scheduling, non-blocking reads) model.
+
+    ``network`` re-times each miss at the cycle its access begins, and
+    ``probe`` samples write-/read-buffer depths (see
+    :func:`simulate_ssbr`).  Drives :func:`ss_stepper` to completion.
+    """
+    stepper = ss_stepper(
+        trace, model, label=label,
+        write_buffer_depth=write_buffer_depth,
+        read_buffer_depth=read_buffer_depth,
+        clamp_time=network is not None, probe=probe,
+    )
+    return drive(stepper, network=network, cpu=trace.cpu)

@@ -24,9 +24,9 @@ effect the fixed-penalty model cannot express.
 
 from __future__ import annotations
 
-from ..cpu import ExecutionBreakdown, ProcessorConfig, simulate
+from ..cpu import ExecutionBreakdown, ProcessorConfig
 from ..isa import MemClass
-from ..net import NETWORK_KINDS, NetworkConfig, build_network
+from ..net import NETWORK_KINDS, NetworkConfig
 from ..service.pool import run_jobs
 from .report import format_table
 from .runner import TraceStore, default_store
@@ -70,17 +70,25 @@ def _app_contention(
     networks: tuple[str, ...],
     network_config: NetworkConfig | None,
 ) -> dict[str, list[tuple[ExecutionBreakdown, dict]]]:
-    """All (model, network) replays for one application."""
+    """All (model, network) replays for one application.
+
+    Each replay is a single-node run of the co-simulation engine
+    (:func:`repro.cosim.replay_solo`): the same stepper/fabric path the
+    ``cosim`` subcommand drives with all processors at once, here with
+    one processor alone on a fresh network per (model, network) pair.
+    """
+    from ..cosim import replay_solo
+
     run = store.get(app)
     configs = contention_configs()
     per_net: dict[str, list[tuple[ExecutionBreakdown, dict]]] = {}
     for kind in networks:
         rows = []
         for cfg in configs:
-            net = build_network(
-                kind, store.n_procs, store.line_size, network_config
+            breakdown, net = replay_solo(
+                run.trace, cfg, kind, store.n_procs, store.line_size,
+                network_config,
             )
-            breakdown = simulate(run.trace, cfg, network=net)
             if net is None:
                 summary = _ideal_summary(run.trace, store.miss_penalty)
             else:

@@ -62,6 +62,20 @@ class AppRun:
     params: dict = field(default_factory=dict)
 
 
+@dataclass
+class CosimRun:
+    """Cached all-processor outcome of one multiprocessor run: every
+    processor's annotated trace plus the recorded synchronization
+    schedule — the inputs of the co-simulation engine
+    (:mod:`repro.cosim`)."""
+
+    app: str
+    traces: list[Trace]  # indexed by cpu id, all n_procs of them
+    schedule: object  # repro.sync.SyncSchedule
+    stats: RunStats
+    params: dict = field(default_factory=dict)
+
+
 class TraceStore:
     """Builds, runs, verifies and caches application traces."""
 
@@ -89,6 +103,7 @@ class TraceStore:
         self.verify = verify
         self.network = network
         self._runs: dict[str, AppRun] = {}
+        self._cosim_runs: dict[str, CosimRun] = {}
 
     def _cache_path(self, app: str) -> Path | None:
         if self.cache_dir is None:
@@ -107,7 +122,7 @@ class TraceStore:
         )
         return self.cache_dir / name
 
-    def _load(self, path: Path) -> AppRun | None:
+    def _load(self, path: Path, cls=AppRun):
         """Read a cached run; any stale/corrupt pickle means 'miss'."""
         try:
             with open(path, "rb") as f:
@@ -123,7 +138,7 @@ class TraceStore:
             except OSError:
                 pass
             return None
-        if not isinstance(run, AppRun):
+        if not isinstance(run, cls):
             return None
         return run
 
@@ -176,6 +191,72 @@ class TraceStore:
             trace=trace,
             stats=result.stats,
             base=simulate_base(trace),
+            params=dict(workload.params),
+        )
+
+    # -- co-simulation inputs: all processors traced ---------------------
+
+    def _cosim_cache_path(self, app: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        sync = (
+            "auto" if self.sync_access_latency is None
+            else str(self.sync_access_latency)
+        )
+        net = "" if self.network == "ideal" else f"_net{self.network}"
+        name = (
+            f"cosim_{app}_v{TRACE_FORMAT_VERSION}_p{self.n_procs}"
+            f"_m{self.miss_penalty}_c{self.cache_size}_l{self.line_size}"
+            f"_s{sync}_{self.preset}{net}.pkl"
+        )
+        return self.cache_dir / name
+
+    def get_cosim(self, app: str) -> CosimRun:
+        """The all-processor run for ``app``: every cpu's trace plus the
+        recorded sync schedule, generated (and disk-cached) on demand.
+        The underlying functional execution is identical to
+        :meth:`get` — the traced-cpu set and the schedule recording are
+        observational — so cpu ``trace_cpu``'s trace is byte-identical
+        to the single-trace cache's."""
+        if app not in APP_NAMES:
+            raise ValueError(f"unknown application {app!r}")
+        run = self._cosim_runs.get(app)
+        if run is not None:
+            return run
+        path = self._cosim_cache_path(app)
+        if path is not None:
+            run = self._load(path, CosimRun)
+            if run is not None:
+                self._cosim_runs[app] = run
+                return run
+        run = self._generate_cosim(app)
+        self._cosim_runs[app] = run
+        if path is not None:
+            self._save(path, run)
+        return run
+
+    def _generate_cosim(self, app: str) -> CosimRun:
+        workload = build_app(app, n_procs=self.n_procs, preset=self.preset)
+        config = MultiprocessorConfig(
+            n_cpus=self.n_procs,
+            cache_size=self.cache_size,
+            line_size=self.line_size,
+            miss_penalty=self.miss_penalty,
+            sync_access_latency=self.sync_access_latency,
+            network=self.network,
+            trace_cpus=tuple(range(self.n_procs)),
+            record_sync_schedule=True,
+        )
+        result = TangoExecutor(
+            workload.programs, config, memory=workload.memory
+        ).run()
+        if self.verify:
+            workload.verify(result.memory)
+        return CosimRun(
+            app=app,
+            traces=[result.trace(cpu) for cpu in range(self.n_procs)],
+            schedule=result.sync_schedule,
+            stats=result.stats,
             params=dict(workload.params),
         )
 

@@ -28,6 +28,11 @@ class DirectoryModel:
         self.n_nodes = n_nodes
         self.occupancy = occupancy
         self._free = [0] * n_nodes  # controller free-time per node
+        # Occupancy statistics: per-node serve counts and queue waits
+        # (cycles a request sat behind earlier ones at its home node).
+        self._serves = [0] * n_nodes
+        self._wait_sum = [0] * n_nodes
+        self._wait_max = 0
 
     def home(self, line: int) -> int:
         """Home node of a cache line (address-interleaved)."""
@@ -40,10 +45,38 @@ class DirectoryModel:
         start = self._free[node]
         if start < arrival:
             start = arrival
+        else:
+            wait = start - arrival
+            self._wait_sum[node] += wait
+            if wait > self._wait_max:
+                self._wait_max = wait
+        self._serves[node] += 1
         done = start + self.occupancy
         self._free[node] = done
         return done
 
+    def summary(self) -> dict:
+        """Aggregate occupancy statistics: how contended the directory
+        controllers were, and which home node was hottest."""
+        serves = sum(self._serves)
+        waits = sum(self._wait_sum)
+        hottest = -1
+        hottest_serves = 0
+        for node, count in enumerate(self._serves):
+            if count > hottest_serves:
+                hottest_serves = count
+                hottest = node
+        return {
+            "serves": serves,
+            "mean_wait": waits / serves if serves else 0.0,
+            "max_wait": self._wait_max,
+            "hottest_node": hottest,
+            "hottest_serves": hottest_serves,
+        }
+
     def reset_timing(self) -> None:
         """Forget queueing state (used between per-model replays)."""
         self._free = [0] * self.n_nodes
+        self._serves = [0] * self.n_nodes
+        self._wait_sum = [0] * self.n_nodes
+        self._wait_max = 0

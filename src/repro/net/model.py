@@ -368,6 +368,13 @@ class ContentionNetwork:
         metrics.gauge(f"{prefix}.link_queue_mean").set(links["mean_depth"])
         metrics.gauge(f"{prefix}.link_queue_max").set(links["max_depth"])
         metrics.gauge(f"{prefix}.busiest_link").set(links["busiest_link"])
+        directory = self.directory.summary()
+        metrics.counter(f"{prefix}.dir_serves").inc(directory["serves"])
+        metrics.gauge(f"{prefix}.dir_wait_mean").set(directory["mean_wait"])
+        metrics.gauge(f"{prefix}.dir_wait_max").set(directory["max_wait"])
+        metrics.gauge(f"{prefix}.dir_hottest_node").set(
+            directory["hottest_node"]
+        )
         for link in range(self.topology.n_links):
             if self._link_depth_max[link]:
                 metrics.gauge(

@@ -41,7 +41,7 @@ def _sweep_worker(config: dict, cache_dir: str | None):
     imports :mod:`repro.experiments` at module level (the experiments
     layer imports the pool, and cycles must stay one-directional).
     """
-    from ..cpu import ProcessorConfig, simulate
+    from ..cpu import ExecutionBreakdown, ProcessorConfig, simulate
     from ..experiments.runner import TraceStore
     from ..net import build_network
 
@@ -52,6 +52,38 @@ def _sweep_worker(config: dict, cache_dir: str | None):
         preset=job.preset,
         cache_dir=cache_dir,
     )
+    if job.kind == "cosim":
+        # Co-simulate the DS multiprocessor: every processor on one
+        # shared fabric.  The stored result is the machine aggregate
+        # (summed per-processor components) so the standard results
+        # table renders it; per-processor cycles and the fabric's
+        # miss-latency summary ride along in ``extras``.
+        from ..cosim import run_cosim
+
+        crun = store.get_cosim(job.app)
+        cfg = ProcessorConfig(
+            kind="ds", model=job.model, window=job.window,
+            engine=job.engine,
+        )
+        result = run_cosim(
+            crun, cfg, network_kind=job.network,
+            line_size=store.line_size,
+        )
+        parts = result.breakdowns
+        extras = {
+            "per_cpu_cycles": result.cycles(),
+            "net": result.net_summary,
+        }
+        return ExecutionBreakdown(
+            label=f"COSIM-{cfg.label()}-{job.network}",
+            busy=sum(b.busy for b in parts),
+            sync=sum(b.sync for b in parts),
+            read=sum(b.read for b in parts),
+            write=sum(b.write for b in parts),
+            other=sum(b.other for b in parts),
+            instructions=sum(b.instructions for b in parts),
+            extras=extras,
+        )
     run = store.get(job.app)
     cfg = ProcessorConfig(
         kind=job.kind,

@@ -16,7 +16,10 @@ from dataclasses import dataclass
 
 from ..apps import APP_NAMES
 
-KINDS = ("base", "ssbr", "ss", "ds")
+#: ``cosim`` is the co-simulated DS multiprocessor (all processors on
+#: one shared fabric, :mod:`repro.cosim`); it keeps both the model and
+#: window axes, like ``ds``.
+KINDS = ("base", "ssbr", "ss", "ds", "cosim")
 MODELS = ("SC", "PC", "WO", "RC")
 
 
@@ -45,7 +48,7 @@ class SweepJob:
             "app": self.app,
             "kind": self.kind,
             "model": self.model if self.kind != "base" else "-",
-            "window": self.window if self.kind == "ds" else 0,
+            "window": self.window if self.kind in ("ds", "cosim") else 0,
             "network": self.network,
             "penalty": self.penalty,
             "procs": self.procs,
@@ -56,7 +59,7 @@ class SweepJob:
         bits = [self.app, self.kind]
         if self.kind != "base":
             bits.append(self.model)
-        if self.kind == "ds":
+        if self.kind in ("ds", "cosim"):
             bits.append(f"w{self.window}")
         bits.append(self.network)
         bits.append(f"m{self.penalty}")

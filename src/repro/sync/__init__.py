@@ -1,5 +1,12 @@
 """Synchronization substrate: ANL-macro style locks, barriers, events."""
 
 from .primitives import SyncError, SyncManager, Wakeup
+from .schedule import SyncSchedule, SyncScheduleRecorder
 
-__all__ = ["SyncError", "SyncManager", "Wakeup"]
+__all__ = [
+    "SyncError",
+    "SyncManager",
+    "SyncSchedule",
+    "SyncScheduleRecorder",
+    "Wakeup",
+]

@@ -1,0 +1,104 @@
+"""The recorded synchronization schedule of a multiprocessor run.
+
+The Tango executor resolves every lock handoff, event grant, and barrier
+episode while it generates traces.  A :class:`SyncSchedule` captures that
+resolution as *cross-processor wait edges*, keyed by each operation's
+``(cpu, ordinal)`` — the ordinal counting that processor's
+synchronization-class trace rows (acquires, releases, and barriers share
+one per-cpu counter, in program order), which is exactly how the CPU
+steppers (:mod:`repro.cpu.requests`) number their sync requests.
+
+The co-simulation engine's *live* sync mode uses the schedule to park an
+acquiring processor until the releasing processor actually performs the
+release on the co-simulated timeline, and to hold barrier members until
+the last member of the same episode arrives — the SynchroTrace-style
+replay of dependencies, rather than of baked wait cycles.  Because every
+edge points at an operation the host executed *earlier*, replaying the
+edges can never deadlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SyncSchedule:
+    """Cross-processor wait edges recorded during trace generation."""
+
+    #: (cpu, ordinal) of an acquire -> (cpu, ordinal) of the release
+    #: (unlock or event-set) that enabled its grant; None when the lock
+    #: or event had no prior release (free from initialization).
+    acquire_source: dict[tuple[int, int], tuple[int, int] | None] = field(
+        default_factory=dict
+    )
+    #: (cpu, ordinal) of a barrier arrival -> episode index.
+    barrier_episode: dict[tuple[int, int], int] = field(
+        default_factory=dict
+    )
+    #: Member count of each barrier episode, indexed by episode.
+    episode_sizes: list[int] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        edges = sum(1 for s in self.acquire_source.values() if s)
+        return {
+            "acquires": len(self.acquire_source),
+            "edges": edges,
+            "barrier_arrivals": len(self.barrier_episode),
+            "episodes": len(self.episode_sizes),
+        }
+
+
+class SyncScheduleRecorder:
+    """Executor-side hooks that build a :class:`SyncSchedule`.
+
+    The executor calls :meth:`note_release` *before* waking the threads
+    a release enables, so every woken acquire sees that release as its
+    source; barrier episodes are opened with their member count before
+    the members' acquires are finished, so arrivals attach to the right
+    episode even when episodes at one address repeat.
+    """
+
+    def __init__(self, n_cpus: int) -> None:
+        self.schedule = SyncSchedule()
+        self._ordinal = [0] * n_cpus
+        #: ("lock"|"event", addr) -> (cpu, ordinal) of the last release.
+        self._last_release: dict[tuple[str, int], tuple[int, int]] = {}
+        #: addr -> [episode index, members still to attach].
+        self._open_episodes: dict[int, list[int]] = {}
+
+    def _next_ordinal(self, tid: int) -> int:
+        ordinal = self._ordinal[tid]
+        self._ordinal[tid] = ordinal + 1
+        return ordinal
+
+    def note_release(self, tid: int, kind: str | None, addr: int) -> None:
+        """A release-class row was emitted (unlock / event set / event
+        clear); ``kind`` is None for operations that enable no acquire
+        (event clear) — they consume an ordinal but update no source."""
+        ordinal = self._next_ordinal(tid)
+        if kind is not None:
+            self._last_release[(kind, addr)] = (tid, ordinal)
+
+    def note_acquire(self, tid: int, kind: str, addr: int) -> None:
+        """An acquire-class row was emitted (lock / event wait granted)."""
+        ordinal = self._next_ordinal(tid)
+        self.schedule.acquire_source[(tid, ordinal)] = (
+            self._last_release.get((kind, addr))
+        )
+
+    def open_episode(self, addr: int, members: int) -> None:
+        """A barrier at ``addr`` just completed with ``members`` arrivals
+        (about to be granted one by one)."""
+        episode = len(self.schedule.episode_sizes)
+        self.schedule.episode_sizes.append(members)
+        self._open_episodes[addr] = [episode, members]
+
+    def note_barrier(self, tid: int, addr: int) -> None:
+        """One member of the open episode at ``addr`` was granted."""
+        ordinal = self._next_ordinal(tid)
+        entry = self._open_episodes[addr]
+        self.schedule.barrier_episode[(tid, ordinal)] = entry[0]
+        entry[1] -= 1
+        if entry[1] == 0:
+            del self._open_episodes[addr]

@@ -88,6 +88,10 @@ class MultiprocessorConfig:
     network_config: object | None = None
     #: Which processors get a full trace (all get statistics).
     trace_cpus: tuple[int, ...] = (0,)
+    #: Record the synchronization schedule (lock handoffs, event grants,
+    #: barrier episodes) as cross-processor wait edges for the
+    #: co-simulation engine's live sync mode (repro.cosim).
+    record_sync_schedule: bool = False
     #: Global retired-instruction budget, a runaway-program backstop.
     max_instructions: int = 100_000_000
 
@@ -108,6 +112,8 @@ class RunResult:
     memory: SharedMemory
     memsys: CoherentMemorySystem
     sync: SyncManager
+    #: The recorded sync schedule (config.record_sync_schedule), or None.
+    sync_schedule: object | None = None
 
     def trace(self, cpu: int = 0) -> Trace:
         return self.traces[cpu]
@@ -147,6 +153,11 @@ class TangoExecutor:
             network=self.network,
         )
         self.sync = SyncManager(self.config.n_cpus)
+        self.sync_recorder = None
+        if self.config.record_sync_schedule:
+            from ..sync.schedule import SyncScheduleRecorder
+
+            self.sync_recorder = SyncScheduleRecorder(self.config.n_cpus)
         self.threads = [
             ThreadState(tid=i, program=p.seal())
             for i, p in enumerate(programs)
@@ -204,7 +215,7 @@ class TangoExecutor:
             int(mem_class),
         )
 
-    # -- synchronization completion --------------------------------------------
+    # -- synchronization completion -------------------------------------------
 
     def _finish_acquire(
         self,
@@ -240,6 +251,14 @@ class TangoExecutor:
             tid, instr, state.pc, state.pc + 1,
             addr=addr, stall=lat, wait=wait, mem_class=mem_class,
         )
+        rec = self.sync_recorder
+        if rec is not None:
+            if op is Op.BARRIER:
+                rec.note_barrier(tid, addr)
+            else:
+                rec.note_acquire(
+                    tid, "lock" if op is Op.LOCK else "event", addr
+                )
         state.pc += 1
         return clock + 1 + lat
 
@@ -292,6 +311,10 @@ class TangoExecutor:
                 tid, instr, state.pc, state.pc + 1,
                 addr=addr, stall=lat, mem_class=MemClass.RELEASE,
             )
+            if self.sync_recorder is not None:
+                # Before the wakeup, so the handed-off acquire sees this
+                # unlock as its source edge.
+                self.sync_recorder.note_release(tid, "lock", addr)
             state.pc += 1
             clock += 1  # release latency hidden on the host
             if wakeup is not None:
@@ -300,6 +323,8 @@ class TangoExecutor:
             wakeups = self.sync.barrier_arrive(addr, tid, clock)
             if wakeups is None:
                 return clock, True
+            if self.sync_recorder is not None:
+                self.sync_recorder.open_episode(addr, len(wakeups))
             self_clock = None
             for wakeup in wakeups:
                 if wakeup.tid == tid:
@@ -328,6 +353,8 @@ class TangoExecutor:
                 tid, instr, state.pc, state.pc + 1,
                 addr=addr, stall=lat, mem_class=MemClass.RELEASE,
             )
+            if self.sync_recorder is not None:
+                self.sync_recorder.note_release(tid, "event", addr)
             state.pc += 1
             clock += 1
             for wakeup in wakeups:
@@ -344,6 +371,9 @@ class TangoExecutor:
                 tid, instr, state.pc, state.pc + 1,
                 addr=addr, stall=lat, mem_class=MemClass.RELEASE,
             )
+            if self.sync_recorder is not None:
+                # A clear enables no acquire: ordinal only.
+                self.sync_recorder.note_release(tid, None, addr)
             state.pc += 1
             clock += 1
         self._steps += 1
@@ -378,6 +408,10 @@ class TangoExecutor:
             memory=self.memory,
             memsys=self.memsys,
             sync=self.sync,
+            sync_schedule=(
+                None if self.sync_recorder is None
+                else self.sync_recorder.schedule
+            ),
         )
         if self.probe is not None:
             self.probe.publish_run(result)

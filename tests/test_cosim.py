@@ -1,0 +1,368 @@
+"""Tests for the co-simulation subsystem (repro.cosim).
+
+Covers the acceptance criteria of the co-simulation engine:
+
+* **ideal differential** — co-simulating on the ideal fabric reproduces
+  the existing fixed-penalty per-model cycle counts exactly, for every
+  processor kind and for both engines;
+* **live feedback** — under a shared mesh, per-access latencies differ
+  from the post-hoc ``contention`` replay of the same trace (the fabric
+  carries all processors' load at once, so feedback is live);
+* **determinism** — same config ⇒ byte-identical per-processor cycle
+  counts and miss-latency sequences across repeated runs and across
+  ``--engine {fast,reference}``;
+* the live sync mode (schedule-resolved waits), the multicontext
+  stepper's cosim participation, the ``contention`` experiment's reuse
+  of the solo-replay path, the ``cosim`` batch job kind, and the CLI
+  subcommand's manifest validation.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cosim import (
+    CosimEngine,
+    CosimNode,
+    GenStepper,
+    replay_solo,
+    run_cosim,
+)
+from repro.cpu import ProcessorConfig, simulate
+from repro.experiments.runner import TraceStore
+
+N_PROCS = 4
+
+KIND_CONFIGS = [
+    ProcessorConfig(kind="base"),
+    ProcessorConfig(kind="ssbr", model="SC"),
+    ProcessorConfig(kind="ss", model="WO"),
+    ProcessorConfig(kind="ds", model="RC", window=64),
+]
+
+
+@pytest.fixture(scope="session")
+def cosim_store(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("cosim_trace_cache")
+    return TraceStore(n_procs=N_PROCS, preset="tiny", cache_dir=cache)
+
+
+@pytest.fixture(scope="session")
+def lu_cosim(cosim_store):
+    return cosim_store.get_cosim("lu")
+
+
+def _config(kind_config, engine):
+    return dataclasses.replace(kind_config, engine=engine)
+
+
+class TestSyncSchedule:
+    def test_schedule_recorded_with_edges_and_episodes(self, lu_cosim):
+        summary = lu_cosim.schedule.summary()
+        assert summary["acquires"] > 0
+        assert summary["edges"] > 0
+        assert summary["episodes"] > 0
+        # Every episode's arrivals are attached.
+        assert summary["barrier_arrivals"] == sum(
+            lu_cosim.schedule.episode_sizes
+        )
+
+    def test_all_processors_traced(self, lu_cosim):
+        assert len(lu_cosim.traces) == N_PROCS
+        for cpu, trace in enumerate(lu_cosim.traces):
+            assert trace.cpu == cpu
+            assert len(trace) > 0
+
+    def test_cpu0_trace_matches_single_trace_cache(
+        self, cosim_store, lu_cosim
+    ):
+        """Recording all cpus + the schedule must not perturb the
+        functional execution: cpu0's trace is byte-identical to the
+        single-cpu trace the rest of the experiments replay."""
+        single = cosim_store.get("lu").trace.np_columns()
+        cosim0 = lu_cosim.traces[0].np_columns()
+        for col_single, col_cosim in zip(single, cosim0):
+            assert (col_single == col_cosim).all()
+
+
+class TestIdealDifferential:
+    """cosim --network ideal == the fixed-penalty per-model counts."""
+
+    @pytest.mark.parametrize(
+        "kind_config", KIND_CONFIGS, ids=lambda c: c.kind
+    )
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_matches_standalone_simulation(
+        self, lu_cosim, kind_config, engine
+    ):
+        cfg = _config(kind_config, engine)
+        standalone = [
+            simulate(trace, cfg).total for trace in lu_cosim.traces
+        ]
+        result = run_cosim(lu_cosim, cfg, network_kind="ideal")
+        assert result.cycles() == standalone
+
+    def test_full_breakdowns_match(self, lu_cosim):
+        cfg = ProcessorConfig(kind="ds", model="RC", window=64)
+        result = run_cosim(lu_cosim, cfg, network_kind="ideal")
+        for trace, cosim_bd in zip(lu_cosim.traces, result.breakdowns):
+            solo = simulate(trace, cfg)
+            assert solo.components() == cosim_bd.components()
+
+
+class TestSharedFabric:
+    @pytest.mark.parametrize(
+        "kind_config", KIND_CONFIGS, ids=lambda c: c.kind
+    )
+    def test_fast_and_reference_engines_agree_on_mesh(
+        self, cosim_store, lu_cosim, kind_config
+    ):
+        fast = run_cosim(
+            lu_cosim, _config(kind_config, "fast"),
+            network_kind="mesh", line_size=cosim_store.line_size,
+        )
+        ref = run_cosim(
+            lu_cosim, _config(kind_config, "reference"),
+            network_kind="mesh", line_size=cosim_store.line_size,
+        )
+        assert fast.cycles() == ref.cycles()
+        assert fast.miss_latencies == ref.miss_latencies
+
+    def test_deterministic_across_runs(self, cosim_store, lu_cosim):
+        cfg = ProcessorConfig(kind="ds", model="RC", window=64)
+        runs = [
+            run_cosim(
+                lu_cosim, cfg, network_kind="mesh",
+                line_size=cosim_store.line_size,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].cycles() == runs[1].cycles()
+        assert runs[0].miss_latencies == runs[1].miss_latencies
+        assert runs[0].net_summary == runs[1].net_summary
+
+    def test_live_feedback_differs_from_posthoc_replay(
+        self, cosim_store, lu_cosim
+    ):
+        """The shared fabric carries all processors' load at once, so
+        per-access latencies differ from the post-hoc solo replay of
+        the same trace — proving the feedback is live, not replayed."""
+        cfg = ProcessorConfig(kind="ds", model="RC", window=64)
+        shared = run_cosim(
+            lu_cosim, cfg, network_kind="mesh",
+            line_size=cosim_store.line_size,
+        )
+        solo_bd, solo_net = replay_solo(
+            lu_cosim.traces[0], cfg, "mesh", N_PROCS,
+            cosim_store.line_size,
+        )
+        assert shared.miss_latencies[0] != solo_net.latencies
+        # The shared fabric saw every processor's misses, not just one's.
+        assert shared.net_summary["count"] > len(solo_net.latencies)
+        assert shared.net_summary["count"] == sum(
+            len(lats) for lats in shared.miss_latencies
+        )
+        # And every one of them was served by the shared directory.
+        assert shared.dir_summary["serves"] == shared.net_summary["count"]
+
+    def test_fabric_summaries_populated(self, cosim_store, lu_cosim):
+        cfg = ProcessorConfig(kind="ssbr", model="RC")
+        result = run_cosim(
+            lu_cosim, cfg, network_kind="crossbar",
+            line_size=cosim_store.line_size,
+        )
+        assert result.net_summary["count"] > 0
+        assert result.link_summary["samples"] > 0
+        assert result.dir_summary["serves"] == result.net_summary["count"]
+        assert result.network_kind == "crossbar"
+
+
+class TestLiveSync:
+    @pytest.mark.parametrize(
+        "kind_config", KIND_CONFIGS, ids=lambda c: c.kind
+    )
+    def test_completes_and_is_deterministic(
+        self, cosim_store, lu_cosim, kind_config
+    ):
+        runs = [
+            run_cosim(
+                lu_cosim, kind_config, network_kind="mesh",
+                line_size=cosim_store.line_size, sync_mode="live",
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].cycles() == runs[1].cycles()
+        assert runs[0].sync_waits == runs[1].sync_waits
+        # Every processor got live answers (it joins the barriers).
+        for waits in runs[0].sync_waits:
+            assert len(waits) > 0
+
+    def test_live_differs_from_replay(self, cosim_store, lu_cosim):
+        cfg = ProcessorConfig(kind="ds", model="RC", window=64)
+        live = run_cosim(
+            lu_cosim, cfg, network_kind="mesh",
+            line_size=cosim_store.line_size, sync_mode="live",
+        )
+        replay = run_cosim(
+            lu_cosim, cfg, network_kind="mesh",
+            line_size=cosim_store.line_size, sync_mode="replay",
+        )
+        assert live.cycles() != replay.cycles()
+
+    def test_live_requires_schedule(self):
+        node = CosimNode(GenStepper(iter(())))
+        with pytest.raises(ValueError):
+            CosimEngine([node], sync_mode="live")
+
+    def test_live_rejects_multicontext(self, lu_cosim):
+        with pytest.raises(ValueError):
+            run_cosim(
+                lu_cosim, ProcessorConfig(kind="mc"),
+                sync_mode="live", contexts=2,
+            )
+
+
+class TestMultiContext:
+    def test_completes_lu(self, lu_cosim):
+        """The multicontext stepper participates in co-simulation:
+        two contexts per node, replayed sync, runs to completion."""
+        cfg = ProcessorConfig(kind="mc")
+        result = run_cosim(
+            lu_cosim, cfg, network_kind="ideal", contexts=2,
+        )
+        assert len(result.breakdowns) == N_PROCS // 2
+        assert all(c > 0 for c in result.cycles())
+
+    def test_mesh_reprices_misses(self, cosim_store, lu_cosim):
+        cfg = ProcessorConfig(kind="mc")
+        ideal = run_cosim(lu_cosim, cfg, network_kind="ideal", contexts=2)
+        mesh = run_cosim(
+            lu_cosim, cfg, network_kind="mesh",
+            line_size=cosim_store.line_size, contexts=2,
+        )
+        assert mesh.cycles() != ideal.cycles()
+        assert mesh.net_summary["count"] > 0
+
+    def test_ideal_matches_standalone_runs(self, lu_cosim):
+        from repro.cpu import simulate_multicontext
+
+        result = run_cosim(
+            lu_cosim, ProcessorConfig(kind="mc"),
+            network_kind="ideal", contexts=2,
+        )
+        for node, start in enumerate(range(0, N_PROCS, 2)):
+            solo = simulate_multicontext(
+                lu_cosim.traces[start:start + 2]
+            )
+            assert solo.total == result.breakdowns[node].total
+
+
+class TestContentionReuse:
+    def test_replay_solo_matches_direct_simulation(self, cosim_store):
+        """The contention experiment's solo replay goes through the
+        cosim engine yet stays byte-identical to the direct call."""
+        from repro.net import build_network
+
+        run = cosim_store.get("lu")
+        for engine in ("fast", "reference"):
+            for kind in ("ideal", "mesh"):
+                cfg = ProcessorConfig(
+                    kind="ds", model="RC", window=64, engine=engine
+                )
+                net = build_network(
+                    kind, N_PROCS, cosim_store.line_size
+                )
+                direct = simulate(run.trace, cfg, network=net)
+                solo_bd, solo_net = replay_solo(
+                    run.trace, cfg, kind, N_PROCS,
+                    cosim_store.line_size,
+                )
+                assert direct.components() == solo_bd.components()
+                if net is not None:
+                    assert net.latencies == solo_net.latencies
+
+    def test_contention_report_columns_unchanged(self, cosim_store):
+        from repro.experiments.contention import (
+            _app_contention,
+            _ideal_summary,
+        )
+
+        per_net = _app_contention(
+            cosim_store, "lu", ("ideal", "mesh"), None
+        )
+        run = cosim_store.get("lu")
+        # Ideal rows keep the synthetic fixed-penalty summary.
+        for _, summary in per_net["ideal"]:
+            assert summary == _ideal_summary(
+                run.trace, cosim_store.miss_penalty
+            )
+        # Network rows carry the observed distribution and queueing.
+        for _, summary in per_net["mesh"]:
+            assert summary["count"] > 0
+            assert "q_mean" in summary and "q_max" in summary
+
+
+class TestServiceJobKind:
+    def test_grid_expands_and_labels_cosim(self):
+        from repro.service import expand_grid
+
+        jobs = expand_grid(
+            ("lu",), kinds=("cosim",), models=("RC",),
+            windows=(16, 64), networks=("mesh",),
+        )
+        assert len(jobs) == 2  # the window axis is kept, like ds
+        assert jobs[0].label() == "lu/cosim/RC/w16/mesh/m50"
+        assert jobs[0].config()["window"] == 16
+
+    def test_sweep_worker_runs_cosim_job(self, cosim_store, lu_cosim):
+        from repro.service.batch import _sweep_worker
+        from repro.service.jobs import SweepJob
+
+        job = SweepJob(
+            app="lu", kind="cosim", model="RC", window=64,
+            network="mesh", procs=N_PROCS, preset="tiny",
+        )
+        breakdown = _sweep_worker(
+            job.config(), str(cosim_store.cache_dir)
+        )
+        assert breakdown.label == "COSIM-DS-RC-w64-mesh"
+        per_cpu = breakdown.extras["per_cpu_cycles"]
+        assert len(per_cpu) == N_PROCS
+        # The aggregate is the sum of the per-processor breakdowns.
+        assert breakdown.total == sum(per_cpu)
+        assert breakdown.extras["net"]["count"] > 0
+
+
+class TestCosimCLI:
+    def test_subcommand_writes_validated_manifest(
+        self, capsys, tmp_path, cosim_store, lu_cosim
+    ):
+        from repro.cli import main
+
+        rc = main([
+            "--procs", str(N_PROCS), "--preset", "tiny",
+            "--cache-dir", str(cosim_store.cache_dir),
+            "--network", "crossbar",
+            "cosim", "lu", "--kind", "ds", "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-processor outcomes" in out
+        assert "directory occupancy" in out
+        manifests = list(tmp_path.glob("*/manifest.json"))
+        assert len(manifests) == 1
+        manifest = json.loads(manifests[0].read_text())
+        assert manifest["config"]["app"] == "lu"
+        assert manifest["config"]["network"] == "crossbar"
+
+    def test_parser_accepts_cosim_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "--network", "mesh", "cosim", "lu",
+            "--kind", "mc", "--contexts", "2", "--sync", "replay",
+        ])
+        assert args.command == "cosim"
+        assert args.kind == "mc"
+        assert args.contexts == 2
