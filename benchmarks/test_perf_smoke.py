@@ -170,6 +170,40 @@ def test_perf_smoke():
     obs_disabled_ratio = disabled_s / plain_s
     obs_enabled_ratio = enabled_s / plain_s
 
+    # Daemon cold vs. warm: the first sweep through a fresh daemon pays
+    # trace generation; a second sweep over the same traces (different
+    # window) is served from the warm in-memory stores.  This is the
+    # latency the simulation service exists to hide.
+    import tempfile
+
+    from repro.service import Daemon
+    from repro.service.queue import JOB_DONE
+
+    with tempfile.TemporaryDirectory() as svc_dir:
+        svc = Path(svc_dir)
+        daemon = Daemon(store_dir=svc / "store", cache_dir=svc / "cache")
+        daemon.start()
+
+        def _daemon_sweep(windows):
+            job, _ = daemon.submit({
+                "apps": ["lu"], "kinds": ["base", "ds"],
+                "windows": windows, "procs": 4, "preset": "tiny",
+            })
+            while daemon.job(job.id).state not in (
+                JOB_DONE, "failed", "cancelled"
+            ):
+                time.sleep(0.005)
+            assert daemon.job(job.id).state == JOB_DONE
+            return job
+
+        try:
+            _, daemon_cold_s = _timed(lambda: _daemon_sweep([16]))
+            _, daemon_warm_s = _timed(lambda: _daemon_sweep([32]))
+            trace_builds = daemon.metrics.get("trace.builds").value
+            trace_warm_hits = daemon.metrics.get("trace.warm_hits").value
+        finally:
+            daemon.stop()
+
     payload = {
         "app": "lu",
         "preset": "tiny",
@@ -200,6 +234,11 @@ def test_perf_smoke():
         "obs_disabled_overhead": round(obs_disabled_ratio, 4),
         "obs_enabled_seconds": round(enabled_s, 4),
         "obs_enabled_overhead": round(obs_enabled_ratio, 2),
+        "daemon_cold_seconds": round(daemon_cold_s, 4),
+        "daemon_warm_seconds": round(daemon_warm_s, 4),
+        "daemon_warm_speedup": round(daemon_cold_s / daemon_warm_s, 2),
+        "daemon_trace_builds": trace_builds,
+        "daemon_trace_warm_hits": trace_warm_hits,
         "python": sys.version.split()[0],
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -222,3 +261,10 @@ def test_perf_smoke():
     # fully on (histograms + per-instruction spans) at most 40%.
     assert obs_disabled_ratio <= 1.02, payload["obs_disabled_overhead"]
     assert obs_enabled_ratio <= 1.4, payload["obs_enabled_overhead"]
+    # A warm daemon sweep must not regenerate traces (that is its whole
+    # point) and must beat the cold sweep that built them.
+    assert trace_builds == 1, trace_builds  # one lu trace, built once
+    assert trace_warm_hits >= 1, trace_warm_hits
+    assert payload["daemon_warm_speedup"] >= 1.2, (
+        payload["daemon_warm_speedup"]
+    )

@@ -22,6 +22,15 @@ Commands:
   failing (exit code 5).
 * ``status`` / ``results`` — inspect a batch's per-job state / its
   completed results from the content-addressed store.
+* ``serve`` — run the persistent simulation daemon: warm worker pool
+  and trace/result caches behind a bounded priority job queue, exposed
+  over a stdlib JSON/HTTP API (``POST /v1/jobs``, ``GET
+  /v1/jobs/{id}``, ``/v1/results/{id}``, ``/v1/healthz``,
+  ``/v1/metrics``).  SIGTERM/SIGINT drains in flight and exits 130.
+* ``submit`` / ``watch`` — client side of the daemon: submit a config
+  grid over HTTP (several ``--endpoint`` values shard the grid across
+  daemons and merge the results) and follow a submission to
+  completion.
 * ``all`` — regenerate everything into ``results/``.
 
 Exit codes are uniform across subcommands (see the README table):
@@ -285,7 +294,143 @@ def _chaos_from_args(args) -> service.ChaosSpec | None:
     )
 
 
+def _grid_payload(args) -> dict:
+    """The JSON request body equivalent of the batch/submit grid flags."""
+    payload = {
+        "kinds": list(args.kinds),
+        "models": [m.upper() for m in args.models],
+        "windows": list(args.windows),
+        "networks": list(args.networks),
+        "penalties": list(args.penalties),
+        "procs": args.procs,
+        "preset": args.preset,
+        "engine": args.engine,
+    }
+    if args.apps:
+        payload["apps"] = list(args.apps)
+    priority = getattr(args, "priority", 0)
+    if priority:
+        payload["priority"] = priority
+    return payload
+
+
+def _format_remote_results(rows: list[dict], title: str) -> str:
+    from .experiments.report import format_table  # lazy: avoid cycle
+
+    return format_table(
+        ["job", "cycles", "busy", "sync", "read", "write", "source"],
+        [
+            [
+                row["label"],
+                row["breakdown"]["total"],
+                row["breakdown"]["busy"],
+                row["breakdown"]["sync"],
+                row["breakdown"]["read"],
+                row["breakdown"]["write"],
+                row["source"],
+            ]
+            for row in rows
+        ],
+        title=title,
+    )
+
+
+def cmd_serve(args) -> int:
+    daemon = service.Daemon(
+        store_dir=args.store,
+        cache_dir=args.cache_dir,
+        workers=args.jobs,
+        queue_depth=args.queue_depth,
+        timeout=args.timeout if args.timeout > 0 else None,
+        max_attempts=args.max_attempts,
+        seed=args.seed,
+        grace=args.grace,
+    )
+    return service.serve(daemon, args.host, args.port, banner=print)
+
+
+def cmd_submit(args) -> int:
+    payload = _grid_payload(args)
+    timeout = args.timeout if args.timeout > 0 else None
+    if len(args.endpoint) > 1:
+        # Shard dispatch: partition the expanded grid across daemons
+        # and merge the per-shard results back into grid order.
+        report = service.dispatch(
+            args.endpoint, payload,
+            timeout=timeout, interval=args.interval,
+        )
+        print(report.format_summary())
+        if report.results:
+            print()
+            print(_format_remote_results(
+                report.results, "Merged sharded results"
+            ))
+        return EXIT_OK if report.ok else EXIT_PARTIAL
+
+    client = service.DaemonClient(args.endpoint[0])
+    accepted = client.submit(payload)
+    verb = "duplicate of" if accepted["deduped"] else "accepted as"
+    print(
+        f"{verb} job {accepted['id']} "
+        f"({accepted['n_subruns']} sub-runs, "
+        f"state {accepted['state']})"
+    )
+    if not args.wait:
+        return EXIT_OK
+    final = client.wait(
+        accepted["id"], timeout=timeout, interval=args.interval
+    )
+    counts = ", ".join(
+        f"{k}={v}" for k, v in sorted(final.get("counts", {}).items())
+    )
+    latency = final.get("queue_latency")
+    wait_txt = f", queue wait {latency:.2f}s" if latency is not None else ""
+    print(f"job {final['id']} {final['state']} ({counts}{wait_txt})")
+    rows = client.results(accepted["id"]).get("results", [])
+    if rows:
+        print(_format_remote_results(
+            rows, f"Job {final['id']} — completed results"
+        ))
+    return EXIT_OK if final["state"] == "done" else EXIT_PARTIAL
+
+
+def cmd_watch(args) -> int:
+    client = service.DaemonClient(args.endpoint)
+    last = None
+
+    def on_poll(job: dict) -> None:
+        nonlocal last
+        counts = ", ".join(
+            f"{k}={v}" for k, v in sorted(job.get("counts", {}).items())
+        )
+        line = f"job {job['id']} {job['state']}" + (
+            f" ({counts})" if counts else ""
+        )
+        if line != last:
+            print(line, flush=True)
+            last = line
+
+    final = client.wait(
+        args.id,
+        timeout=args.timeout if args.timeout > 0 else None,
+        interval=args.interval,
+        on_poll=on_poll,
+    )
+    return EXIT_OK if final["state"] == "done" else EXIT_PARTIAL
+
+
 def cmd_batch(args) -> int:
+    if args.endpoint:
+        # Thin-client mode: hand the grid to one or more daemons (warm
+        # caches, shared store) instead of running a cold local pool.
+        report = service.dispatch(args.endpoint, _grid_payload(args))
+        print(report.format_summary())
+        if report.results:
+            print()
+            print(_format_remote_results(
+                report.results, "Daemon batch — completed results"
+            ))
+        return EXIT_OK if report.ok else EXIT_PARTIAL
     grid = service.expand_grid(
         apps=tuple(args.apps) if args.apps else APP_NAMES,
         kinds=tuple(args.kinds),
@@ -602,7 +747,107 @@ def build_parser() -> argparse.ArgumentParser:
             help=f"fault injection (testing): {what} for scheduled job "
                  f"IDX on its first N attempts (default: all attempts)",
         )
+    p_batch.add_argument("--endpoint", nargs="*", default=None,
+                         metavar="URL",
+                         help="submit the grid to running daemon(s) "
+                              "instead of a local pool; several URLs "
+                              "shard the grid across them")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent simulation daemon (HTTP API)",
+        description=(
+            "Start the simulation-as-a-service daemon: a warm "
+            "supervised worker pool plus in-memory trace and result "
+            "caches that persist across requests, fed by a bounded "
+            "priority job queue and exposed over a stdlib JSON/HTTP "
+            "API.  POST /v1/jobs accepts the batch grid as JSON "
+            "(429 + Retry-After under backpressure, duplicate "
+            "submissions return the existing job id); GET "
+            "/v1/jobs/{id}, /v1/results/{id}, /v1/healthz and "
+            "/v1/metrics observe it.  Results are byte-identical to "
+            "the batch path and land in the same content-addressed "
+            "store.  SIGTERM/SIGINT drains the in-flight submission "
+            "within --grace seconds and exits 130."
+        ),
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address")
+    p_serve.add_argument("--port", type=int, default=8631,
+                         help="bind port (0 = ephemeral)")
+    p_serve.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = in-process "
+                              "execution with maximally warm caches)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="max queued submissions before 429")
+    p_serve.add_argument("--timeout", type=float, default=0.0,
+                         help="per-job wall-clock budget in seconds "
+                              "(0 = unlimited; pooled mode only)")
+    p_serve.add_argument("--max-attempts", type=int, default=3,
+                         help="attempts per job before quarantine "
+                              "(pooled mode only)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="seed for retry backoff jitter")
+    p_serve.add_argument("--grace", type=float, default=5.0,
+                         help="shutdown drain budget in seconds")
+    p_serve.add_argument("--store",
+                         default=str(service.DEFAULT_DAEMON_DIR / "store"),
+                         help="content-addressed result store directory")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a config grid to daemon(s) over HTTP",
+        description=(
+            "Client side of the daemon: expand the same grid flags as "
+            "`batch` into a JSON request and POST it to /v1/jobs.  "
+            "With one --endpoint the daemon expands the grid; with "
+            "several, the grid is expanded locally, partitioned into "
+            "deterministic contiguous shards, submitted to all "
+            "endpoints concurrently, and the per-shard results are "
+            "merged back into grid order."
+        ),
+    )
+    p_submit.add_argument("--endpoint", nargs="+", required=True,
+                          metavar="URL",
+                          help="daemon base URL(s), e.g. "
+                               "http://127.0.0.1:8631")
+    p_submit.add_argument("--apps", nargs="*", choices=APP_NAMES,
+                          help="applications to sweep (default: all)")
+    p_submit.add_argument("--kinds", nargs="*", default=["ds"],
+                          choices=service.KINDS)
+    p_submit.add_argument("--models", nargs="*", default=["RC"],
+                          type=lambda s: s.upper(),
+                          choices=service.MODELS)
+    p_submit.add_argument("--windows", nargs="*", type=int, default=[64])
+    p_submit.add_argument("--networks", nargs="*", default=["ideal"],
+                          choices=NETWORK_KINDS)
+    p_submit.add_argument("--penalties", nargs="*", type=int,
+                          default=[50])
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="queue priority (lower runs earlier)")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the submission finishes and "
+                               "print its results")
+    p_submit.add_argument("--timeout", type=float, default=0.0,
+                          help="max seconds to wait (0 = unlimited)")
+    p_submit.add_argument("--interval", type=float, default=0.2,
+                          help="poll interval in seconds")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="follow a daemon submission to completion",
+    )
+    p_watch.add_argument("id", help="submission id returned by submit")
+    p_watch.add_argument("--endpoint", required=True, metavar="URL",
+                         help="daemon base URL")
+    p_watch.add_argument("--timeout", type=float, default=0.0,
+                         help="max seconds to wait (0 = unlimited)")
+    p_watch.add_argument("--interval", type=float, default=0.2,
+                         help="poll interval in seconds")
+    p_watch.set_defaults(func=cmd_watch)
 
     p_status = sub.add_parser(
         "status",
@@ -656,6 +901,13 @@ def main(argv: list[str] | None = None) -> int:
             raise
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_FAILURE
+    except service.ClientError as exc:
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"daemon error: {exc}", file=sys.stderr)
+        # A rejected request is the caller's fault (bad grid: 3); an
+        # unreachable or overloaded daemon is an I/O condition (4).
+        return EXIT_BAD_CONFIG if exc.status == 400 else EXIT_IO
     except (service.ResultStoreError, OSError) as exc:
         if os.environ.get("REPRO_DEBUG"):
             raise

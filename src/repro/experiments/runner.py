@@ -45,6 +45,7 @@ from ..tango import (
     TangoExecutor,
     Trace,
 )
+from ..obs.metrics import NULL_REGISTRY
 from ..service.pool import run_jobs
 from ..tango.trace import TRACE_FORMAT_VERSION, TraceFormatError
 
@@ -91,6 +92,7 @@ class TraceStore:
         line_size: int = 16,
         sync_access_latency: int | None = None,
         network: str = "ideal",
+        metrics=None,
     ) -> None:
         self.n_procs = n_procs
         self.miss_penalty = miss_penalty
@@ -102,6 +104,10 @@ class TraceStore:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.verify = verify
         self.network = network
+        #: Warm-cache observability sink (re-attachable; the daemon
+        #: points a long-lived shared store at its own registry).  Not
+        #: part of :meth:`spec` — workers attach their own.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._runs: dict[str, AppRun] = {}
         self._cosim_runs: dict[str, CosimRun] = {}
 
@@ -156,13 +162,16 @@ class TraceStore:
             raise ValueError(f"unknown application {app!r}")
         run = self._runs.get(app)
         if run is not None:
+            self.metrics.counter("trace.warm_hits").inc()
             return run
         path = self._cache_path(app)
         if path is not None:
             run = self._load(path)
             if run is not None:
+                self.metrics.counter("trace.disk_hits").inc()
                 self._runs[app] = run
                 return run
+        self.metrics.counter("trace.builds").inc()
         run = self._generate(app)
         self._runs[app] = run
         if path is not None:
@@ -222,13 +231,16 @@ class TraceStore:
             raise ValueError(f"unknown application {app!r}")
         run = self._cosim_runs.get(app)
         if run is not None:
+            self.metrics.counter("trace.warm_hits").inc()
             return run
         path = self._cosim_cache_path(app)
         if path is not None:
             run = self._load(path, CosimRun)
             if run is not None:
+                self.metrics.counter("trace.disk_hits").inc()
                 self._cosim_runs[app] = run
                 return run
+        self.metrics.counter("trace.builds").inc()
         run = self._generate_cosim(app)
         self._cosim_runs[app] = run
         if path is not None:
@@ -277,6 +289,31 @@ class TraceStore:
             sync_access_latency=self.sync_access_latency,
             network=self.network,
         )
+
+
+#: Process-wide stores keyed by their full constructor spec.  A
+#: persistent daemon worker serves many jobs over its lifetime; routing
+#: them through one shared store per spec keeps the in-memory trace and
+#: program caches warm across jobs, so a repeated sweep skips both
+#: regeneration and the disk-cache unpickle.
+_SHARED_STORES: dict[tuple, TraceStore] = {}
+
+
+def shared_store(spec: dict, metrics=None) -> TraceStore:
+    """The process-wide :class:`TraceStore` for ``spec`` (see above).
+
+    ``metrics``, when given, (re)binds the store's warm-cache counters
+    to the caller's registry — the daemon's serial path attaches its
+    own so ``GET /v1/metrics`` reports warm hits.
+    """
+    key = tuple(sorted((k, str(v)) for k, v in spec.items()))
+    store = _SHARED_STORES.get(key)
+    if store is None:
+        store = TraceStore(**spec)
+        _SHARED_STORES[key] = store
+    if metrics is not None:
+        store.metrics = metrics
+    return store
 
 
 def _gen_worker(spec: dict, app: str) -> AppRun:

@@ -52,7 +52,12 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins, or inc/dec deltas).
+
+    The delta form serves level-style signals maintained from several
+    call sites — e.g. the service daemon's queue depth, bumped on
+    submit and dropped on dispatch.
+    """
 
     __slots__ = ("name", "value")
 
@@ -62,6 +67,12 @@ class Gauge:
 
     def set(self, value) -> None:
         self.value = value
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    def dec(self, n=1) -> None:
+        self.value -= n
 
     def snapshot(self):
         return self.value
@@ -172,6 +183,9 @@ class _NullInstrument:
     max = 0
 
     def inc(self, n: int = 1) -> None:
+        pass
+
+    def dec(self, n: int = 1) -> None:
         pass
 
     def set(self, value) -> None:

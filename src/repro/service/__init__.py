@@ -17,7 +17,12 @@ The layer between "one CLI invocation" and "sustained sweep traffic":
   smoke to prove the supervisor recovers;
 * :func:`run_batch` — graceful degradation: partial results plus a
   structured failure report, surfaced via ``python -m repro
-  batch``/``status``/``results``.
+  batch``/``status``/``results``;
+* :class:`Daemon` + :mod:`~repro.service.http` — the persistent
+  simulation-as-a-service front half: warm pool and caches behind a
+  bounded priority :class:`JobQueue`, exposed over a stdlib JSON/HTTP
+  API (``python -m repro serve``) with a :class:`DaemonClient` and a
+  multi-endpoint shard :func:`dispatch` on the client side.
 """
 
 from .chaos import (
@@ -48,8 +53,26 @@ from .batch import (
     load_state,
     run_batch,
 )
-from .jobs import KINDS, MODELS, SweepJob, expand_grid, shard
+from .batch import run_sweep_job
+from .client import ClientError, DaemonClient, DispatchReport, dispatch
+from .daemon import DEFAULT_DAEMON_DIR, Daemon, serve
+from .http import DaemonHTTPServer, make_server
+from .jobs import (
+    KINDS,
+    MODELS,
+    SweepJob,
+    expand_grid,
+    shard,
+    sweep_from_request,
+)
 from .pool import Job, SupervisedPool, run_jobs
+from .queue import (
+    JobQueue,
+    QueueClosed,
+    QueuedJob,
+    QueueFull,
+    submission_id,
+)
 from .store import RESULT_STORE_SCHEMA, ResultStore, result_key
 
 __all__ = [
@@ -60,30 +83,46 @@ __all__ = [
     "BatchReport",
     "ChaosSpec",
     "ChaosTransientError",
+    "ClientError",
     "DEFAULT_BATCH_DIR",
+    "DEFAULT_DAEMON_DIR",
+    "Daemon",
+    "DaemonClient",
+    "DaemonHTTPServer",
+    "DispatchReport",
     "Job",
     "JobFailure",
+    "JobQueue",
     "JobRecord",
     "JobsFailedError",
     "KINDS",
     "MODELS",
+    "QueueClosed",
+    "QueueFull",
+    "QueuedJob",
     "RESULT_STORE_SCHEMA",
     "ResultStore",
     "ResultStoreError",
     "ServiceError",
     "SupervisedPool",
     "SweepJob",
+    "dispatch",
     "echo_job",
     "expand_grid",
     "find_batch",
     "format_results",
     "format_status",
     "load_state",
+    "make_server",
     "parse_chaos_arg",
     "result_key",
     "run_batch",
     "run_jobs",
+    "run_sweep_job",
+    "serve",
     "shard",
     "sleep_job",
     "square_job",
+    "submission_id",
+    "sweep_from_request",
 ]

@@ -26,7 +26,14 @@ from ..obs.manifest import build_manifest, write_manifest
 from ..obs.metrics import MetricsRegistry
 from .errors import BatchInterrupted
 from .jobs import SweepJob
-from .pool import STATE_DONE, Job, SupervisedPool
+from .pool import (
+    STATE_DONE,
+    STATE_PENDING,
+    STATE_RETRY,
+    STATE_RUNNING,
+    Job,
+    SupervisedPool,
+)
 from .store import ResultStore
 
 BATCH_STATE_SCHEMA = "repro-batch-state/1"
@@ -34,24 +41,23 @@ BATCH_STATE_SCHEMA = "repro-batch-state/1"
 DEFAULT_BATCH_DIR = Path("results") / "batches"
 
 
-def _sweep_worker(config: dict, cache_dir: str | None):
-    """Worker-side: run one canonical sub-run to an ExecutionBreakdown.
+def run_sweep_job(job: SweepJob, store):
+    """Run one canonical sub-run against ``store``, to a breakdown.
+
+    The single execution path shared by the batch workers and the
+    daemon's serial scheduler — both therefore produce byte-identical
+    pickles for the same job.  ``store`` is an
+    :class:`~repro.experiments.runner.TraceStore`; a warm one (the
+    daemon's, or a persistent worker's shared store) satisfies the
+    trace lookup from memory.
 
     Imports stay inside the function so :mod:`repro.service` never
     imports :mod:`repro.experiments` at module level (the experiments
     layer imports the pool, and cycles must stay one-directional).
     """
     from ..cpu import ExecutionBreakdown, ProcessorConfig, simulate
-    from ..experiments.runner import TraceStore
     from ..net import build_network
 
-    job = SweepJob(**config)
-    store = TraceStore(
-        n_procs=job.procs,
-        miss_penalty=job.penalty,
-        preset=job.preset,
-        cache_dir=cache_dir,
-    )
     if job.kind == "cosim":
         # Co-simulate the DS multiprocessor: every processor on one
         # shared fabric.  The stored result is the machine aggregate
@@ -97,17 +103,61 @@ def _sweep_worker(config: dict, cache_dir: str | None):
     return simulate(run.trace, cfg, network=network)
 
 
+def _sweep_worker(config: dict, cache_dir: str | None):
+    """Worker-side entry: reconstruct the job and run it.
+
+    The store comes from :func:`repro.experiments.runner.shared_store`,
+    keyed by the job's trace-shaping parameters — in a *persistent*
+    worker (daemon mode) the same process serves many jobs, so traces
+    generated for one request stay warm for the next.  In per-batch
+    workers the shared store degenerates to the old per-job store.
+    """
+    from ..experiments.runner import shared_store
+
+    job = SweepJob(**config)
+    store = shared_store(dict(
+        n_procs=job.procs,
+        miss_penalty=job.penalty,
+        preset=job.preset,
+        cache_dir=cache_dir,
+    ))
+    return run_sweep_job(job, store)
+
+
 @dataclass
 class JobRecord:
-    """Persisted per-job state for status/results reporting."""
+    """Persisted per-job state for status/results reporting.
+
+    The three wall-clock timestamps give real queue latency per job:
+    ``queued_at`` is set when the batch (or daemon) accepts the job,
+    ``started_at`` when a worker first begins executing it, and
+    ``finished_at`` when it reaches a terminal state.  Store-served
+    jobs start and finish at acceptance.
+    """
 
     key: str
     label: str
     config: dict
     state: str = "pending"
     attempts: int = 0
-    source: str | None = None  # "store" (dedup hit) or "computed"
+    source: str | None = None  # "store"/"cache" (dedup hit), "computed"
     history: list = field(default_factory=list)
+    queued_at: float | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def queue_latency(self) -> float | None:
+        """Seconds spent waiting between acceptance and first start."""
+        if self.queued_at is None or self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.queued_at)
+
+    @property
+    def run_seconds(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return max(0.0, self.finished_at - self.started_at)
 
     def to_dict(self) -> dict:
         return {
@@ -118,6 +168,9 @@ class JobRecord:
             "attempts": self.attempts,
             "source": self.source,
             "history": list(self.history),
+            "queued_at": self.queued_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
         }
 
 
@@ -226,7 +279,10 @@ def run_batch(
 
     keys = [store.key(job.config()) for job in sweep]
     records = [
-        JobRecord(key=key, label=job.label(), config=job.config())
+        JobRecord(
+            key=key, label=job.label(), config=job.config(),
+            queued_at=t_start,
+        )
         for key, job in zip(keys, sweep)
     ]
     batch_dir = out_root / _batch_id(keys)
@@ -253,6 +309,7 @@ def run_batch(
         if store.get_bytes(record.key) is not None:
             record.state = "done"
             record.source = "store"
+            record.started_at = record.finished_at = time.time()
         else:
             misses.append((record, job))
     persist()
@@ -287,6 +344,10 @@ def run_batch(
             record.state = job.state
             record.attempts = job.attempts
             record.history = [h.to_dict() for h in job.history]
+            if job.state == STATE_RUNNING and record.started_at is None:
+                record.started_at = time.time()
+            if job.state not in (STATE_RUNNING, STATE_PENDING, STATE_RETRY):
+                record.finished_at = time.time()
             if job.state == STATE_DONE and job.payload is not None:
                 record.source = "computed"
                 store.put_bytes(
@@ -391,8 +452,17 @@ def format_status(state: dict) -> str:
             "cancelled": "cancelled",
         }.get(job["state"], job["state"])
         src = f" [{job['source']}]" if job.get("source") else ""
+        queued = job.get("queued_at")
+        started = job.get("started_at")
+        finished = job.get("finished_at")
+        timing = ""
+        if queued is not None and started is not None:
+            timing = f" (wait {max(0.0, started - queued):.2f}s"
+            if finished is not None:
+                timing += f", run {max(0.0, finished - started):.2f}s"
+            timing += ")"
         lines.append(
-            f"  {job['label']:<40} {marker}{src}"
+            f"  {job['label']:<40} {marker}{src}{timing}"
             + (f" (attempts {job['attempts']})" if job["attempts"] > 1
                else "")
         )

@@ -1,0 +1,210 @@
+"""HTTP client and multi-endpoint shard dispatcher for the daemon.
+
+:class:`DaemonClient` is a stdlib (urllib) JSON client for one daemon
+endpoint — submit, poll, fetch results — used by the ``submit`` and
+``watch`` CLI subcommands and by ``batch --endpoint``.
+
+:func:`dispatch` is the scale-out path: it expands a request grid
+*locally*, partitions the deduplicated jobs with the deterministic
+:func:`repro.service.jobs.shard`, submits one explicit-jobs shard per
+daemon endpoint, waits for all of them, and merges the per-shard
+results back into grid order.  Because sharding is contiguous and
+order-preserving, the merged rows are identical to what a single
+endpoint (or a local batch) would have produced for the same grid.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import asdict, dataclass, field
+
+from .errors import ServiceError
+from .jobs import shard, sweep_from_request
+from .queue import JOB_CANCELLED, JOB_DONE, JOB_FAILED
+
+#: Submission states a poll loop treats as final.
+TERMINAL_STATES = (JOB_DONE, JOB_FAILED, JOB_CANCELLED)
+
+
+class ClientError(ServiceError):
+    """An HTTP request to a daemon failed.
+
+    ``status`` is the HTTP status (0 for transport errors) and
+    ``retry_after`` carries the backpressure hint of a 429, so callers
+    can implement polite retry without parsing messages.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 0,
+        body: dict | None = None,
+    ) -> None:
+        self.status = status
+        self.body = body or {}
+        self.retry_after = self.body.get("retry_after")
+        super().__init__(message)
+
+
+class DaemonClient:
+    """JSON-over-HTTP client for one daemon endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read() or b"{}")
+            except (json.JSONDecodeError, OSError):
+                body = {}
+            raise ClientError(
+                f"{method} {path} -> {exc.code}: "
+                f"{body.get('error', exc.reason)}",
+                status=exc.code, body=body,
+            ) from exc
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ClientError(
+                f"{method} {self.base_url}{path} unreachable: {exc}"
+            ) from exc
+
+    # -- API -----------------------------------------------------------
+
+    def submit(self, payload: dict) -> dict:
+        """POST /v1/jobs; returns ``{"id", "state", "deduped", ...}``."""
+        return self._request("POST", "/v1/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def results(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/results/{job_id}")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        interval: float = 0.2,
+        on_poll=None,
+    ) -> dict:
+        """Poll until the submission reaches a terminal state."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            job = self.job(job_id)
+            if on_poll is not None:
+                on_poll(job)
+            if job.get("state") in TERMINAL_STATES:
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise ClientError(
+                    f"timed out waiting for job {job_id} "
+                    f"(last state {job.get('state')!r})",
+                    body=job,
+                )
+            time.sleep(interval)
+
+
+@dataclass
+class DispatchReport:
+    """Outcome of one sharded dispatch across several endpoints."""
+
+    jobs: list                        # expanded SweepJobs, grid order
+    shards: list[dict] = field(default_factory=list)
+    results: list[dict] = field(default_factory=list)  # merged rows
+
+    @property
+    def ok(self) -> bool:
+        return all(s["state"] == JOB_DONE for s in self.shards)
+
+    def format_summary(self) -> str:
+        lines = [
+            f"dispatched {len(self.jobs)} jobs across "
+            f"{len(self.shards)} endpoint(s)"
+        ]
+        for entry in self.shards:
+            lines.append(
+                f"  {entry['endpoint']:<28} {entry['id']} "
+                f"{entry['state']} ({entry['n_subruns']} sub-runs)"
+            )
+        return "\n".join(lines)
+
+
+def dispatch(
+    endpoints: list[str],
+    payload: dict,
+    *,
+    timeout: float | None = None,
+    interval: float = 0.2,
+    client_factory=DaemonClient,
+) -> DispatchReport:
+    """Shard a grid request across daemon endpoints and merge results.
+
+    The grid is expanded and deduplicated locally, partitioned with the
+    deterministic contiguous :func:`~repro.service.jobs.shard`, and
+    each shard is submitted to its endpoint as an explicit job list.
+    All shards are submitted before any wait, so the daemons overlap.
+    """
+    if not endpoints:
+        raise ValueError("dispatch needs at least one endpoint")
+    jobs = sweep_from_request(payload)
+    priority = payload.get("priority", 0)
+    parts = shard(jobs, len(endpoints))
+    report = DispatchReport(jobs=jobs)
+
+    clients = [client_factory(url) for url in endpoints]
+    submissions: list[tuple[DaemonClient, str, str]] = []
+    for client, part in zip(clients, parts):
+        if not part:
+            continue
+        accepted = client.submit({
+            "jobs": [asdict(job) for job in part],
+            "priority": priority,
+        })
+        submissions.append((client, client.base_url, accepted["id"]))
+
+    by_label: dict[str, dict] = {}
+    for client, endpoint, job_id in submissions:
+        final = client.wait(job_id, timeout=timeout, interval=interval)
+        report.shards.append({
+            "endpoint": endpoint,
+            "id": job_id,
+            "state": final.get("state"),
+            "n_subruns": final.get("n_subruns"),
+            "queue_latency": final.get("queue_latency"),
+        })
+        for row in client.results(job_id).get("results", []):
+            by_label[row["label"]] = row
+
+    # Merge back into grid order.  Labels are unique across the
+    # deduplicated expansion and shards are disjoint, so this is exact.
+    report.results = [
+        by_label[job.label()] for job in jobs if job.label() in by_label
+    ]
+    return report

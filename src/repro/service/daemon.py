@@ -1,0 +1,447 @@
+"""Persistent simulation daemon: warm pool + caches behind a job queue.
+
+One :class:`Daemon` instance is the long-lived "front half" of the
+service layer.  Where ``python -m repro batch`` pays a cold start per
+invocation — fresh worker processes, empty in-memory trace caches — the
+daemon keeps everything warm across requests:
+
+* a **persistent** :class:`~repro.service.pool.SupervisedPool` (with
+  ``--jobs > 1``): worker processes survive between submissions, so
+  their process-level shared :class:`~repro.experiments.runner.TraceStore`
+  caches do too;
+* the scheduler's own warm trace/program stores (serial mode), shared
+  across submissions via :func:`repro.experiments.runner.shared_store`;
+* an in-memory **result byte cache** in front of the content-addressed
+  :class:`~repro.service.store.ResultStore`.
+
+Submissions arrive through :meth:`Daemon.submit` (the HTTP front end in
+:mod:`repro.service.http` is a thin adapter over it) and are executed
+one sweep at a time by a scheduler thread, priority-first.  Execution
+is **identical to the batch path** — both funnel through
+:func:`repro.service.batch.run_sweep_job` and store pickled payloads
+under unchanged store keys — so a result computed by the daemon is
+byte-for-byte the result a direct batch run would have produced.
+
+Shutdown is bounded: :meth:`Daemon.stop` closes the queue (new
+submissions are refused), cancels everything still waiting, lets the
+in-flight submission drain within the shared grace period, then tears
+the pool down.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import asdict
+from pathlib import Path
+
+from ..obs.metrics import MetricsRegistry
+from .batch import JobRecord, run_sweep_job, _sweep_worker
+from .errors import REASON_ERROR, AttemptFailure, BatchInterrupted
+from .jobs import SweepJob, sweep_from_request
+from .pool import (
+    STATE_DONE,
+    STATE_PENDING,
+    STATE_RETRY,
+    STATE_RUNNING,
+    Job,
+    SupervisedPool,
+)
+from .queue import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_RUNNING,
+    JobQueue,
+    QueuedJob,
+)
+from .store import ResultStore
+
+DEFAULT_DAEMON_DIR = Path("results") / "daemon"
+
+
+def _validated_priority(payload: dict) -> int:
+    priority = payload.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ValueError(f"priority must be an integer, got {priority!r}")
+    return priority
+
+
+class Daemon:
+    """The persistent simulation service core (see module docstring).
+
+    ``executor`` is a test seam: a callable ``(SweepJob) -> result``
+    that replaces the real simulation, letting queue/HTTP lifecycle
+    tests run without generating traces.
+    """
+
+    def __init__(
+        self,
+        *,
+        store_dir: Path | str,
+        cache_dir: Path | str | None = None,
+        workers: int = 1,
+        queue_depth: int = 64,
+        timeout: float | None = None,
+        max_attempts: int = 3,
+        seed: int = 0,
+        grace: float = 5.0,
+        metrics: MetricsRegistry | None = None,
+        executor=None,
+        result_cache_size: int = 4096,
+    ) -> None:
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(enabled=True)
+        )
+        self.queue = JobQueue(queue_depth, metrics=self.metrics)
+        self.store = ResultStore(store_dir, metrics=self.metrics)
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.workers = workers
+        self.grace = grace
+        self.started_at = time.time()
+        self._executor = executor
+        self._result_cache: OrderedDict[str, bytes] = OrderedDict()
+        self._result_cache_size = result_cache_size
+        self._cache_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._pool: SupervisedPool | None = None
+        if workers > 1:
+            self._pool = SupervisedPool(
+                workers=workers,
+                timeout=timeout,
+                max_attempts=max_attempts,
+                seed=seed,
+                metrics=self.metrics,
+                grace=grace,
+                install_signal_handlers=False,
+            )
+        m = self.metrics
+        self._c_jobs_done = m.counter("daemon.jobs_done")
+        self._c_jobs_failed = m.counter("daemon.jobs_failed")
+        self._c_subruns = m.counter("daemon.subruns_done")
+        self._c_cache_hits = m.counter("daemon.result_cache_hits")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the warm worker fleet and the scheduler thread."""
+        if self._thread is not None:
+            return
+        if self._pool is not None:
+            self._pool.start()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-daemon-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> list[QueuedJob]:
+        """Drain and shut down within the shared grace period.
+
+        New submissions are refused immediately; queued-but-unstarted
+        submissions are cancelled; the in-flight submission gets the
+        grace period to finish its current sub-runs before the pool is
+        interrupted and torn down.  Returns the cancelled jobs.
+        """
+        cancelled = self.queue.close()
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(self.grace)
+            if self._thread.is_alive() and self._pool is not None:
+                # The scheduler is wedged inside a pool run: trip the
+                # pool's interrupt flag so the run unwinds, then give
+                # it one more bounded wait.
+                self._pool._interrupted = -1
+                self._thread.join(self.grace)
+        if self._pool is not None:
+            self._pool.close()
+        return cancelled
+
+    @property
+    def draining(self) -> bool:
+        return self.queue.closed
+
+    # -- request surface (the HTTP layer is a thin adapter) ------------
+
+    def submit(self, payload: dict) -> tuple[QueuedJob, bool]:
+        """Accept one submission (grid or explicit-jobs JSON form).
+
+        Raises ``ValueError`` (bad request), :class:`QueueFull`
+        (backpressure), or :class:`QueueClosed` (draining).
+        """
+        sweep = sweep_from_request(payload)
+        priority = _validated_priority(payload)
+        return self.queue.submit(sweep, priority=priority)
+
+    def job(self, job_id: str) -> QueuedJob | None:
+        return self.queue.get(job_id)
+
+    def results(self, job_id: str) -> dict | None:
+        """Completed sub-run breakdowns of one submission, as JSON."""
+        job = self.queue.get(job_id)
+        if job is None:
+            return None
+        rows = []
+        for record in job.records:
+            if record.state != "done":
+                continue
+            payload = self._cached_bytes(record.key)
+            if payload is None:
+                continue
+            breakdown = pickle.loads(payload)
+            rows.append({
+                "label": record.label,
+                "key": record.key,
+                "source": record.source,
+                "breakdown": {
+                    "label": breakdown.label,
+                    "total": breakdown.total,
+                    "busy": breakdown.busy,
+                    "sync": breakdown.sync,
+                    "read": breakdown.read,
+                    "write": breakdown.write,
+                    "other": breakdown.other,
+                    "instructions": breakdown.instructions,
+                },
+            })
+        return {"id": job.id, "state": job.state, "results": rows}
+
+    def healthz(self) -> dict:
+        by_state: dict[str, int] = {}
+        for job in list(self.queue.jobs.values()):
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "queue_depth": self.queue.depth(),
+            "workers": self.workers,
+            "jobs": by_state,
+        }
+
+    # -- result cache --------------------------------------------------
+
+    def _cached_bytes(self, key: str) -> bytes | None:
+        """Result payload from the in-memory cache, then the store."""
+        with self._cache_lock:
+            payload = self._result_cache.get(key)
+            if payload is not None:
+                self._result_cache.move_to_end(key)
+                self._c_cache_hits.inc()
+                return payload
+        payload = self.store.get_bytes(key)
+        if payload is not None:
+            self._cache_put(key, payload)
+        return payload
+
+    def _cache_put(self, key: str, payload: bytes) -> None:
+        with self._cache_lock:
+            self._result_cache[key] = payload
+            self._result_cache.move_to_end(key)
+            while len(self._result_cache) > self._result_cache_size:
+                self._result_cache.popitem(last=False)
+
+    # -- scheduler -----------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            qjob = self.queue.pop(timeout=0.1)
+            if qjob is None:
+                if self._stop.is_set() or self.queue.closed:
+                    return
+                continue
+            self._execute(qjob)
+
+    def _trace_store(self, job: SweepJob):
+        from ..experiments.runner import shared_store
+
+        return shared_store(
+            dict(
+                n_procs=job.procs,
+                miss_penalty=job.penalty,
+                preset=job.preset,
+                cache_dir=self.cache_dir,
+            ),
+            metrics=self.metrics,
+        )
+
+    def _store_computed(self, record: JobRecord, payload: bytes) -> None:
+        self.store.put_bytes(
+            record.key, payload,
+            meta={"label": record.label, "config": record.config},
+        )
+        self._cache_put(record.key, payload)
+        self._c_subruns.inc()
+
+    def _execute(self, qjob: QueuedJob) -> None:
+        qjob.state = JOB_RUNNING
+        qjob.started_at = time.time()
+        t0 = time.monotonic()
+        records = [
+            JobRecord(
+                key=self.store.key(job.config()),
+                label=job.label(),
+                config=job.config(),
+                queued_at=qjob.submitted_at,
+            )
+            for job in qjob.sweep
+        ]
+        qjob.records = records
+
+        # Warm pre-pass: in-memory result cache, then the store.
+        misses: list[tuple[JobRecord, SweepJob]] = []
+        for record, job in zip(records, qjob.sweep):
+            payload = self._cached_bytes(record.key)
+            if payload is not None:
+                record.state = "done"
+                record.source = "store"
+                record.started_at = record.finished_at = time.time()
+            else:
+                misses.append((record, job))
+
+        interrupted = False
+        if misses:
+            if self._pool is not None and len(misses) > 1:
+                interrupted = self._execute_pooled(misses)
+            else:
+                interrupted = self._execute_serial(misses)
+
+        qjob.finished_at = time.time()
+        self.queue.note_duration(time.monotonic() - t0)
+        states = {record.state for record in records}
+        if "cancelled" in states or interrupted:
+            qjob.state = JOB_CANCELLED
+        elif "failed" in states:
+            qjob.state = JOB_FAILED
+            self._c_jobs_failed.inc()
+        else:
+            qjob.state = JOB_DONE
+            self._c_jobs_done.inc()
+
+    def _execute_serial(self, misses) -> bool:
+        """Run misses in the scheduler thread against warm stores."""
+        for i, (record, job) in enumerate(misses):
+            if self._stop.is_set():
+                # Draining: the sub-runs already executed are kept
+                # (drained); the rest are cancelled.
+                for rec, _ in misses[i:]:
+                    rec.state = "cancelled"
+                    rec.finished_at = time.time()
+                return True
+            record.state = "running"
+            record.started_at = time.time()
+            record.attempts = 1
+            try:
+                if self._executor is not None:
+                    result = self._executor(job)
+                else:
+                    result = run_sweep_job(job, self._trace_store(job))
+                payload = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:  # noqa: BLE001 — recorded, not fatal
+                record.state = "failed"
+                record.history.append(
+                    AttemptFailure(
+                        1, REASON_ERROR, f"{type(exc).__name__}: {exc}",
+                        0.0,
+                    ).to_dict()
+                )
+            else:
+                self._store_computed(record, payload)
+                record.state = "done"
+                record.source = "computed"
+            record.finished_at = time.time()
+        return False
+
+    def _execute_pooled(self, misses) -> bool:
+        """Run misses on the persistent supervised pool."""
+        by_index: dict[int, JobRecord] = {}
+        pool_jobs: list[Job] = []
+        for i, (record, job) in enumerate(misses):
+            by_index[i] = record
+            pool_jobs.append(
+                Job(
+                    index=i,
+                    fn=_sweep_worker,
+                    args=(asdict(job), self.cache_dir),
+                    label=record.label,
+                )
+            )
+
+        def on_update(job: Job) -> None:
+            record = by_index[job.index]
+            record.state = job.state
+            record.attempts = job.attempts
+            record.history = [h.to_dict() for h in job.history]
+            if job.state == STATE_RUNNING and record.started_at is None:
+                record.started_at = time.time()
+            if job.state not in (STATE_RUNNING, STATE_PENDING,
+                                 STATE_RETRY):
+                record.finished_at = time.time()
+            if job.state == STATE_DONE and job.payload is not None:
+                record.source = "computed"
+                self._store_computed(record, job.payload)
+
+        try:
+            self._pool.run(pool_jobs, on_update=on_update)
+        except BatchInterrupted:
+            return True
+        return False
+
+
+def serve(
+    daemon: Daemon,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    banner=None,
+    ready=None,
+) -> int:
+    """Run a daemon behind its HTTP front end until SIGTERM/SIGINT.
+
+    Blocks the calling (main) thread in the HTTP serve loop.  On
+    SIGTERM or SIGINT the server stops accepting connections, the
+    daemon drains its in-flight submission within the grace period,
+    and the function returns 130 (the repo-wide interrupted exit
+    code); a plain ``server.shutdown()`` from another thread returns
+    0.  ``ready`` (if given) is called with the bound server once it
+    is listening — used by tests to learn the ephemeral port.
+    """
+    import signal
+
+    from .http import make_server
+
+    server = make_server(daemon, host, port)
+    daemon.start()
+    stop_signals: list[int] = []
+
+    def _on_signal(signum, frame):  # noqa: ARG001 — signal contract
+        stop_signals.append(signum)
+        # shutdown() blocks until the serve loop exits, and the serve
+        # loop cannot advance while this handler runs on the main
+        # thread — so trip it from a helper thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, _on_signal)
+    try:
+        if banner is not None:
+            bound_host, bound_port = server.server_address[:2]
+            banner(
+                f"simulation daemon listening on "
+                f"http://{bound_host}:{bound_port} "
+                f"(workers={daemon.workers}, "
+                f"queue_depth={daemon.queue.maxsize})"
+            )
+        if ready is not None:
+            ready(server)
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        cancelled = daemon.stop()
+        server.server_close()
+        if banner is not None and cancelled:
+            banner(f"cancelled {len(cancelled)} queued submission(s)")
+    return 130 if stop_signals else 0

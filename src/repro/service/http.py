@@ -1,0 +1,153 @@
+"""Stdlib HTTP front end for the simulation daemon.
+
+A deliberately small JSON-over-HTTP surface on
+``http.server.ThreadingHTTPServer`` — no third-party dependencies —
+that adapts requests onto a :class:`~repro.service.daemon.Daemon`:
+
+====== ===================== ==========================================
+method path                  meaning
+====== ===================== ==========================================
+POST   ``/v1/jobs``          submit a sweep (grid or explicit-jobs
+                             JSON); 202 accepted, 200 duplicate,
+                             400 bad grid, 429 queue full (with
+                             ``Retry-After``), 503 draining
+GET    ``/v1/jobs/{id}``     submission state: per-sub-run states,
+                             queued/started/finished timestamps,
+                             queue latency
+GET    ``/v1/results/{id}``  completed sub-run breakdowns
+GET    ``/v1/healthz``       liveness + queue depth + job counts
+GET    ``/v1/metrics``       the daemon's metrics-registry snapshot
+====== ===================== ==========================================
+
+Handler threads only ever touch the daemon's thread-safe surface
+(queue submit/lookup and the result store), so a slow simulation never
+blocks health checks or status polls.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .queue import QueueClosed, QueueFull
+
+#: Largest accepted request body (a grid request is tiny; an explicit
+#: job list for a big shard still fits comfortably).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class DaemonHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one daemon instance."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, daemon) -> None:
+        super().__init__(address, _Handler)
+        self.sim_daemon = daemon
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-sim-daemon/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib name
+        """Route request logging to metrics instead of stderr."""
+        self.server.sim_daemon.metrics.counter("daemon.http_requests").inc()
+
+    def _send_json(
+        self, code: int, obj: dict, headers: dict | None = None
+    ) -> None:
+        body = (json.dumps(obj, indent=2) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes | None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send_json(413, {"error": "request body too large"})
+            return None
+        return self.rfile.read(length)
+
+    # -- routes --------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib contract
+        daemon = self.server.sim_daemon
+        if self.path.rstrip("/") != "/v1/jobs":
+            self._send_json(404, {"error": f"no such route {self.path}"})
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            payload = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send_json(400, {"error": f"invalid JSON: {exc}"})
+            return
+        try:
+            job, created = daemon.submit(payload)
+        except QueueFull as exc:
+            self._send_json(
+                429,
+                {
+                    "error": "queue full",
+                    "queue_depth": exc.depth,
+                    "retry_after": exc.retry_after,
+                },
+                headers={"Retry-After": f"{exc.retry_after:.0f}"},
+            )
+            return
+        except QueueClosed:
+            self._send_json(503, {"error": "daemon is draining"})
+            return
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(
+            202 if created else 200,
+            {
+                "id": job.id,
+                "state": job.state,
+                "n_subruns": len(job.sweep),
+                "deduped": not created,
+            },
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib contract
+        daemon = self.server.sim_daemon
+        path = self.path.rstrip("/")
+        if path == "/v1/healthz":
+            self._send_json(200, daemon.healthz())
+        elif path == "/v1/metrics":
+            self._send_json(200, daemon.metrics.snapshot())
+        elif path.startswith("/v1/jobs/"):
+            job = daemon.job(path.rsplit("/", 1)[1])
+            if job is None:
+                self._send_json(404, {"error": "unknown job id"})
+            else:
+                self._send_json(200, job.to_dict())
+        elif path.startswith("/v1/results/"):
+            results = daemon.results(path.rsplit("/", 1)[1])
+            if results is None:
+                self._send_json(404, {"error": "unknown job id"})
+            else:
+                self._send_json(200, results)
+        else:
+            self._send_json(404, {"error": f"no such route {self.path}"})
+
+
+def make_server(
+    daemon, host: str = "127.0.0.1", port: int = 0
+) -> DaemonHTTPServer:
+    """Bind the daemon's HTTP front end (port 0 = ephemeral)."""
+    return DaemonHTTPServer((host, port), daemon)

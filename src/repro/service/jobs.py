@@ -21,6 +21,7 @@ from ..apps import APP_NAMES
 #: window axes, like ``ds``.
 KINDS = ("base", "ssbr", "ss", "ds", "cosim")
 MODELS = ("SC", "PC", "WO", "RC")
+PRESETS = ("tiny", "default", "large")
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,37 @@ class SweepJob:
         return "/".join(bits)
 
 
+def _validate_axes(
+    apps, kinds, models, windows, networks, penalties,
+    *, procs: int = 16, preset: str = "default",
+) -> None:
+    """Reject bad axis values with ``ValueError`` before any work runs."""
+    from ..net import NETWORK_KINDS  # lazy: keep service imports light
+
+    for app in apps:
+        if app not in APP_NAMES:
+            raise ValueError(f"unknown application {app!r}")
+    for kind in kinds:
+        if kind not in KINDS:
+            raise ValueError(f"unknown processor kind {kind!r}")
+    for model in models:
+        if not isinstance(model, str) or model.upper() not in MODELS:
+            raise ValueError(f"unknown consistency model {model!r}")
+    for window in windows:
+        if not isinstance(window, int) or window < 1:
+            raise ValueError(f"bad window {window!r}")
+    for network in networks:
+        if network not in NETWORK_KINDS:
+            raise ValueError(f"unknown network {network!r}")
+    for penalty in penalties:
+        if not isinstance(penalty, int) or penalty < 0:
+            raise ValueError(f"bad miss penalty {penalty!r}")
+    if not isinstance(procs, int) or procs < 1:
+        raise ValueError(f"bad processor count {procs!r}")
+    if preset not in PRESETS:
+        raise ValueError(f"unknown preset {preset!r}")
+
+
 def expand_grid(
     apps,
     kinds=("ds",),
@@ -83,22 +115,8 @@ def expand_grid(
     Raises ``ValueError`` for unknown axis values so a bad request
     fails before any worker is spawned.
     """
-    for app in apps:
-        if app not in APP_NAMES:
-            raise ValueError(f"unknown application {app!r}")
-    for kind in kinds:
-        if kind not in KINDS:
-            raise ValueError(f"unknown processor kind {kind!r}")
-    for model in models:
-        if model.upper() not in MODELS:
-            raise ValueError(f"unknown consistency model {model!r}")
-    for window in windows:
-        if window < 1:
-            raise ValueError(f"bad window {window!r}")
-    for penalty in penalties:
-        if penalty < 0:
-            raise ValueError(f"bad miss penalty {penalty!r}")
-
+    _validate_axes(apps, kinds, models, windows, networks, penalties,
+                   procs=procs, preset=preset)
     seen: dict[tuple, SweepJob] = {}
     for app in apps:
         for penalty in penalties:
@@ -124,7 +142,14 @@ def expand_grid(
 
 
 def shard(jobs: list, n_shards: int) -> list[list]:
-    """Split jobs into at most ``n_shards`` contiguous shards."""
+    """Split jobs into at most ``n_shards`` contiguous shards.
+
+    Deterministic: the same job list and shard count always produce the
+    same partition — contiguous, order-preserving, disjoint slices that
+    together are exactly the input (sizes differ by at most one, larger
+    shards first).  The multi-endpoint dispatcher relies on this to
+    merge per-shard results back into grid order.
+    """
     n = max(1, min(n_shards, len(jobs)))
     size, extra = divmod(len(jobs), n)
     shards, start = [], 0
@@ -133,3 +158,85 @@ def shard(jobs: list, n_shards: int) -> list[list]:
         shards.append(jobs[start:end])
         start = end
     return shards
+
+
+#: Grid-axis fields of a submission request (plural, list-valued).
+GRID_AXES = ("apps", "kinds", "models", "windows", "networks", "penalties")
+#: Scalar fields shared by every job of a submission.
+GRID_SCALARS = ("procs", "preset", "engine")
+
+
+def sweep_from_request(payload: dict) -> list[SweepJob]:
+    """Parse a ``POST /v1/jobs`` body into deduplicated sweep jobs.
+
+    Two request shapes are accepted:
+
+    * a **grid**: the batch CLI's axes as JSON lists plus scalars, e.g.
+      ``{"apps": ["lu"], "kinds": ["base", "ds"], "windows": [64]}`` —
+      omitted axes take the :class:`SweepJob` defaults, omitted
+      ``apps`` means all applications;
+    * an **explicit job list**: ``{"jobs": [{"app": "lu", "kind":
+      "ds", ...}, ...]}`` — the form the shard dispatcher uses, since a
+      shard of an expanded grid is generally not itself a grid.
+
+    ``priority`` is allowed alongside either shape (consumed by the
+    queue, not here).  Raises ``ValueError`` on anything malformed so
+    the HTTP layer can map it to a 400.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    known = set(GRID_AXES) | set(GRID_SCALARS) | {"jobs", "priority"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValueError(f"unknown request fields: {unknown}")
+
+    if "jobs" in payload:
+        mixed = sorted(set(payload) & set(GRID_AXES))
+        if mixed:
+            raise ValueError(
+                f"request mixes explicit 'jobs' with grid axes {mixed}"
+            )
+        items = payload["jobs"]
+        if not isinstance(items, list) or not items:
+            raise ValueError("'jobs' must be a non-empty list")
+        fields = set(SweepJob.__dataclass_fields__)
+        seen: dict[tuple, SweepJob] = {}
+        for item in items:
+            if not isinstance(item, dict) or "app" not in item:
+                raise ValueError("each job must be an object with 'app'")
+            extra = sorted(set(item) - fields)
+            if extra:
+                raise ValueError(f"unknown job fields: {extra}")
+            job = SweepJob(**{
+                **item,
+                "model": str(item.get("model", "RC")).upper(),
+            })
+            _validate_axes(
+                (job.app,), (job.kind,), (job.model,), (job.window,),
+                (job.network,), (job.penalty,),
+                procs=job.procs, preset=job.preset,
+            )
+            ckey = tuple(sorted(job.config().items()))
+            if ckey not in seen:
+                seen[ckey] = job
+        return list(seen.values())
+
+    def _axis(name: str, default) -> tuple:
+        values = payload.get(name, default)
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ValueError(f"{name!r} must be a non-empty list")
+        return tuple(values)
+
+    return expand_grid(
+        _axis("apps", list(APP_NAMES)),
+        kinds=_axis("kinds", ["ds"]),
+        models=tuple(
+            str(m).upper() for m in _axis("models", ["RC"])
+        ),
+        windows=_axis("windows", [64]),
+        networks=_axis("networks", ["ideal"]),
+        penalties=_axis("penalties", [50]),
+        procs=payload.get("procs", 16),
+        preset=payload.get("preset", "default"),
+        engine=payload.get("engine", "fast"),
+    )

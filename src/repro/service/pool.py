@@ -19,7 +19,12 @@ tuples, results in submission order" contract but survives all three:
   quarantine list instead of aborting the sweep;
 * **integrity** — workers send ``(payload, sha256)`` pairs computed
   over the pickled result; a mismatch (torn write, bit flip, chaos
-  corruption) is a retryable failure, not silent bad data.
+  corruption) is a retryable failure, not silent bad data;
+* **persistence** — :meth:`SupervisedPool.start` spawns the fleet
+  eagerly and keeps it alive across :meth:`SupervisedPool.run` calls
+  until :meth:`SupervisedPool.close`, so a long-lived daemon reuses
+  warm worker processes (their module-level caches included) instead
+  of paying a cold fork per request.
 
 Results are collected by job index, so the output order — and, for
 deterministic job functions, the output *bytes* — are identical to the
@@ -241,10 +246,44 @@ class SupervisedPool:
         self.grace = grace
         self.install_signal_handlers = install_signal_handlers
         self._interrupted: int | None = None
+        self._fleet: list[_Worker] = []
+        self._persistent = False
         try:
             self._ctx = get_context("fork")
         except ValueError:  # pragma: no cover — non-POSIX fallback
             self._ctx = get_context()
+
+    # -- persistent fleet ----------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the full worker fleet now and keep it across runs.
+
+        After ``start()``, :meth:`run` reuses the same worker processes
+        (restarting any that died between runs) and no longer tears
+        them down on return; call :meth:`close` to shut the fleet down.
+        """
+        if self._persistent:
+            return
+        self._persistent = True
+        self._fleet = [
+            _Worker(self._ctx, self.chaos) for _ in range(self.workers)
+        ]
+
+    def close(self) -> None:
+        """Tear a persistent fleet down within the shared grace budget."""
+        fleet, self._fleet = self._fleet, []
+        self._persistent = False
+        deadline = time.monotonic() + self.grace
+        for worker in fleet:
+            try:
+                worker.send_sentinel()
+            except Exception:  # noqa: BLE001 — teardown must not raise
+                pass
+        for worker in fleet:
+            try:
+                worker.join_within(deadline)
+            except Exception:  # noqa: BLE001
+                pass
 
     # -- backoff -------------------------------------------------------
 
@@ -308,7 +347,11 @@ class SupervisedPool:
         if not ready:
             return jobs
 
-        n_workers = min(self.workers, len(ready))
+        self._interrupted = None
+        n_workers = (
+            self.workers if self._persistent
+            else min(self.workers, len(ready))
+        )
         # Backstop against a worker fleet dying in a loop outside any
         # job (every *job-attributed* death is already bounded by
         # max_attempts × jobs).
@@ -358,9 +401,20 @@ class SupervisedPool:
                 )
 
         try:
-            fleet = [
-                _Worker(self._ctx, self.chaos) for _ in range(n_workers)
-            ]
+            if self._persistent:
+                # Reuse the warm fleet; replace any worker that died
+                # between runs (counted against this run's budget).
+                fleet = self._fleet
+                for i, worker in enumerate(fleet):
+                    if not worker.proc.is_alive():
+                        worker.kill()
+                        restart_budget -= 1
+                        fleet[i] = _Worker(self._ctx, self.chaos)
+            else:
+                fleet = [
+                    _Worker(self._ctx, self.chaos)
+                    for _ in range(n_workers)
+                ]
             while any(j.state in _LIVE_STATES for j in jobs):
                 if self._interrupted is not None:
                     raise BatchInterrupted(
@@ -448,21 +502,23 @@ class SupervisedPool:
             raise
         finally:
             self._restore_signals(previous_signals)
-            # Shared grace budget: sentinel everyone first, then give
-            # the whole fleet `grace` seconds before SIGKILLing the
-            # stragglers — shutdown is bounded regardless of fleet
-            # size or how wedged the workers are.
-            deadline = time.monotonic() + self.grace
-            for worker in fleet:
-                try:
-                    worker.send_sentinel()
-                except Exception:  # noqa: BLE001 — teardown must not raise
-                    pass
-            for worker in fleet:
-                try:
-                    worker.join_within(deadline)
-                except Exception:  # noqa: BLE001
-                    pass
+            if not self._persistent:
+                # Shared grace budget: sentinel everyone first, then
+                # give the whole fleet `grace` seconds before
+                # SIGKILLing the stragglers — shutdown is bounded
+                # regardless of fleet size or how wedged the workers
+                # are.  A persistent fleet stays up until close().
+                deadline = time.monotonic() + self.grace
+                for worker in fleet:
+                    try:
+                        worker.send_sentinel()
+                    except Exception:  # noqa: BLE001 — must not raise
+                        pass
+                for worker in fleet:
+                    try:
+                        worker.join_within(deadline)
+                    except Exception:  # noqa: BLE001
+                        pass
         return jobs
 
     # -- internals -----------------------------------------------------

@@ -202,6 +202,91 @@ class TestBatchCommands:
         assert main(["status", "--out", out]) == 5
 
 
+class TestServiceCommands:
+    def test_serve_parses_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert (args.host, args.port) == ("127.0.0.1", 8631)
+        assert (args.jobs, args.queue_depth, args.grace) == (1, 64, 5.0)
+        assert args.store.endswith("store")
+
+    def test_submit_requires_endpoint(self):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["submit", "--apps", "lu"])
+        assert exc_info.value.code == 2
+
+    def test_submit_parses_grid_and_client_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "--endpoint", "http://a:1", "http://b:2",
+             "--apps", "lu", "--kinds", "base", "ds",
+             "--priority", "3", "--wait", "--timeout", "60"]
+        )
+        assert args.endpoint == ["http://a:1", "http://b:2"]
+        assert args.kinds == ["base", "ds"]
+        assert (args.priority, args.wait, args.timeout) == (3, True, 60.0)
+
+    def test_watch_parses(self):
+        args = build_parser().parse_args(
+            ["watch", "deadbeef01234567",
+             "--endpoint", "http://127.0.0.1:8631"]
+        )
+        assert args.id == "deadbeef01234567"
+        assert args.endpoint == "http://127.0.0.1:8631"
+
+    def test_batch_accepts_endpoint_flag(self):
+        args = build_parser().parse_args(
+            ["batch", "--apps", "lu", "--endpoint", "http://a:1"]
+        )
+        assert args.endpoint == ["http://a:1"]
+
+    def test_unreachable_daemon_exits_io(self, capsys):
+        rc = main(["submit", "--endpoint", "http://127.0.0.1:1",
+                   "--apps", "lu"])
+        assert rc == 4
+        assert "daemon error" in capsys.readouterr().err
+
+    def test_submit_watch_end_to_end(self, capsys, tmp_path):
+        import threading
+
+        from repro.service import Daemon, make_server
+
+        daemon = Daemon(store_dir=tmp_path / "store",
+                        cache_dir=tmp_path / "traces")
+        server = make_server(daemon)
+        threading.Thread(target=server.serve_forever,
+                         daemon=True).start()
+        daemon.start()
+        host, port = server.server_address[:2]
+        endpoint = f"http://{host}:{port}"
+        try:
+            rc = main(["--preset", "tiny", "--procs", "4",
+                       "submit", "--endpoint", endpoint,
+                       "--apps", "lu", "--kinds", "base",
+                       "--wait", "--timeout", "120"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "accepted as job" in out
+            assert "lu/base/ideal/m50" in out
+
+            job_id = daemon.queue.jobs and next(
+                iter(daemon.queue.jobs)
+            )
+            assert main(["watch", job_id,
+                         "--endpoint", endpoint]) == 0
+            assert "done" in capsys.readouterr().out
+
+            # Resubmitting dedups onto the finished job.
+            rc = main(["--preset", "tiny", "--procs", "4",
+                       "submit", "--endpoint", endpoint,
+                       "--apps", "lu", "--kinds", "base"])
+            assert rc == 0
+            assert "duplicate of job" in capsys.readouterr().out
+        finally:
+            server.shutdown()
+            daemon.stop()
+            server.server_close()
+
+
 class TestProfileCommand:
     def test_defaults(self):
         args = build_parser().parse_args(["profile", "lu"])

@@ -1,0 +1,569 @@
+"""Tests for the simulation-as-a-service front half.
+
+Queue semantics run against the real thread-safe queue; HTTP tests run
+against a real ThreadingHTTPServer on an ephemeral port; the daemon
+lifecycle tests use the ``executor`` seam so they stay fast; and the
+byte-identity tests run real (tiny) simulations through both the
+daemon and the batch path and compare stored payloads.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cpu.results import ExecutionBreakdown
+from repro.service import (
+    ClientError,
+    Daemon,
+    DaemonClient,
+    JobQueue,
+    QueueClosed,
+    QueueFull,
+    ResultStore,
+    dispatch,
+    expand_grid,
+    make_server,
+    run_batch,
+    submission_id,
+    sweep_from_request,
+)
+from repro.service.queue import JOB_CANCELLED, JOB_DONE, JOB_FAILED
+
+
+def _sweep(**overrides):
+    grid = dict(
+        apps=("lu",), kinds=("base",), models=("RC",), windows=(16,),
+        networks=("ideal",), penalties=(50,), procs=4, preset="tiny",
+    )
+    grid.update(overrides)
+    return expand_grid(**grid)
+
+
+def fake_executor(job):
+    """Deterministic stand-in for a real simulation."""
+    return ExecutionBreakdown(
+        label=job.label(), busy=100, sync=10, read=20, write=30,
+        other=5, instructions=100,
+    )
+
+
+class TestSubmissionId:
+    def test_same_canonical_sweep_same_id(self):
+        a = _sweep(kinds=("base", "ds"))
+        b = _sweep(kinds=("ds", "base"))
+        assert submission_id(a) == submission_id(b)
+
+    def test_different_grid_different_id(self):
+        assert submission_id(_sweep()) != submission_id(
+            _sweep(penalties=(100,))
+        )
+
+
+class TestJobQueue:
+    def test_priority_first_fifo_within(self):
+        q = JobQueue(maxsize=16)
+        low, _ = q.submit(_sweep(), priority=5)
+        first, _ = q.submit(_sweep(penalties=(25,)), priority=0)
+        second, _ = q.submit(_sweep(penalties=(100,)), priority=0)
+        order = [q.pop(timeout=0.1).id for _ in range(3)]
+        assert order == [first.id, second.id, low.id]
+
+    def test_bounded_depth_rejects_with_hint(self):
+        q = JobQueue(maxsize=2)
+        q.submit(_sweep(), priority=0)
+        q.submit(_sweep(penalties=(25,)), priority=0)
+        with pytest.raises(QueueFull) as exc_info:
+            q.submit(_sweep(penalties=(100,)), priority=0)
+        assert exc_info.value.depth == 2
+        assert exc_info.value.retry_after >= 1.0
+
+    def test_retry_after_scales_with_drain_rate(self):
+        q = JobQueue(maxsize=4)
+        for _ in range(20):
+            q.note_duration(10.0)
+        assert q.retry_after(4) > q.retry_after(1) >= 1.0
+
+    def test_duplicate_submission_returns_existing(self):
+        q = JobQueue(maxsize=4)
+        job, created = q.submit(_sweep())
+        dup, dup_created = q.submit(_sweep())
+        assert created and not dup_created
+        assert dup is job
+        assert q.depth() == 1
+
+    def test_failed_job_resubmits_fresh(self):
+        q = JobQueue(maxsize=4)
+        job, _ = q.submit(_sweep())
+        q.pop(timeout=0.1)
+        job.state = JOB_FAILED
+        retry, created = q.submit(_sweep())
+        assert created
+        assert retry.id == job.id  # same canonical content address
+
+    def test_close_cancels_queued_and_refuses_new(self):
+        q = JobQueue(maxsize=4)
+        job, _ = q.submit(_sweep())
+        cancelled = q.close()
+        assert [j.id for j in cancelled] == [job.id]
+        assert job.state == JOB_CANCELLED
+        with pytest.raises(QueueClosed):
+            q.submit(_sweep(penalties=(25,)))
+        assert q.pop(timeout=0.1) is None
+
+
+class TestSweepFromRequest:
+    def test_grid_form_expands_and_dedupes(self):
+        jobs = sweep_from_request({
+            "apps": ["lu"], "kinds": ["base", "ds"], "windows": [16],
+            "procs": 4, "preset": "tiny",
+        })
+        assert [j.kind for j in jobs] == ["base", "ds"]
+
+    def test_explicit_jobs_form(self):
+        jobs = sweep_from_request({
+            "jobs": [
+                {"app": "lu", "kind": "ds", "window": 16,
+                 "procs": 4, "preset": "tiny"},
+                {"app": "lu", "kind": "ds", "window": 16,
+                 "procs": 4, "preset": "tiny"},  # dup collapses
+            ],
+        })
+        assert len(jobs) == 1
+
+    @pytest.mark.parametrize("payload", [
+        "not-a-dict",
+        {"bogus_field": 1},
+        {"apps": ["no-such-app"]},
+        {"jobs": []},
+        {"jobs": [{"kind": "ds"}]},                 # missing app
+        {"jobs": [{"app": "lu"}], "apps": ["lu"]},  # mixed forms
+        {"kinds": ["warp-drive"]},
+    ])
+    def test_malformed_rejected(self, payload):
+        with pytest.raises(ValueError):
+            sweep_from_request(payload)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    d = Daemon(store_dir=tmp_path / "store", executor=fake_executor)
+    d.start()
+    yield d
+    d.stop()
+
+
+def _wait_done(daemon, job_id, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = daemon.job(job_id)
+        if job.state in (JOB_DONE, JOB_FAILED, JOB_CANCELLED):
+            return job
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} still {job.state}")
+
+
+class TestDaemonLifecycle:
+    def test_submit_executes_and_stores(self, daemon):
+        job, created = daemon.submit({
+            "apps": ["lu"], "kinds": ["base", "ds"], "windows": [16],
+            "procs": 4, "preset": "tiny",
+        })
+        assert created
+        final = _wait_done(daemon, job.id)
+        assert final.state == JOB_DONE
+        assert final.counts() == {"done": 2}
+        assert final.queue_latency is not None
+        rows = daemon.results(job.id)["results"]
+        assert [r["source"] for r in rows] == ["computed", "computed"]
+        assert all(r["breakdown"]["total"] == 165 for r in rows)
+
+    def test_resubmit_of_done_job_dedupes(self, daemon):
+        payload = {"apps": ["lu"], "kinds": ["base"], "procs": 4,
+                   "preset": "tiny"}
+        job, _ = daemon.submit(payload)
+        _wait_done(daemon, job.id)
+        dup, created = daemon.submit(payload)
+        assert not created
+        assert dup.id == job.id
+
+    def test_overlapping_submission_served_from_result_cache(
+        self, daemon
+    ):
+        first, _ = daemon.submit({"apps": ["lu"], "kinds": ["base"],
+                                  "procs": 4, "preset": "tiny"})
+        _wait_done(daemon, first.id)
+        # A different submission sharing the sub-run: store/cache hit.
+        second, created = daemon.submit({
+            "apps": ["lu"], "kinds": ["base", "ds"], "windows": [16],
+            "procs": 4, "preset": "tiny",
+        })
+        assert created
+        final = _wait_done(daemon, second.id)
+        sources = {r.label: r.source for r in final.records}
+        assert sources["lu/base/ideal/m50"] == "store"
+        assert sources["lu/ds/RC/w16/ideal/m50"] == "computed"
+
+    def test_executor_failure_marks_job_failed(self, tmp_path):
+        def boom(job):
+            raise RuntimeError("synthetic failure")
+
+        d = Daemon(store_dir=tmp_path / "store", executor=boom)
+        d.start()
+        try:
+            job, _ = d.submit({"apps": ["lu"], "kinds": ["base"],
+                               "procs": 4, "preset": "tiny"})
+            final = _wait_done(d, job.id)
+            assert final.state == JOB_FAILED
+            record = final.records[0]
+            assert record.state == "failed"
+            assert "synthetic failure" in record.history[0]["detail"]
+        finally:
+            d.stop()
+
+    def test_priority_orders_backlog(self, tmp_path):
+        gate = threading.Event()
+        ran = []
+
+        def gated(job):
+            gate.wait(10.0)
+            ran.append(job.label())
+            return fake_executor(job)
+
+        d = Daemon(store_dir=tmp_path / "store", executor=gated)
+        d.start()
+        try:
+            blocker, _ = d.submit({"apps": ["lu"], "kinds": ["base"],
+                                   "procs": 4, "preset": "tiny"})
+            time.sleep(0.1)  # scheduler is now blocked inside it
+            low, _ = d.submit({"apps": ["lu"], "penalties": [100],
+                               "procs": 4, "preset": "tiny",
+                               "priority": 5})
+            high, _ = d.submit({"apps": ["lu"], "penalties": [25],
+                                "procs": 4, "preset": "tiny",
+                                "priority": 0})
+            gate.set()
+            for job in (blocker, low, high):
+                assert _wait_done(d, job.id).state == JOB_DONE
+            assert ran.index("lu/ds/RC/w64/ideal/m25") < ran.index(
+                "lu/ds/RC/w64/ideal/m100"
+            )
+        finally:
+            d.stop()
+
+    def test_stop_drains_in_flight_and_cancels_rest(self, tmp_path):
+        started = threading.Event()
+        gate = threading.Event()
+
+        def gated(job):
+            started.set()
+            gate.wait(10.0)
+            return fake_executor(job)
+
+        d = Daemon(store_dir=tmp_path / "store", executor=gated)
+        d.start()
+        job, _ = d.submit({"apps": ["lu"], "kinds": ["base", "ds"],
+                           "models": ["SC", "RC"], "windows": [16],
+                           "procs": 4, "preset": "tiny"})
+        assert started.wait(5.0)
+        stopper = threading.Thread(target=d.stop)
+        stopper.start()
+        gate.set()  # let the in-flight sub-run finish
+        stopper.join(10.0)
+        assert not stopper.is_alive()
+        final = d.job(job.id)
+        counts = final.counts()
+        # The sub-run that was executing drained; the rest cancelled.
+        assert counts.get("done", 0) >= 1
+        assert counts.get("cancelled", 0) >= 1
+        assert final.state == JOB_CANCELLED
+
+    def test_stop_cancels_queued_submissions(self, tmp_path):
+        d = Daemon(store_dir=tmp_path / "store", executor=fake_executor)
+        # Never started: everything stays queued until stop().
+        job, _ = d.submit({"apps": ["lu"], "kinds": ["base"],
+                           "procs": 4, "preset": "tiny"})
+        cancelled = d.stop()
+        assert [j.id for j in cancelled] == [job.id]
+        assert job.state == JOB_CANCELLED
+
+
+@pytest.fixture
+def http_daemon(tmp_path):
+    d = Daemon(store_dir=tmp_path / "store", executor=fake_executor,
+               queue_depth=2)
+    server = make_server(d)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    d.start()
+    host, port = server.server_address[:2]
+    yield d, DaemonClient(f"http://{host}:{port}")
+    server.shutdown()
+    d.stop()
+    server.server_close()
+
+
+class TestDaemonHTTP:
+    def test_healthz_and_metrics(self, http_daemon):
+        _, client = http_daemon
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 0
+        assert isinstance(client.metrics(), dict)
+
+    def test_submit_poll_results_roundtrip(self, http_daemon):
+        _, client = http_daemon
+        accepted = client.submit({
+            "apps": ["lu"], "kinds": ["base", "ds"], "windows": [16],
+            "procs": 4, "preset": "tiny",
+        })
+        assert accepted["deduped"] is False
+        assert accepted["n_subruns"] == 2
+        final = client.wait(accepted["id"], timeout=10)
+        assert final["state"] == "done"
+        assert final["counts"] == {"done": 2}
+        assert final["queue_latency"] is not None
+        for sub in final["subruns"]:
+            assert sub["queued_at"] <= sub["started_at"]
+            assert sub["started_at"] <= sub["finished_at"]
+        rows = client.results(accepted["id"])["results"]
+        assert len(rows) == 2
+
+    def test_duplicate_submission_returns_existing_id(
+        self, http_daemon
+    ):
+        _, client = http_daemon
+        payload = {"apps": ["lu"], "kinds": ["base"], "procs": 4,
+                   "preset": "tiny"}
+        first = client.submit(payload)
+        client.wait(first["id"], timeout=10)
+        dup = client.submit(payload)
+        assert dup["deduped"] is True
+        assert dup["id"] == first["id"]
+
+    def test_bad_grid_is_400(self, http_daemon):
+        _, client = http_daemon
+        with pytest.raises(ClientError) as exc_info:
+            client.submit({"apps": ["no-such-app"]})
+        assert exc_info.value.status == 400
+
+    def test_invalid_json_is_400(self, http_daemon):
+        _, client = http_daemon
+        request = urllib.request.Request(
+            client.base_url + "/v1/jobs", data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=5)
+        assert exc_info.value.code == 400
+
+    def test_unknown_ids_and_routes_are_404(self, http_daemon):
+        _, client = http_daemon
+        for path in ("/v1/jobs/feedface00000000",
+                     "/v1/results/feedface00000000", "/v1/nope"):
+            with pytest.raises(ClientError) as exc_info:
+                client._request("GET", path)
+            assert exc_info.value.status == 404
+
+    def test_queue_full_is_429_with_retry_after(self, tmp_path):
+        # No scheduler running, so submissions pile up in the queue.
+        d = Daemon(store_dir=tmp_path / "store",
+                   executor=fake_executor, queue_depth=1)
+        server = make_server(d)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        host, port = server.server_address[:2]
+        client = DaemonClient(f"http://{host}:{port}")
+        try:
+            client.submit({"apps": ["lu"], "procs": 4,
+                           "preset": "tiny"})
+            request = urllib.request.Request(
+                client.base_url + "/v1/jobs",
+                data=json.dumps({"apps": ["lu"], "penalties": [100],
+                                 "procs": 4,
+                                 "preset": "tiny"}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urllib.request.urlopen(request, timeout=5)
+            assert exc_info.value.code == 429
+            retry_after = exc_info.value.headers.get("Retry-After")
+            assert retry_after is not None
+            assert float(retry_after) >= 1.0
+        finally:
+            server.shutdown()
+            d.stop()
+            server.server_close()
+
+    def test_draining_daemon_is_503(self, http_daemon):
+        daemon, client = http_daemon
+        daemon.queue.close()
+        with pytest.raises(ClientError) as exc_info:
+            client.submit({"apps": ["lu"], "procs": 4,
+                           "preset": "tiny"})
+        assert exc_info.value.status == 503
+
+
+class TestShardDispatch:
+    def test_dispatch_merges_in_grid_order(self, tmp_path):
+        daemons, servers, endpoints = [], [], []
+        for i in range(2):
+            d = Daemon(store_dir=tmp_path / f"store{i}",
+                       executor=fake_executor)
+            server = make_server(d)
+            threading.Thread(
+                target=server.serve_forever, daemon=True
+            ).start()
+            d.start()
+            host, port = server.server_address[:2]
+            daemons.append(d)
+            servers.append(server)
+            endpoints.append(f"http://{host}:{port}")
+        try:
+            payload = {
+                "apps": ["lu"], "kinds": ["base", "ds"],
+                "windows": [16], "penalties": [25, 50],
+                "procs": 4, "preset": "tiny",
+            }
+            report = dispatch(endpoints, payload, timeout=20)
+            assert report.ok
+            assert len(report.shards) == 2
+            expected = [j.label() for j in
+                        sweep_from_request(payload)]
+            assert [r["label"] for r in report.results] == expected
+            # Each daemon computed only its own disjoint shard.
+            per_daemon = [len(d.store.keys()) for d in daemons]
+            assert sum(per_daemon) == len(expected)
+            assert all(n > 0 for n in per_daemon)
+        finally:
+            for server in servers:
+                server.shutdown()
+            for d in daemons:
+                d.stop()
+            for server in servers:
+                server.server_close()
+
+
+@pytest.fixture(scope="module")
+def warm_traces(tmp_path_factory):
+    """Shared tiny trace cache so real-simulation tests stay fast."""
+    from repro.experiments.runner import TraceStore
+
+    cache = tmp_path_factory.mktemp("daemon-traces")
+    TraceStore(n_procs=4, preset="tiny", cache_dir=cache).get("lu")
+    return cache
+
+
+class TestByteIdentityWithBatch:
+    def test_daemon_results_byte_identical_to_batch(
+        self, tmp_path, warm_traces
+    ):
+        """Acceptance: the daemon path and the batch path store
+        byte-identical payloads under identical keys."""
+        sweep = _sweep(kinds=("base", "ds"))
+        batch = run_batch(
+            sweep, cache_dir=warm_traces,
+            out_dir=tmp_path / "batches",
+            store_dir=tmp_path / "batch-store",
+        )
+        assert not batch.partial
+
+        d = Daemon(store_dir=tmp_path / "daemon-store",
+                   cache_dir=warm_traces)
+        d.start()
+        try:
+            job, _ = d.submit({
+                "apps": ["lu"], "kinds": ["base", "ds"],
+                "windows": [16], "procs": 4, "preset": "tiny",
+            })
+            final = _wait_done(d, job.id, timeout=60)
+            assert final.state == JOB_DONE
+        finally:
+            d.stop()
+
+        batch_store = ResultStore(tmp_path / "batch-store")
+        daemon_store = ResultStore(tmp_path / "daemon-store")
+        keys = batch_store.keys()
+        assert sorted(keys) == sorted(daemon_store.keys())
+        for key in keys:
+            assert (
+                daemon_store.get_bytes(key)
+                == batch_store.get_bytes(key)
+            )
+
+    def test_warm_daemon_skips_trace_regeneration(
+        self, tmp_path, warm_traces
+    ):
+        """A second sweep over the same traces must not rebuild them."""
+        d = Daemon(store_dir=tmp_path / "store", cache_dir=warm_traces)
+        d.start()
+        try:
+            first, _ = d.submit({"apps": ["lu"], "windows": [16],
+                                 "procs": 4, "preset": "tiny"})
+            assert _wait_done(d, first.id, timeout=60).state == JOB_DONE
+            builds_before = d.metrics.get("trace.builds")
+            builds_before = (
+                builds_before.value if builds_before else 0
+            )
+            # Different window: same trace, new simulation.
+            second, _ = d.submit({"apps": ["lu"], "windows": [32],
+                                  "procs": 4, "preset": "tiny"})
+            assert _wait_done(d, second.id, timeout=60).state == JOB_DONE
+            builds_after = d.metrics.get("trace.builds")
+            builds_after = builds_after.value if builds_after else 0
+            warm_hits = d.metrics.get("trace.warm_hits").value
+            assert builds_after == builds_before
+            assert warm_hits >= 1
+        finally:
+            d.stop()
+
+
+class TestServeSignal:
+    def test_sigterm_drains_and_exits_130(self, tmp_path):
+        """SIGTERM against a live daemon: HTTP stops, the daemon
+        drains within its grace budget, exit code is 130."""
+        cmd = [
+            sys.executable, "-u", "-m", "repro",
+            "--preset", "tiny", "--procs", "4",
+            "--cache-dir", str(tmp_path / "traces"),
+            "serve", "--port", "0", "--grace", "5",
+            "--store", str(tmp_path / "store"),
+        ]
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(repo_src))
+        proc = subprocess.Popen(
+            cmd, env=env, start_new_session=True,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            banner = proc.stdout.readline().decode()
+            match = re.search(r"http://([\d.]+):(\d+)", banner)
+            assert match, banner
+            client = DaemonClient(match.group(0))
+            accepted = client.submit({
+                "apps": ["lu"], "kinds": ["base"], "procs": 4,
+                "preset": "tiny",
+            })
+            final = client.wait(accepted["id"], timeout=60)
+            assert final["state"] == "done"
+            t0 = time.monotonic()
+            os.killpg(proc.pid, signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+            elapsed = time.monotonic() - t0
+        finally:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+        assert proc.returncode == 130, out.decode()
+        assert elapsed < 10.0  # grace is 5s; shutdown is bounded

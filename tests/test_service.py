@@ -326,6 +326,36 @@ class TestSweepGrid:
         assert shard(jobs, 100) == [[j] for j in jobs]
 
 
+class TestShardDeterminism:
+    """The multi-endpoint dispatcher depends on these properties."""
+
+    GRID = dict(
+        apps=("lu", "mp3d"), kinds=("base", "ssbr", "ds"),
+        models=("SC", "RC"), windows=(16, 64), penalties=(50, 100),
+    )
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 7, 64])
+    def test_same_grid_same_partition(self, n_shards):
+        first = shard(expand_grid(**self.GRID), n_shards)
+        second = shard(expand_grid(**self.GRID), n_shards)
+        assert first == second
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 7, 64])
+    def test_disjoint_and_exhaustive(self, n_shards):
+        jobs = expand_grid(**self.GRID)
+        shards = shard(jobs, n_shards)
+        flat = [job for part in shards for job in part]
+        # Exhaustive and order-preserving ...
+        assert flat == jobs
+        # ... and disjoint (no job appears in two shards).
+        labels = [job.label() for job in flat]
+        assert len(labels) == len(set(labels))
+
+    def test_sizes_balanced(self):
+        shards = shard(list(range(10)), 4)
+        assert [len(s) for s in shards] == [3, 3, 2, 2]
+
+
 @pytest.fixture(scope="module")
 def batch_env(tmp_path_factory):
     """Shared trace cache + sweep for the batch tests (tiny preset)."""
@@ -359,6 +389,36 @@ class TestRunBatch:
         assert again.batch_id == first.batch_id
         assert all(r.source == "store" for r in again.records)
         assert not again.partial
+        # Store-served jobs start and finish at acceptance: zero run
+        # time, but the queue-latency fields are still populated.
+        for record in again.records:
+            assert record.started_at == record.finished_at
+            assert record.queue_latency is not None
+
+    def test_state_json_records_queue_timestamps(
+        self, tmp_path, batch_env
+    ):
+        import json
+
+        from repro.service import format_status
+
+        cache, sweep = batch_env
+        report = run_batch(
+            sweep, jobs=2, cache_dir=cache, out_dir=tmp_path / "out"
+        )
+        state = json.loads(
+            (report.out_dir / "state.json").read_text()
+        )
+        for job in state["jobs"]:
+            assert job["queued_at"] is not None
+            assert job["started_at"] >= job["queued_at"]
+            assert job["finished_at"] >= job["started_at"]
+        # status renders real wait/run figures from the timestamps.
+        rendered = format_status(state)
+        assert "wait " in rendered and "run " in rendered
+        for record in report.records:
+            assert record.queue_latency >= 0.0
+            assert record.run_seconds >= 0.0
 
     def test_chaos_batch_degrades_gracefully(self, tmp_path, batch_env):
         cache, sweep = batch_env
