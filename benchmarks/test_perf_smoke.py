@@ -151,24 +151,39 @@ def test_perf_smoke():
     check, verify_s = _timed(lambda: check_execution(log, "SC"))
     assert check.ok
 
-    # Instrumentation overhead on the DS replay loop.  The disabled
+    # Instrumentation overhead on the DS replay loop, measured on BOTH
+    # engines explicitly: the event-driven fast path (where a stray
+    # per-instruction hook would be catastrophic relative to the
+    # vectorized loop) and the scalar reference path.  The disabled
     # path (a probe with metrics off and no tracer resolves to None
-    # inside the models) is guarded at <=2%; the fully enabled path
-    # (occupancy histograms + a Chrome trace span per instruction) at
-    # <=40%.
+    # inside the models) is guarded at <=2% on each; the fully enabled
+    # path (occupancy histograms + a Chrome trace span per
+    # instruction) at <=40% on the fast engine.
     from repro.obs import ChromeTracer, MetricsRegistry, Probe
 
+    fast_cfg = ProcessorConfig(
+        kind="ds", model="RC", window=256, engine="fast"
+    )
+    ref_cfg = ProcessorConfig(
+        kind="ds", model="RC", window=256, engine="reference"
+    )
     plain_s, disabled_s, enabled_s = _race(
-        lambda: simulate(trace, ds_cfg),
-        lambda: simulate(trace, ds_cfg, probe=Probe()),
+        lambda: simulate(trace, fast_cfg),
+        lambda: simulate(trace, fast_cfg, probe=Probe()),
         lambda: simulate(
-            trace, ds_cfg,
+            trace, fast_cfg,
             probe=Probe(metrics=MetricsRegistry(), tracer=ChromeTracer()),
         ),
         reps=9,
     )
     obs_disabled_ratio = disabled_s / plain_s
     obs_enabled_ratio = enabled_s / plain_s
+    ref_plain_s, ref_disabled_s = _race(
+        lambda: simulate(trace, ref_cfg),
+        lambda: simulate(trace, ref_cfg, probe=Probe()),
+        reps=5,
+    )
+    obs_disabled_ratio_ref = ref_disabled_s / ref_plain_s
 
     # Daemon cold vs. warm: the first sweep through a fresh daemon pays
     # trace generation; a second sweep over the same traces (different
@@ -232,6 +247,7 @@ def test_perf_smoke():
         "verify_seconds": round(verify_s, 4),
         "verify_events_per_s": round(len(log) / verify_s),
         "obs_disabled_overhead": round(obs_disabled_ratio, 4),
+        "obs_disabled_overhead_ref": round(obs_disabled_ratio_ref, 4),
         "obs_enabled_seconds": round(enabled_s, 4),
         "obs_enabled_overhead": round(obs_enabled_ratio, 2),
         "daemon_cold_seconds": round(daemon_cold_s, 4),
@@ -257,9 +273,13 @@ def test_perf_smoke():
     # cannot flake them, but any real regression to scalar parity trips.
     assert payload["static_speedup"] >= 2.0, payload["static_speedup"]
     assert payload["ds_event_speedup"] >= 1.2, payload["ds_event_speedup"]
-    # Observability off may cost at most 2% on the replay hot loop;
+    # Observability off may cost at most 2% on the replay hot loop —
+    # on the event-driven engine AND the scalar reference engine;
     # fully on (histograms + per-instruction spans) at most 40%.
     assert obs_disabled_ratio <= 1.02, payload["obs_disabled_overhead"]
+    assert obs_disabled_ratio_ref <= 1.02, (
+        payload["obs_disabled_overhead_ref"]
+    )
     assert obs_enabled_ratio <= 1.4, payload["obs_enabled_overhead"]
     # A warm daemon sweep must not regenerate traces (that is its whole
     # point) and must beat the cold sweep that built them.

@@ -30,7 +30,15 @@ Commands:
 * ``submit`` / ``watch`` — client side of the daemon: submit a config
   grid over HTTP (several ``--endpoint`` values shard the grid across
   daemons and merge the results) and follow a submission to
-  completion.
+  completion.  ``submit --trace-out`` mints a distributed trace id,
+  collects every daemon's spans for the submission and writes one
+  stitched, validated Perfetto timeline.
+* ``top`` — live fleet view: poll one or more daemons' health and
+  metrics endpoints and render queue/worker/cache state in the
+  terminal (``--once`` for a single CI-friendly sample).
+* ``bench`` — append the perf smoke's ``BENCH_core.json`` numbers to
+  a timestamped history file and (``--check``) gate the
+  machine-independent ratio metrics against a committed baseline.
 * ``all`` — regenerate everything into ``results/``.
 
 Exit codes are uniform across subcommands (see the README table):
@@ -42,8 +50,10 @@ batch results, 130 interrupted by SIGINT/SIGTERM.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 from pathlib import Path
 
 from . import MultiprocessorConfig, TangoExecutor, build_app
@@ -213,13 +223,15 @@ def cmd_profile(args) -> int:
     )
     argv_echo = (
         f"python -m repro --procs {args.procs} --preset {args.preset} "
+        f"--engine {args.engine} "
         f"profile {args.app} --kind {args.kind} --model {args.model} "
         f"--window {args.window} --network {args.network}"
     )
     result = obs.run_profile(
         args.app, store,
         kind=args.kind, model=args.model, window=args.window,
-        network=args.network, trace=args.trace, metrics=args.metrics,
+        network=args.network, engine=args.engine,
+        trace=args.trace, metrics=args.metrics,
         out_dir=args.out, command=argv_echo,
     )
     print(result.report)
@@ -335,7 +347,17 @@ def _format_remote_results(rows: list[dict], title: str) -> str:
     )
 
 
+def _logger_from_args(args):
+    """A :class:`JsonLogger` for ``--log-file``, or None when unset."""
+    if not getattr(args, "log_file", None):
+        return None
+    from .obs.log import JsonLogger
+
+    return JsonLogger.to_path(args.log_file, level=args.log_level)
+
+
 def cmd_serve(args) -> int:
+    log = _logger_from_args(args)
     daemon = service.Daemon(
         store_dir=args.store,
         cache_dir=args.cache_dir,
@@ -345,19 +367,62 @@ def cmd_serve(args) -> int:
         max_attempts=args.max_attempts,
         seed=args.seed,
         grace=args.grace,
+        log=log,
     )
-    return service.serve(daemon, args.host, args.port, banner=print)
+    try:
+        return service.serve(daemon, args.host, args.port, banner=print)
+    finally:
+        if log is not None:
+            log.close()
+
+
+def _write_submit_trace(path, trace, spans, t0, t1) -> int:
+    """Stitch, validate and write a submission's distributed trace.
+
+    ``spans`` are the daemons' spans for ``trace``; the client's own
+    submit span (the trace root, covering the whole round trip) is
+    added here.  Returns 1 when the stitched timeline fails
+    :func:`~repro.obs.tracer.validate_trace` — CI asserts trace
+    integrity through this exit code, no extra script needed.
+    """
+    from .obs.spans import Span, stitch
+    from .obs.tracer import validate_trace
+
+    root = Span(
+        trace.trace_id, trace.span_id, None,
+        "submit", "client", "main", t0, t1,
+        args={"n_daemon_spans": len(spans)},
+    )
+    doc = stitch([root] + list(spans))
+    errors = validate_trace(doc)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, sort_keys=True) + "\n")
+    print(
+        f"trace {trace.trace_id}: {len(spans) + 1} spans -> {out}"
+    )
+    if errors:
+        for err in errors:
+            print(f"TRACE VALIDATION FAILED: {err}")
+        return EXIT_FAILURE
+    return EXIT_OK
 
 
 def cmd_submit(args) -> int:
     payload = _grid_payload(args)
     timeout = args.timeout if args.timeout > 0 else None
+    trace = None
+    if args.trace_out:
+        from .obs.context import TraceContext
+
+        trace = TraceContext.mint()
+    t0 = time.time()
     if len(args.endpoint) > 1:
         # Shard dispatch: partition the expanded grid across daemons
         # and merge the per-shard results back into grid order.
         report = service.dispatch(
             args.endpoint, payload,
-            timeout=timeout, interval=args.interval,
+            timeout=timeout, interval=args.interval, trace=trace,
         )
         print(report.format_summary())
         if report.results:
@@ -365,17 +430,24 @@ def cmd_submit(args) -> int:
             print(_format_remote_results(
                 report.results, "Merged sharded results"
             ))
-        return EXIT_OK if report.ok else EXIT_PARTIAL
+        rc = EXIT_OK if report.ok else EXIT_PARTIAL
+        if trace is not None:
+            trace_rc = _write_submit_trace(
+                args.trace_out, trace, report.spans, t0, time.time()
+            )
+            if trace_rc != EXIT_OK:
+                return trace_rc
+        return rc
 
     client = service.DaemonClient(args.endpoint[0])
-    accepted = client.submit(payload)
+    accepted = client.submit(payload, trace=trace)
     verb = "duplicate of" if accepted["deduped"] else "accepted as"
     print(
         f"{verb} job {accepted['id']} "
         f"({accepted['n_subruns']} sub-runs, "
         f"state {accepted['state']})"
     )
-    if not args.wait:
+    if not args.wait and trace is None:
         return EXIT_OK
     final = client.wait(
         accepted["id"], timeout=timeout, interval=args.interval
@@ -391,7 +463,42 @@ def cmd_submit(args) -> int:
         print(_format_remote_results(
             rows, f"Job {final['id']} — completed results"
         ))
-    return EXIT_OK if final["state"] == "done" else EXIT_PARTIAL
+    rc = EXIT_OK if final["state"] == "done" else EXIT_PARTIAL
+    if trace is not None:
+        trace_rc = _write_submit_trace(
+            args.trace_out, trace,
+            client.trace_spans(trace.trace_id), t0, time.time(),
+        )
+        if trace_rc != EXIT_OK:
+            return trace_rc
+    return rc
+
+
+def _format_subrun_timing(final: dict) -> str | None:
+    """Per-sub-run wait/run seconds from the job's wall timestamps."""
+    subruns = final.get("subruns") or []
+    if not subruns:
+        return None
+    from .experiments.report import format_table  # lazy: avoid cycle
+
+    def sec(a, b):
+        return f"{b - a:.2f}" if a is not None and b is not None else "-"
+
+    return format_table(
+        ["job", "state", "source", "attempts", "wait_s", "run_s"],
+        [
+            [
+                sub.get("label", "?"),
+                sub.get("state", "?"),
+                sub.get("source") or "-",
+                sub.get("attempts", 0),
+                sec(sub.get("queued_at"), sub.get("started_at")),
+                sec(sub.get("started_at"), sub.get("finished_at")),
+            ]
+            for sub in subruns
+        ],
+        title=f"Job {final['id']} — per-sub-run timing",
+    )
 
 
 def cmd_watch(args) -> int:
@@ -416,7 +523,100 @@ def cmd_watch(args) -> int:
         interval=args.interval,
         on_poll=on_poll,
     )
+    timing = _format_subrun_timing(final)
+    if timing:
+        print(timing)
     return EXIT_OK if final["state"] == "done" else EXIT_PARTIAL
+
+
+def _top_table(endpoints: list[str]) -> tuple[str, int]:
+    """One fleet sample: a rendered table plus the live-endpoint count.
+
+    Reads each daemon's ``/v1/healthz`` and ``/v1/metrics`` snapshot;
+    a dead endpoint renders as a DOWN row instead of failing the view.
+    """
+    from .experiments.report import format_table  # lazy: avoid cycle
+
+    headers = [
+        "endpoint", "state", "queue", "ewma_s", "workers",
+        "done", "retry", "quar", "cache", "wait_s", "run_s",
+    ]
+    rows = []
+    up = 0
+    for url in endpoints:
+        client = service.DaemonClient(url, timeout=5.0)
+        try:
+            health = client.healthz()
+            snap = client.metrics()
+        except service.ClientError:
+            rows.append([url, "DOWN"] + ["-"] * (len(headers) - 2))
+            continue
+        up += 1
+        counters = snap.get("counters", {})
+        gauges = snap.get("gauges", {})
+        hists = snap.get("histograms", {})
+        busy = gauges.get('service.workers{state="busy"}', 0)
+        idle = gauges.get('service.workers{state="idle"}', 0)
+        hits = counters.get("daemon.result_cache_hits", 0)
+        lookups = hits + counters.get("daemon.result_cache_misses", 0)
+        wait = hists.get("daemon.job_wait_seconds") or {}
+        run = hists.get("daemon.job_run_seconds") or {}
+        rows.append([
+            url,
+            health.get("status", "?"),
+            gauges.get("daemon.queue_depth", 0),
+            f"{gauges.get('daemon.drain_ewma_seconds', 0):.2f}",
+            f"{busy}/{busy + idle}" if busy + idle else "-",
+            counters.get("daemon.jobs_done", 0),
+            counters.get("service.retries", 0),
+            counters.get("service.quarantined", 0),
+            f"{hits}/{lookups}" if lookups else "-",
+            f"{wait['mean']:.3f}" if wait.get("count") else "-",
+            f"{run['mean']:.3f}" if run.get("count") else "-",
+        ])
+    table = format_table(
+        headers, rows,
+        title=f"repro fleet — {up}/{len(endpoints)} endpoint(s) up",
+    )
+    return table, up
+
+
+def cmd_top(args) -> int:
+    if args.once:
+        table, up = _top_table(args.endpoint)
+        print(table)
+        return EXIT_OK if up else EXIT_IO
+    try:
+        while True:
+            table, _ = _top_table(args.endpoint)
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home
+            print(time.strftime("%H:%M:%S"), "(Ctrl-C to quit)")
+            print(table, flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return EXIT_OK
+
+
+def cmd_bench(args) -> int:
+    from . import bench
+
+    payload = bench.load_payload(args.input)
+    if args.record:
+        entry = bench.append_history(payload, args.history)
+        runs = len(bench.load_history(args.history))
+        print(
+            f"recorded bench run {entry['recorded_at']} "
+            f"(rev {entry['revision'] or 'unknown'}) -> "
+            f"{args.history} ({runs} run(s))"
+        )
+    if args.check:
+        baseline = bench.load_payload(args.baseline)
+        deltas = bench.check(payload, baseline)
+        print(bench.format_check(deltas))
+        if not deltas or any(not d.ok for d in deltas):
+            return EXIT_FAILURE
+    return EXIT_OK
 
 
 def cmd_batch(args) -> int:
@@ -448,19 +648,33 @@ def cmd_batch(args) -> int:
             ("max-attempts", args.max_attempts),
         )
     )
-    report = service.run_batch(
-        grid,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        out_dir=args.out,
-        store_dir=args.store,
-        timeout=args.timeout if args.timeout > 0 else None,
-        max_attempts=args.max_attempts,
-        seed=args.seed,
-        chaos=_chaos_from_args(args),
-        command=command,
-    )
+    log = _logger_from_args(args)
+    trace = None
+    if args.trace:
+        from .obs.context import TraceContext
+
+        trace = TraceContext.mint()
+    try:
+        report = service.run_batch(
+            grid,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            out_dir=args.out,
+            store_dir=args.store,
+            timeout=args.timeout if args.timeout > 0 else None,
+            max_attempts=args.max_attempts,
+            seed=args.seed,
+            chaos=_chaos_from_args(args),
+            command=command,
+            log=log,
+            trace=trace,
+        )
+    finally:
+        if log is not None:
+            log.close()
     print(report.format_summary())
+    if trace is not None:
+        print(f"trace {trace.trace_id}: {report.out_dir / 'trace.json'}")
     return EXIT_PARTIAL if report.partial else EXIT_OK
 
 
@@ -752,6 +966,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="submit the grid to running daemon(s) "
                               "instead of a local pool; several URLs "
                               "shard the grid across them")
+    p_batch.add_argument("--trace", action="store_true",
+                         help="record a distributed trace of the batch "
+                              "(supervisor, per-job, per-attempt and "
+                              "worker spans) and write a stitched "
+                              "Perfetto timeline to <batch>/trace.json")
+    p_batch.add_argument("--log-file", default=None, metavar="PATH",
+                         help="append structured JSONL logs (queue, "
+                              "pool, chaos, degradation events) here")
+    p_batch.add_argument("--log-level", default="info",
+                         choices=("debug", "info", "warning", "error"),
+                         help="minimum level written to --log-file")
     p_batch.set_defaults(func=cmd_batch)
 
     p_serve = sub.add_parser(
@@ -794,6 +1019,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--store",
                          default=str(service.DEFAULT_DAEMON_DIR / "store"),
                          help="content-addressed result store directory")
+    p_serve.add_argument("--log-file", default=None, metavar="PATH",
+                         help="append structured JSONL logs (lifecycle, "
+                              "queue admission, pool supervision) here")
+    p_serve.add_argument("--log-level", default="info",
+                         choices=("debug", "info", "warning", "error"),
+                         help="minimum level written to --log-file")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -834,6 +1065,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="max seconds to wait (0 = unlimited)")
     p_submit.add_argument("--interval", type=float, default=0.2,
                           help="poll interval in seconds")
+    p_submit.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="mint a distributed trace id for the "
+                               "submission, collect every endpoint's "
+                               "spans and write one stitched, validated "
+                               "Perfetto timeline here (implies --wait; "
+                               "exits 1 if validation fails)")
     p_submit.set_defaults(func=cmd_submit)
 
     p_watch = sub.add_parser(
@@ -868,6 +1105,57 @@ def build_parser() -> argparse.ArgumentParser:
                            default=str(service.DEFAULT_BATCH_DIR),
                            help="batch state directory")
     p_results.set_defaults(func=cmd_results)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal view of daemon fleet metrics",
+        description=(
+            "Poll one or more daemons' /v1/healthz and /v1/metrics "
+            "endpoints and render queue depth, drain-rate EWMA, worker "
+            "busy/idle counts, retry/quarantine counters, result-cache "
+            "hit ratio and mean job wait/run latency in one table, "
+            "refreshed every --interval seconds.  A dead endpoint "
+            "shows as a DOWN row.  --once prints a single sample and "
+            "exits (0 if any endpoint answered, 4 if none did)."
+        ),
+    )
+    p_top.add_argument("--endpoint", nargs="+", required=True,
+                       metavar="URL",
+                       help="daemon base URL(s) to watch")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="refresh interval in seconds")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one sample and exit (CI-friendly)")
+    p_top.set_defaults(func=cmd_top)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="record/check the perf trajectory from BENCH_core.json",
+        description=(
+            "Append the perf smoke test's BENCH_core.json payload to a "
+            "JSONL history file (stamped with a UTC timestamp and the "
+            "git revision), and — with --check — compare the "
+            "machine-independent ratio metrics (engine speedups, "
+            "instrumentation overheads) against a committed baseline "
+            "with per-metric tolerances, exiting 1 on any regression."
+        ),
+    )
+    p_bench.add_argument("--input", default="BENCH_core.json",
+                         metavar="PATH",
+                         help="current bench payload (written by the "
+                              "perf smoke test)")
+    p_bench.add_argument("--history", default="BENCH_history.jsonl",
+                         metavar="PATH",
+                         help="JSONL history file to append to")
+    p_bench.add_argument("--no-record", dest="record",
+                         action="store_false",
+                         help="skip appending to the history file")
+    p_bench.add_argument("--check", action="store_true",
+                         help="gate ratio metrics against --baseline")
+    p_bench.add_argument("--baseline", default="BENCH_core.json",
+                         metavar="PATH",
+                         help="baseline payload for --check")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_all = sub.add_parser("all", help="regenerate everything")
     p_all.add_argument("--output", default="results")

@@ -17,8 +17,19 @@ executor):
 * :func:`run_profile` — the ``python -m repro profile`` entry point:
   one instrumented run reported as occupancy histograms, stall
   attribution, and trace + machine-readable manifest on disk.
+
+The fleet tier builds on the same primitives: :class:`TraceContext`
+(distributed trace identity propagated via the ``X-Repro-Trace``
+header), :class:`Span`/:class:`SpanSink`/:func:`stitch` (cross-process
+span collection folded into one Perfetto timeline),
+:class:`JsonLogger` (structured JSONL logs with trace/job correlation)
+and :func:`render_prometheus` (metrics in Prometheus text format).
 """
 
+from .context import HEADER as TRACE_HEADER
+from .context import TraceContext
+from .log import LEVELS as LOG_LEVELS
+from .log import NULL_LOG, JsonLogger
 from .manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
@@ -28,6 +39,7 @@ from .manifest import (
 )
 from .metrics import (
     LATENCY_BOUNDS,
+    SECONDS_BOUNDS,
     Counter,
     Gauge,
     Histogram,
@@ -35,10 +47,20 @@ from .metrics import (
     NULL_REGISTRY,
     Reservoir,
     format_histogram,
+    label_key,
     occupancy_bounds,
 )
 from .probe import Probe
 from .profile import PROFILE_MODELS, ProfileResult, run_profile
+from .prom import PROM_CONTENT_TYPE, prom_name, render_prometheus
+from .spans import (
+    CAT_SERVICE,
+    Span,
+    SpanSink,
+    read_spans,
+    stitch,
+    write_spans,
+)
 from .tracer import (
     CAT_CPU,
     CAT_MEM,
@@ -52,25 +74,41 @@ __all__ = [
     "CAT_CPU",
     "CAT_MEM",
     "CAT_NET",
+    "CAT_SERVICE",
     "CAT_SYNC",
     "ChromeTracer",
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonLogger",
     "LATENCY_BOUNDS",
+    "LOG_LEVELS",
     "MANIFEST_SCHEMA",
     "MetricsRegistry",
+    "NULL_LOG",
     "NULL_REGISTRY",
     "PROFILE_MODELS",
+    "PROM_CONTENT_TYPE",
     "Probe",
     "ProfileResult",
     "Reservoir",
+    "SECONDS_BOUNDS",
+    "Span",
+    "SpanSink",
+    "TRACE_HEADER",
+    "TraceContext",
     "build_manifest",
     "format_histogram",
     "git_revision",
+    "label_key",
     "occupancy_bounds",
+    "prom_name",
+    "read_spans",
+    "render_prometheus",
     "run_profile",
+    "stitch",
     "validate_manifest",
     "validate_trace",
     "write_manifest",
+    "write_spans",
 ]

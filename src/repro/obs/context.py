@@ -1,0 +1,67 @@
+"""Trace context: the identity a job carries across process boundaries.
+
+A :class:`TraceContext` is a ``(trace_id, span_id)`` pair.  The trace id
+names the whole distributed operation (one batch submission, however
+many shards / retries / workers it fans out to); the span id names one
+node in that operation's tree.  The client mints the root context,
+serialises it into the ``X-Repro-Trace`` HTTP header (or a batch job
+payload), and every layer downstream — queue, supervisor, worker,
+engine — records its own child spans under the same trace id.
+
+Wire format (header value and payload field alike)::
+
+    <trace_id:16 hex>-<span_id:8 hex>
+
+Ids come from :func:`os.urandom`, so concurrently minted contexts never
+collide and no cross-process coordination is needed.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+#: HTTP header carrying the serialized context.
+HEADER = "X-Repro-Trace"
+
+_WIRE_RE = re.compile(r"^([0-9a-f]{16})-([0-9a-f]{8})$")
+
+
+def _hex(n_bytes: int) -> str:
+    return os.urandom(n_bytes).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One node of a distributed trace (see module doc)."""
+
+    trace_id: str
+    span_id: str
+
+    @classmethod
+    def mint(cls) -> TraceContext:
+        """A fresh root context with random trace and span ids."""
+        return cls(trace_id=_hex(8), span_id=_hex(4))
+
+    @classmethod
+    def parse(cls, value: str) -> TraceContext:
+        """Parse the wire format; raises ``ValueError`` on junk."""
+        m = _WIRE_RE.match(value.strip().lower())
+        if not m:
+            raise ValueError(
+                f"bad trace header {value!r}; expected "
+                "<16 hex>-<8 hex>"
+            )
+        return cls(trace_id=m.group(1), span_id=m.group(2))
+
+    def header(self) -> str:
+        """The wire form, suitable for the ``X-Repro-Trace`` header."""
+        return f"{self.trace_id}-{self.span_id}"
+
+    def child(self) -> TraceContext:
+        """A new span under the same trace."""
+        return TraceContext(trace_id=self.trace_id, span_id=_hex(4))
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, "parent_id": self.span_id}

@@ -1,0 +1,132 @@
+"""Structured JSONL logging for the service layer.
+
+One log line per event, each a self-contained JSON object::
+
+    {"ts": 1754556000.123, "mono": 12.345678, "level": "info",
+     "event": "queue.accepted", "job": "9f2c...", "trace": "ab31..."}
+
+Design points:
+
+* **stdlib only** — a thin wrapper over an opened text stream, not the
+  ``logging`` module, so there is no global handler state to collide
+  with embedding applications;
+* **contextual binding** — :meth:`JsonLogger.bind` returns a child
+  logger whose extra fields (run / trace / job ids) ride on every
+  subsequent line, which is how one request stays correlated across
+  daemon, queue, pool and worker events;
+* **two clocks** — every line carries the wall clock (``ts``, unix
+  seconds, for humans and cross-host correlation) and the monotonic
+  clock (``mono``, for exact in-process deltas that survive NTP
+  steps);
+* **opt-in** — the shared :data:`NULL_LOG` swallows everything, so
+  call sites hold a logger unconditionally, exactly like the metrics
+  registry's null instruments.
+
+Writes are line-atomic under a lock shared by all children, so threads
+(and the daemon's HTTP handler pool) can log concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class JsonLogger:
+    """Leveled JSONL logger writing to one text stream (see module doc)."""
+
+    def __init__(
+        self,
+        stream=None,
+        *,
+        level: str = "info",
+        fields: dict | None = None,
+        _shared: dict | None = None,
+    ) -> None:
+        if level not in _LEVEL_RANK:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {LEVELS}"
+            )
+        self.level = level
+        self._rank = _LEVEL_RANK[level]
+        self._fields = dict(fields or {})
+        # Stream, lock and the owned-file handle live in state shared
+        # by every child bind(), so close() closes for all of them.
+        self._shared = _shared if _shared is not None else {
+            "stream": stream,
+            "lock": threading.Lock(),
+            "owns": False,
+        }
+
+    @classmethod
+    def to_path(cls, path, *, level: str = "info") -> JsonLogger:
+        """A logger appending to ``path`` (parent dirs created)."""
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        logger = cls(path.open("a", buffering=1), level=level)
+        logger._shared["owns"] = True
+        return logger
+
+    @property
+    def enabled(self) -> bool:
+        return self._shared["stream"] is not None
+
+    def bind(self, **fields) -> JsonLogger:
+        """A child logger with ``fields`` merged onto every line."""
+        return JsonLogger(
+            level=self.level,
+            fields={**self._fields, **fields},
+            _shared=self._shared,
+        )
+
+    def log(self, level: str, event: str, **fields) -> None:
+        stream = self._shared["stream"]
+        if stream is None or _LEVEL_RANK.get(level, 99) < self._rank:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "mono": round(time.monotonic(), 6),
+            "level": level,
+            "event": event,
+            **self._fields,
+            **fields,
+        }
+        line = json.dumps(record, sort_keys=False, default=str)
+        with self._shared["lock"]:
+            try:
+                stream.write(line + "\n")
+            except (OSError, ValueError):
+                pass  # logging must never take the service down
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+    def close(self) -> None:
+        with self._shared["lock"]:
+            stream = self._shared["stream"]
+            self._shared["stream"] = None
+            if stream is not None and self._shared["owns"]:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+
+
+#: Shared disabled logger for callers that want "logging or nothing".
+NULL_LOG = JsonLogger()

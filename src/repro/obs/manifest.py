@@ -86,6 +86,15 @@ def validate_manifest(obj) -> list[str]:
     for name in ("config", "timings", "outputs"):
         if name in obj and not isinstance(obj[name], dict):
             errors.append(f"{name} is not an object")
+    config = obj.get("config")
+    if isinstance(config, dict):
+        # A run is not reproducible without knowing which simulation
+        # engine and interconnect backend produced it.  Batch manifests
+        # record the swept set as "networks" (plural).
+        if "engine" not in config:
+            errors.append("config missing 'engine'")
+        if "network" not in config and "networks" not in config:
+            errors.append("config missing 'network' (or 'networks')")
     for label, entry in (obj.get("outputs") or {}).items():
         if not isinstance(entry, dict) or "path" not in entry:
             errors.append(f"output {label!r} has no path")

@@ -23,6 +23,28 @@ from bisect import bisect_left
 #: Default histogram bucket upper bounds (cycles / latencies).
 LATENCY_BOUNDS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000)
 
+#: Histogram bucket upper bounds for wall-clock durations in seconds
+#: (service-layer job wait/run latencies).
+SECONDS_BOUNDS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+
+def label_key(name: str, labels: dict | None) -> str:
+    """The registry key for an instrument: ``name{k="v",...}``.
+
+    Unlabeled instruments keep the bare name, so every pre-existing
+    call site (and ``snapshot()`` consumer) is unchanged.  Label pairs
+    are sorted, so ``{"a": 1, "b": 2}`` and ``{"b": 2, "a": 1}``
+    address the same instrument.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{k}="{labels[k]}"' for k in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
 
 def occupancy_bounds(capacity: int) -> tuple[int, ...]:
     """Power-of-two bucket bounds for an occupancy in ``0..capacity``."""
@@ -38,10 +60,11 @@ def occupancy_bounds(capacity: int) -> tuple[int, ...]:
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
     def __init__(self, name: str) -> None:
         self.name = name
+        self.labels: dict = {}
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
@@ -59,10 +82,11 @@ class Gauge:
     submit and dropped on dispatch.
     """
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
     def __init__(self, name: str) -> None:
         self.name = name
+        self.labels: dict = {}
         self.value = 0
 
     def set(self, value) -> None:
@@ -87,10 +111,13 @@ class Histogram:
     from the event-driven models' multi-cycle jumps.
     """
 
-    __slots__ = ("name", "bounds", "counts", "total", "count", "max")
+    __slots__ = (
+        "name", "labels", "bounds", "counts", "total", "count", "max",
+    )
 
     def __init__(self, name: str, bounds=LATENCY_BOUNDS) -> None:
         self.name = name
+        self.labels: dict = {}
         self.bounds = tuple(sorted(bounds))
         self.counts = [0] * (len(self.bounds) + 1)
         self.total = 0
@@ -139,12 +166,16 @@ class Reservoir:
     of overflowing — and identically for identical runs.
     """
 
-    __slots__ = ("name", "capacity", "times", "values", "_stride", "_seen")
+    __slots__ = (
+        "name", "labels", "capacity", "times", "values",
+        "_stride", "_seen",
+    )
 
     def __init__(self, name: str, capacity: int = 1024) -> None:
         if capacity < 2:
             raise ValueError("reservoir capacity must be >= 2")
         self.name = name
+        self.labels: dict = {}
         self.capacity = capacity
         self.times: list[int] = []
         self.values: list = []
@@ -177,6 +208,7 @@ class _NullInstrument:
 
     __slots__ = ()
     name = "<disabled>"
+    labels: dict = {}
     value = 0
     total = 0
     count = 0
@@ -217,41 +249,62 @@ class MetricsRegistry:
     every factory returns the shared null instrument and
     :meth:`snapshot` is empty.  Re-requesting a name returns the same
     instrument; requesting it as a different kind is an error.
+
+    Instruments may carry **labels** (``labels={"state": "busy"}``):
+    each distinct label set is its own instrument under the family
+    ``name``, keyed (and snapshotted) as ``name{state="busy"}`` — the
+    form the Prometheus encoder in :mod:`repro.obs.prom` groups back
+    into one metric family.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._instruments: dict[str, object] = {}
 
-    def _get(self, name: str, kind, *args, **kwargs):
+    def _get(self, name: str, kind, *args, labels=None):
         if not self.enabled:
             return _NULL
-        inst = self._instruments.get(name)
+        key = label_key(name, labels)
+        inst = self._instruments.get(key)
         if inst is None:
-            inst = kind(name, *args, **kwargs)
-            self._instruments[name] = inst
+            inst = kind(name, *args)
+            if labels:
+                inst.labels = dict(labels)
+            self._instruments[key] = inst
         elif type(inst) is not kind:
             raise TypeError(
-                f"metric {name!r} already registered as "
+                f"metric {key!r} already registered as "
                 f"{type(inst).__name__}, not {kind.__name__}"
             )
         return inst
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        return self._get(name, Counter, labels=labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        return self._get(name, Gauge, labels=labels)
 
-    def histogram(self, name: str, bounds=LATENCY_BOUNDS) -> Histogram:
-        return self._get(name, Histogram, bounds)
+    def histogram(
+        self, name: str, bounds=LATENCY_BOUNDS,
+        labels: dict | None = None,
+    ) -> Histogram:
+        return self._get(name, Histogram, bounds, labels=labels)
 
-    def reservoir(self, name: str, capacity: int = 1024) -> Reservoir:
-        return self._get(name, Reservoir, capacity)
+    def reservoir(
+        self, name: str, capacity: int = 1024,
+        labels: dict | None = None,
+    ) -> Reservoir:
+        return self._get(name, Reservoir, capacity, labels=labels)
 
-    def get(self, name: str):
+    def get(self, name: str, labels: dict | None = None):
         """The registered instrument, or None."""
-        return self._instruments.get(name)
+        return self._instruments.get(label_key(name, labels))
+
+    def instruments(self) -> list:
+        """Every registered instrument, sorted by key (stable order)."""
+        return [
+            self._instruments[key] for key in sorted(self._instruments)
+        ]
 
     def snapshot(self) -> dict:
         """JSON-serializable dump of every instrument, grouped by kind."""

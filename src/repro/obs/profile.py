@@ -66,9 +66,13 @@ class ProfileResult:
 
 
 def _processor_config(
-    kind: str, model: str, window: int
+    kind: str, model: str, window: int, engine: str | None = None
 ) -> ProcessorConfig:
-    return ProcessorConfig(kind=kind, model=model, window=window)
+    if engine is None:
+        return ProcessorConfig(kind=kind, model=model, window=window)
+    return ProcessorConfig(
+        kind=kind, model=model, window=window, engine=engine
+    )
 
 
 def _fresh_network(network: str, store):
@@ -82,6 +86,7 @@ def run_profile(
     model: str = "RC",
     window: int = 64,
     network: str = "ideal",
+    engine: str | None = None,
     trace: bool = True,
     metrics: bool = True,
     out_dir: Path | str = "results/profiles",
@@ -91,13 +96,19 @@ def run_profile(
 
     ``store`` is a :class:`~repro.experiments.runner.TraceStore`
     (it pins processor count, miss penalty, preset and cache dir).
-    ``trace``/``metrics`` gate the two instrumentation channels; the
-    report always renders (from an in-memory registry).  Returns a
-    :class:`ProfileResult`; ``errors`` carries any trace/manifest
-    validation failures.
+    ``engine`` selects the simulation engine (``fast``/``reference``;
+    None resolves the process default) and is recorded in the run
+    manifest, which :func:`~repro.obs.manifest.validate_manifest`
+    requires.  ``trace``/``metrics`` gate the two instrumentation
+    channels; the report always renders (from an in-memory registry).
+    Returns a :class:`ProfileResult`; ``errors`` carries any
+    trace/manifest validation failures.
     """
+    from .. import cpu
+
     kind = kind.lower()
     model = model.upper()
+    engine = (engine or cpu.DEFAULT_ENGINE).lower()
     timings: dict[str, float] = {}
 
     t0 = time.perf_counter()
@@ -107,12 +118,14 @@ def run_profile(
     # -- stall attribution per consistency class -----------------------
     t0 = time.perf_counter()
     if kind == "base":
-        sweep = [simulate(run.trace, _processor_config("base", "RC", window),
-                          network=_fresh_network(network, store))]
+        sweep = [simulate(
+            run.trace, _processor_config("base", "RC", window, engine),
+            network=_fresh_network(network, store),
+        )]
     else:
         sweep = [
             simulate(
-                run.trace, _processor_config(kind, m, window),
+                run.trace, _processor_config(kind, m, window, engine),
                 network=_fresh_network(network, store),
             )
             for m in PROFILE_MODELS
@@ -128,7 +141,7 @@ def run_profile(
     if net is not None:
         net.attach_probe(probe)
     primary_cfg = _processor_config(
-        kind, "RC" if kind == "base" else model, window
+        kind, "RC" if kind == "base" else model, window, engine
     )
     primary = simulate(run.trace, primary_cfg, network=net, probe=probe)
     if net is not None:
@@ -152,6 +165,7 @@ def run_profile(
         "model": model,
         "window": window,
         "network": network,
+        "engine": engine,
         "n_procs": store.n_procs,
         "miss_penalty": store.miss_penalty,
         "preset": store.preset,

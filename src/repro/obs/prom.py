@@ -1,0 +1,124 @@
+"""Prometheus text-format (0.0.4) encoder for the metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` as the plain-text
+exposition format every Prometheus-compatible scraper understands —
+``GET /v1/metrics?format=prom`` on the simulation daemon serves it.
+
+Mapping rules:
+
+* names are sanitized (``daemon.queue_depth`` →
+  ``repro_daemon_queue_depth``) and prefixed ``repro_``;
+* :class:`~repro.obs.metrics.Counter` → ``counter`` with the
+  conventional ``_total`` suffix;
+* :class:`~repro.obs.metrics.Gauge` → ``gauge``;
+* :class:`~repro.obs.metrics.Histogram` → ``histogram`` with
+  *cumulative* ``_bucket{le="..."}`` series (the registry's buckets
+  are per-bucket counts), plus ``_sum`` and ``_count``;
+* :class:`~repro.obs.metrics.Reservoir` time series have no Prometheus
+  equivalent and are skipped (scrape the JSON endpoint for them).
+
+Instruments sharing a family name but differing in labels are grouped
+under a single ``# TYPE`` header, as the format requires.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Prefix for every exported metric family.
+PROM_PREFIX = "repro_"
+
+#: Content type of the text exposition format.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prom_name(name: str) -> str:
+    """Sanitize a registry name into a Prometheus metric family name."""
+    return PROM_PREFIX + _NAME_SANITIZE.sub("_", name)
+
+
+def _escape(value) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _labels(pairs: dict) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_NAME_SANITIZE.sub("_", k)}="{_escape(pairs[k])}"'
+        for k in sorted(pairs)
+    )
+    return "{" + inner + "}"
+
+
+def _number(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _counter_lines(name: str, insts: list) -> list[str]:
+    lines = [f"# TYPE {name}_total counter"]
+    for inst in insts:
+        lines.append(
+            f"{name}_total{_labels(inst.labels)} {_number(inst.value)}"
+        )
+    return lines
+
+
+def _gauge_lines(name: str, insts: list) -> list[str]:
+    lines = [f"# TYPE {name} gauge"]
+    for inst in insts:
+        lines.append(f"{name}{_labels(inst.labels)} {_number(inst.value)}")
+    return lines
+
+
+def _histogram_lines(name: str, insts: list) -> list[str]:
+    lines = [f"# TYPE {name} histogram"]
+    for inst in insts:
+        cumulative = 0
+        for bound, count in zip(inst.bounds, inst.counts):
+            cumulative += count
+            labels = _labels({**inst.labels, "le": _number(bound)})
+            lines.append(f"{name}_bucket{labels} {cumulative}")
+        labels = _labels({**inst.labels, "le": "+Inf"})
+        lines.append(f"{name}_bucket{labels} {inst.count}")
+        lines.append(
+            f"{name}_sum{_labels(inst.labels)} {_number(inst.total)}"
+        )
+        lines.append(f"{name}_count{_labels(inst.labels)} {inst.count}")
+    return lines
+
+
+_RENDERERS = {
+    Counter: _counter_lines,
+    Gauge: _gauge_lines,
+    Histogram: _histogram_lines,
+}
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text format (trailing newline kept)."""
+    families: dict[tuple[str, type], list] = {}
+    for inst in registry.instruments():
+        kind = type(inst)
+        if kind not in _RENDERERS:
+            continue
+        families.setdefault((prom_name(inst.name), kind), []).append(inst)
+    lines: list[str] = []
+    for (name, kind), insts in sorted(
+        families.items(), key=lambda item: item[0][0]
+    ):
+        lines.extend(_RENDERERS[kind](name, insts))
+    return "\n".join(lines) + ("\n" if lines else "")

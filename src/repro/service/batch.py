@@ -103,7 +103,9 @@ def run_sweep_job(job: SweepJob, store):
     return simulate(run.trace, cfg, network=network)
 
 
-def _sweep_worker(config: dict, cache_dir: str | None):
+def _sweep_worker(
+    config: dict, cache_dir: str | None, trace_info: dict | None = None,
+):
     """Worker-side entry: reconstruct the job and run it.
 
     The store comes from :func:`repro.experiments.runner.shared_store`,
@@ -111,6 +113,13 @@ def _sweep_worker(config: dict, cache_dir: str | None):
     worker (daemon mode) the same process serves many jobs, so traces
     generated for one request stay warm for the next.  In per-batch
     workers the shared store degenerates to the old per-job store.
+
+    ``trace_info`` (``{"trace_id", "parent_id", "label", "span_dir"}``)
+    opts this execution into distributed tracing: the worker records a
+    run span with nested trace-acquisition and simulate spans into a
+    JSONL side file under ``span_dir``.  The simulation result itself
+    is untouched — tracing on or off, the returned (and thus pickled)
+    payload is byte-identical.
     """
     from ..experiments.runner import shared_store
 
@@ -121,7 +130,51 @@ def _sweep_worker(config: dict, cache_dir: str | None):
         preset=job.preset,
         cache_dir=cache_dir,
     ))
-    return run_sweep_job(job, store)
+    if trace_info is None:
+        return run_sweep_job(job, store)
+    return _traced_sweep_job(job, store, trace_info)
+
+
+def _traced_sweep_job(job: SweepJob, store, trace_info: dict):
+    """Run one job while recording worker-side spans to a side file."""
+    from ..obs.spans import Span, write_spans
+
+    trace_id = trace_info["trace_id"]
+    label = trace_info.get("label") or job.label()
+    process = f"worker-{os.getpid()}"
+    run_id = os.urandom(4).hex()
+    t_run = time.time()
+    # Warm the trace explicitly so its cost appears as its own nested
+    # span; run_sweep_job re-fetches it from the (now warm) store.
+    t_trace = time.time()
+    if job.kind == "cosim":
+        store.get_cosim(job.app)
+    else:
+        store.get(job.app)
+    t_sim = time.time()
+    result = run_sweep_job(job, store)
+    t_end = time.time()
+    spans = [
+        Span(
+            trace_id, run_id, trace_info.get("parent_id"),
+            f"run {label}", process, "main", t_run, t_end,
+            args={"pid": os.getpid(), "label": label},
+        ),
+        Span(
+            trace_id, os.urandom(4).hex(), run_id,
+            "trace", process, "main", t_trace, t_sim,
+        ),
+        Span(
+            trace_id, os.urandom(4).hex(), run_id,
+            "simulate", process, "main", t_sim, t_end,
+        ),
+    ]
+    span_dir = trace_info.get("span_dir")
+    if span_dir:
+        write_spans(
+            Path(span_dir) / f"{trace_id}-{os.getpid()}.jsonl", spans,
+        )
+    return result
 
 
 @dataclass
@@ -264,13 +317,25 @@ def run_batch(
     seed: int = 0,
     chaos=None,
     metrics: MetricsRegistry | None = None,
+    log=None,
+    trace=None,
     command: str = "",
 ) -> BatchReport:
     """Run a sweep resiliently; always returns a report, never raises
     for job-level failures.  Raises :class:`BatchInterrupted` only on
     SIGINT/SIGTERM — after persisting the partial state.
+
+    ``log`` is an optional :class:`~repro.obs.log.JsonLogger`;
+    ``trace`` an optional :class:`~repro.obs.context.TraceContext`.
+    With a trace context, the batch records a root span, per-job spans
+    and worker-side run/engine spans, and writes the stitched Perfetto
+    timeline to ``<batch>/trace.json``.
     """
+    from ..obs.log import NULL_LOG
+    from ..obs.spans import Span, read_spans, stitch, write_spans
+
     m = metrics if metrics is not None else MetricsRegistry(enabled=True)
+    log = log if log is not None else NULL_LOG
     out_root = Path(out_dir)
     store = ResultStore(
         Path(store_dir) if store_dir else out_root / "store", metrics=m
@@ -287,6 +352,19 @@ def run_batch(
     ]
     batch_dir = out_root / _batch_id(keys)
     state_path = batch_dir / "state.json"
+    if trace is not None:
+        log = log.bind(trace=trace.trace_id)
+    log = log.bind(batch=batch_dir.name)
+    log.info(
+        "batch.start", n_jobs=len(sweep), workers=jobs,
+        max_attempts=max_attempts, chaos=chaos is not None,
+    )
+    span_dir = batch_dir / "spans"
+    batch_spans: list[Span] = []
+    job_span_ids: dict[str, str] = {}
+    if trace is not None:
+        for record in records:
+            job_span_ids[record.key] = os.urandom(4).hex()
 
     def persist(extra: dict | None = None) -> None:
         state = {
@@ -310,6 +388,7 @@ def run_batch(
             record.state = "done"
             record.source = "store"
             record.started_at = record.finished_at = time.time()
+            log.debug("batch.store_hit", label=record.label)
         else:
             misses.append((record, job))
     persist()
@@ -318,11 +397,24 @@ def run_batch(
     by_index: dict[int, JobRecord] = {}
     for i, (record, job) in enumerate(misses):
         by_index[i] = record
+        trace_info = None
+        if trace is not None:
+            trace_info = {
+                "trace_id": trace.trace_id,
+                "parent_id": job_span_ids[record.key],
+                "label": record.label,
+                "span_dir": str(span_dir),
+            }
         pool_jobs.append(
             Job(
                 index=i,
                 fn=_sweep_worker,
-                args=(asdict(job), str(cache_dir) if cache_dir else None),
+                args=(
+                    (asdict(job), str(cache_dir) if cache_dir else None)
+                    if trace_info is None else
+                    (asdict(job), str(cache_dir) if cache_dir else None,
+                     trace_info)
+                ),
                 label=record.label,
             )
         )
@@ -336,18 +428,33 @@ def run_batch(
             seed=seed,
             chaos=chaos,
             metrics=m,
+            log=log,
             install_signal_handlers=True,
         )
+        attempt_open: dict[tuple[int, int], float] = {}
 
         def on_update(job: Job) -> None:
             record = by_index[job.index]
+            now = time.time()
             record.state = job.state
             record.attempts = job.attempts
             record.history = [h.to_dict() for h in job.history]
-            if job.state == STATE_RUNNING and record.started_at is None:
-                record.started_at = time.time()
+            if job.state == STATE_RUNNING:
+                if record.started_at is None:
+                    record.started_at = now
+                attempt_open.setdefault((job.index, job.attempts), now)
             if job.state not in (STATE_RUNNING, STATE_PENDING, STATE_RETRY):
-                record.finished_at = time.time()
+                record.finished_at = now
+            if trace is not None and job.state != STATE_RUNNING:
+                opened = attempt_open.pop((job.index, job.attempts), None)
+                if opened is not None:
+                    batch_spans.append(Span(
+                        trace.trace_id, os.urandom(4).hex(),
+                        job_span_ids[record.key],
+                        f"attempt {job.attempts}", "batch", record.label,
+                        opened, now,
+                        args={"state": job.state, "label": record.label},
+                    ))
             if job.state == STATE_DONE and job.payload is not None:
                 record.source = "computed"
                 store.put_bytes(
@@ -360,6 +467,7 @@ def run_batch(
             pool.run(pool_jobs, on_update=on_update)
         except BatchInterrupted:
             interrupted = True
+            log.warning("batch.interrupted")
 
     counters = {
         name: inst.value
@@ -383,6 +491,47 @@ def run_batch(
         counters=counters,
     )
     persist(extra={"failure_report": report.failure_report()})
+
+    outputs = {"state": state_path}
+    t_end = time.time()
+    if trace is not None:
+        root_id = trace.span_id
+        batch_spans.append(Span(
+            trace.trace_id, root_id, None,
+            f"batch {batch_dir.name}", "batch", "main", t_start, t_end,
+            args={"n_jobs": len(records)},
+        ))
+        for record in records:
+            start = record.started_at
+            end = record.finished_at
+            if start is None:
+                start = end if end is not None else t_end
+            if end is None:
+                end = t_end
+            batch_spans.append(Span(
+                trace.trace_id, job_span_ids[record.key], root_id,
+                f"job {record.label}", "batch", record.label, start, end,
+                args={
+                    "state": record.state, "source": record.source,
+                    "attempts": record.attempts,
+                },
+            ))
+        all_spans = batch_spans + read_spans(span_dir, trace.trace_id)
+        write_spans(batch_dir / "spans" / "supervisor.jsonl", batch_spans)
+        trace_doc = stitch(
+            all_spans, other_data={"batch_id": batch_dir.name},
+        )
+        trace_path = batch_dir / "trace.json"
+        trace_path.write_text(
+            json.dumps(trace_doc, sort_keys=True, separators=(",", ":"))
+            + "\n"
+        )
+        outputs["trace"] = trace_path
+        log.info(
+            "batch.trace_written", path=str(trace_path),
+            spans=len(all_spans),
+        )
+
     manifest = build_manifest(
         command=command or "repro batch",
         config={
@@ -391,11 +540,18 @@ def run_batch(
             "max_attempts": max_attempts,
             "seed": seed,
             "n_sweep_jobs": len(sweep),
+            "engine": ",".join(sorted({job.engine for job in sweep})),
+            "networks": sorted({job.network for job in sweep}),
         },
-        timings={"total": time.time() - t_start},
-        outputs={"state": state_path},
+        timings={"total": t_end - t_start},
+        outputs=outputs,
     )
     write_manifest(batch_dir / "manifest.json", manifest)
+    log.info(
+        "batch.done", done=len(report.completed),
+        failed=len(report.failed), cancelled=len(report.cancelled),
+        interrupted=interrupted, seconds=round(t_end - t_start, 3),
+    )
     if interrupted:
         raise BatchInterrupted(
             f"batch {report.batch_id} interrupted; partial state at "

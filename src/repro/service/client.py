@@ -21,6 +21,7 @@ import urllib.error
 import urllib.request
 from dataclasses import asdict, dataclass, field
 
+from ..obs.context import HEADER as TRACE_HEADER
 from .errors import ServiceError
 from .jobs import shard, sweep_from_request
 from .queue import JOB_CANCELLED, JOB_DONE, JOB_FAILED
@@ -57,9 +58,11 @@ class DaemonClient:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
 
-    def _request(self, method: str, path: str, payload=None) -> dict:
+    def _request(
+        self, method: str, path: str, payload=None, headers=None,
+    ) -> dict:
         data = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json", **(headers or {})}
         if payload is not None:
             data = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
@@ -89,15 +92,31 @@ class DaemonClient:
 
     # -- API -----------------------------------------------------------
 
-    def submit(self, payload: dict) -> dict:
-        """POST /v1/jobs; returns ``{"id", "state", "deduped", ...}``."""
-        return self._request("POST", "/v1/jobs", payload)
+    def submit(self, payload: dict, trace=None) -> dict:
+        """POST /v1/jobs; returns ``{"id", "state", "deduped", ...}``.
+
+        ``trace`` (a :class:`~repro.obs.context.TraceContext`) rides
+        along as the ``X-Repro-Trace`` header, enrolling the daemon's
+        spans for this submission in the client's distributed trace.
+        """
+        headers = (
+            {TRACE_HEADER: trace.header()} if trace is not None else None
+        )
+        return self._request("POST", "/v1/jobs", payload, headers=headers)
 
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/jobs/{job_id}")
 
     def results(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/results/{job_id}")
+
+    def trace_spans(self, trace_id: str) -> list:
+        """GET /v1/trace/{id}; the daemon's spans as
+        :class:`~repro.obs.spans.Span` objects."""
+        from ..obs.spans import Span
+
+        body = self._request("GET", f"/v1/trace/{trace_id}")
+        return [Span.from_dict(item) for item in body.get("spans", [])]
 
     def healthz(self) -> dict:
         return self._request("GET", "/v1/healthz")
@@ -138,6 +157,8 @@ class DispatchReport:
     jobs: list                        # expanded SweepJobs, grid order
     shards: list[dict] = field(default_factory=list)
     results: list[dict] = field(default_factory=list)  # merged rows
+    trace_id: str | None = None
+    spans: list = field(default_factory=list)  # merged Span objects
 
     @property
     def ok(self) -> bool:
@@ -163,6 +184,7 @@ def dispatch(
     timeout: float | None = None,
     interval: float = 0.2,
     client_factory=DaemonClient,
+    trace=None,
 ) -> DispatchReport:
     """Shard a grid request across daemon endpoints and merge results.
 
@@ -170,23 +192,36 @@ def dispatch(
     deterministic contiguous :func:`~repro.service.jobs.shard`, and
     each shard is submitted to its endpoint as an explicit job list.
     All shards are submitted before any wait, so the daemons overlap.
+
+    ``trace`` (a :class:`~repro.obs.context.TraceContext`) is sent with
+    *every* shard submission, so one trace id spans the whole fan-out;
+    after all shards finish, each endpoint's spans are fetched and
+    merged into ``report.spans`` ready for
+    :func:`~repro.obs.spans.stitch`.
     """
     if not endpoints:
         raise ValueError("dispatch needs at least one endpoint")
     jobs = sweep_from_request(payload)
     priority = payload.get("priority", 0)
     parts = shard(jobs, len(endpoints))
-    report = DispatchReport(jobs=jobs)
+    report = DispatchReport(
+        jobs=jobs,
+        trace_id=trace.trace_id if trace is not None else None,
+    )
 
     clients = [client_factory(url) for url in endpoints]
     submissions: list[tuple[DaemonClient, str, str]] = []
     for client, part in zip(clients, parts):
         if not part:
             continue
-        accepted = client.submit({
+        shard_payload = {
             "jobs": [asdict(job) for job in part],
             "priority": priority,
-        })
+        }
+        if trace is not None:
+            accepted = client.submit(shard_payload, trace=trace)
+        else:
+            accepted = client.submit(shard_payload)
         submissions.append((client, client.base_url, accepted["id"]))
 
     by_label: dict[str, dict] = {}
@@ -201,6 +236,13 @@ def dispatch(
         })
         for row in client.results(job_id).get("results", []):
             by_label[row["label"]] = row
+
+    if trace is not None:
+        for client, endpoint, _ in submissions:
+            try:
+                report.spans.extend(client.trace_spans(trace.trace_id))
+            except ClientError:
+                pass  # a dead endpoint loses its spans, not the run
 
     # Merge back into grid order.  Labels are unique across the
     # deduplicated expansion and shards are disjoint, so this is exact.

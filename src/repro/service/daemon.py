@@ -30,6 +30,7 @@ the pool down.
 
 from __future__ import annotations
 
+import os
 import pickle
 import threading
 import time
@@ -37,7 +38,9 @@ from collections import OrderedDict
 from dataclasses import asdict
 from pathlib import Path
 
-from ..obs.metrics import MetricsRegistry
+from ..obs.log import NULL_LOG
+from ..obs.metrics import SECONDS_BOUNDS, MetricsRegistry
+from ..obs.spans import Span, SpanSink, read_spans
 from .batch import JobRecord, run_sweep_job, _sweep_worker
 from .errors import REASON_ERROR, AttemptFailure, BatchInterrupted
 from .jobs import SweepJob, sweep_from_request
@@ -89,15 +92,28 @@ class Daemon:
         seed: int = 0,
         grace: float = 5.0,
         metrics: MetricsRegistry | None = None,
+        log=None,
+        span_dir: Path | str | None = None,
         executor=None,
         result_cache_size: int = 4096,
     ) -> None:
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry(enabled=True)
         )
-        self.queue = JobQueue(queue_depth, metrics=self.metrics)
+        self.log = log if log is not None else NULL_LOG
+        self.queue = JobQueue(
+            queue_depth, metrics=self.metrics, log=self.log
+        )
         self.store = ResultStore(store_dir, metrics=self.metrics)
         self.cache_dir = str(cache_dir) if cache_dir else None
+        # Side-channel span collection: the daemon's own spans live in
+        # the in-memory sink; worker processes append theirs as JSONL
+        # files under span_dir (a sibling of the store by default).
+        self.spans = SpanSink()
+        self.span_dir = (
+            Path(span_dir) if span_dir
+            else Path(store_dir).parent / "spans"
+        )
         self.workers = workers
         self.grace = grace
         self.started_at = time.time()
@@ -115,6 +131,7 @@ class Daemon:
                 max_attempts=max_attempts,
                 seed=seed,
                 metrics=self.metrics,
+                log=self.log,
                 grace=grace,
                 install_signal_handlers=False,
             )
@@ -123,6 +140,13 @@ class Daemon:
         self._c_jobs_failed = m.counter("daemon.jobs_failed")
         self._c_subruns = m.counter("daemon.subruns_done")
         self._c_cache_hits = m.counter("daemon.result_cache_hits")
+        self._c_cache_misses = m.counter("daemon.result_cache_misses")
+        self._h_wait = m.histogram(
+            "daemon.job_wait_seconds", bounds=SECONDS_BOUNDS
+        )
+        self._h_run = m.histogram(
+            "daemon.job_run_seconds", bounds=SECONDS_BOUNDS
+        )
 
     # -- lifecycle -----------------------------------------------------
 
@@ -136,6 +160,7 @@ class Daemon:
             target=self._loop, name="repro-daemon-scheduler", daemon=True
         )
         self._thread.start()
+        self.log.info("daemon.started", workers=self.workers)
 
     def stop(self) -> list[QueuedJob]:
         """Drain and shut down within the shared grace period.
@@ -145,6 +170,7 @@ class Daemon:
         grace period to finish its current sub-runs before the pool is
         interrupted and torn down.  Returns the cancelled jobs.
         """
+        self.log.info("daemon.stopping")
         cancelled = self.queue.close()
         self._stop.set()
         if self._thread is not None:
@@ -157,6 +183,7 @@ class Daemon:
                 self._thread.join(self.grace)
         if self._pool is not None:
             self._pool.close()
+        self.log.info("daemon.stopped", cancelled=len(cancelled))
         return cancelled
 
     @property
@@ -168,12 +195,32 @@ class Daemon:
     def submit(self, payload: dict) -> tuple[QueuedJob, bool]:
         """Accept one submission (grid or explicit-jobs JSON form).
 
-        Raises ``ValueError`` (bad request), :class:`QueueFull`
-        (backpressure), or :class:`QueueClosed` (draining).
+        An optional ``trace`` field — ``{"trace_id", "parent_id"}``,
+        minted client-side and carried by the ``X-Repro-Trace`` header
+        in the HTTP layer — parents this submission's spans under the
+        client's submit span.  Raises ``ValueError`` (bad request),
+        :class:`QueueFull` (backpressure), or :class:`QueueClosed`
+        (draining).
         """
+        payload = dict(payload)
+        trace = payload.pop("trace", None)
+        if trace is not None and (
+            not isinstance(trace, dict) or "trace_id" not in trace
+        ):
+            raise ValueError(
+                "trace must be an object carrying 'trace_id'"
+            )
         sweep = sweep_from_request(payload)
         priority = _validated_priority(payload)
-        return self.queue.submit(sweep, priority=priority)
+        return self.queue.submit(sweep, priority=priority, trace=trace)
+
+    def trace_spans(self, trace_id: str) -> list[Span]:
+        """Every span this daemon holds for one trace id — its own
+        (sink) plus what worker processes wrote to the span dir."""
+        return (
+            self.spans.spans(trace_id)
+            + read_spans(self.span_dir, trace_id)
+        )
 
     def job(self, job_id: str) -> QueuedJob | None:
         return self.queue.get(job_id)
@@ -233,6 +280,8 @@ class Daemon:
         payload = self.store.get_bytes(key)
         if payload is not None:
             self._cache_put(key, payload)
+        else:
+            self._c_cache_misses.inc()
         return payload
 
     def _cache_put(self, key: str, payload: bytes) -> None:
@@ -275,8 +324,17 @@ class Daemon:
         self._c_subruns.inc()
 
     def _execute(self, qjob: QueuedJob) -> None:
+        trace = qjob.trace or {}
+        trace_id = trace.get("trace_id")
+        log = self.log.bind(job=qjob.id)
+        if trace_id:
+            log = log.bind(trace=trace_id)
         qjob.state = JOB_RUNNING
         qjob.started_at = time.time()
+        log.info(
+            "daemon.sweep_start", n_subruns=len(qjob.sweep),
+            wait_s=round(qjob.started_at - qjob.submitted_at, 6),
+        )
         t0 = time.monotonic()
         records = [
             JobRecord(
@@ -288,6 +346,13 @@ class Daemon:
             for job in qjob.sweep
         ]
         qjob.records = records
+        # Pre-minted per-record span ids let supervisor-side attempt
+        # spans and worker-side run spans share one parent without any
+        # cross-process coordination.
+        job_span_ids = (
+            {record.key: os.urandom(4).hex() for record in records}
+            if trace_id else {}
+        )
 
         # Warm pre-pass: in-memory result cache, then the store.
         misses: list[tuple[JobRecord, SweepJob]] = []
@@ -303,12 +368,23 @@ class Daemon:
         interrupted = False
         if misses:
             if self._pool is not None and len(misses) > 1:
-                interrupted = self._execute_pooled(misses)
+                interrupted = self._execute_pooled(
+                    misses, trace_id, job_span_ids, log,
+                )
             else:
-                interrupted = self._execute_serial(misses)
+                interrupted = self._execute_serial(
+                    misses, trace_id, job_span_ids,
+                )
 
         qjob.finished_at = time.time()
         self.queue.note_duration(time.monotonic() - t0)
+        for record in records:
+            wait = record.queue_latency
+            if wait is not None:
+                self._h_wait.observe(wait)
+            run_s = record.run_seconds
+            if run_s is not None:
+                self._h_run.observe(run_s)
         states = {record.state for record in records}
         if "cancelled" in states or interrupted:
             qjob.state = JOB_CANCELLED
@@ -318,8 +394,53 @@ class Daemon:
         else:
             qjob.state = JOB_DONE
             self._c_jobs_done.inc()
+        if trace_id:
+            self._record_sweep_spans(qjob, trace, job_span_ids)
+        log.info(
+            "daemon.sweep_done", state=qjob.state,
+            seconds=round(qjob.finished_at - qjob.started_at, 6),
+            counts=qjob.counts(),
+        )
 
-    def _execute_serial(self, misses) -> bool:
+    def _record_sweep_spans(
+        self, qjob: QueuedJob, trace: dict, job_span_ids: dict,
+    ) -> None:
+        """Record queue-wait, sweep, and per-record job spans."""
+        trace_id = trace["trace_id"]
+        parent_id = trace.get("parent_id")
+        sweep_id = os.urandom(4).hex()
+        self.spans.record(Span(
+            trace_id, os.urandom(4).hex(), parent_id,
+            "queue-wait", "daemon", "scheduler",
+            qjob.submitted_at, qjob.started_at,
+            args={"job": qjob.id},
+        ))
+        self.spans.record(Span(
+            trace_id, sweep_id, parent_id,
+            f"sweep {qjob.id}", "daemon", "scheduler",
+            qjob.started_at, qjob.finished_at,
+            args={"job": qjob.id, "state": qjob.state},
+        ))
+        for record in qjob.records:
+            start = record.started_at
+            end = record.finished_at
+            if start is None:
+                start = end if end is not None else qjob.finished_at
+            if end is None:
+                end = qjob.finished_at
+            self.spans.record(Span(
+                trace_id, job_span_ids[record.key], sweep_id,
+                f"job {record.label}", "daemon", record.label,
+                start, end,
+                args={
+                    "state": record.state, "source": record.source,
+                    "attempts": record.attempts,
+                },
+            ))
+
+    def _execute_serial(
+        self, misses, trace_id=None, job_span_ids=None,
+    ) -> bool:
         """Run misses in the scheduler thread against warm stores."""
         for i, (record, job) in enumerate(misses):
             if self._stop.is_set():
@@ -351,33 +472,67 @@ class Daemon:
                 record.state = "done"
                 record.source = "computed"
             record.finished_at = time.time()
+            if trace_id:
+                self.spans.record(Span(
+                    trace_id, os.urandom(4).hex(),
+                    job_span_ids[record.key],
+                    "attempt 1", "daemon", record.label,
+                    record.started_at, record.finished_at,
+                    args={"state": record.state, "label": record.label},
+                ))
         return False
 
-    def _execute_pooled(self, misses) -> bool:
+    def _execute_pooled(
+        self, misses, trace_id=None, job_span_ids=None, log=None,
+    ) -> bool:
         """Run misses on the persistent supervised pool."""
         by_index: dict[int, JobRecord] = {}
         pool_jobs: list[Job] = []
         for i, (record, job) in enumerate(misses):
             by_index[i] = record
+            args = (asdict(job), self.cache_dir)
+            if trace_id:
+                args = args + ({
+                    "trace_id": trace_id,
+                    "parent_id": job_span_ids[record.key],
+                    "label": record.label,
+                    "span_dir": str(self.span_dir),
+                },)
             pool_jobs.append(
                 Job(
                     index=i,
                     fn=_sweep_worker,
-                    args=(asdict(job), self.cache_dir),
+                    args=args,
                     label=record.label,
                 )
             )
+        attempt_open: dict[tuple[int, int], float] = {}
 
         def on_update(job: Job) -> None:
             record = by_index[job.index]
+            now = time.time()
             record.state = job.state
             record.attempts = job.attempts
             record.history = [h.to_dict() for h in job.history]
-            if job.state == STATE_RUNNING and record.started_at is None:
-                record.started_at = time.time()
+            if job.state == STATE_RUNNING:
+                if record.started_at is None:
+                    record.started_at = now
+                attempt_open.setdefault((job.index, job.attempts), now)
             if job.state not in (STATE_RUNNING, STATE_PENDING,
                                  STATE_RETRY):
-                record.finished_at = time.time()
+                record.finished_at = now
+            if trace_id and job.state != STATE_RUNNING:
+                opened = attempt_open.pop((job.index, job.attempts), None)
+                if opened is not None:
+                    self.spans.record(Span(
+                        trace_id, os.urandom(4).hex(),
+                        job_span_ids[record.key],
+                        f"attempt {job.attempts}", "daemon",
+                        record.label, opened, now,
+                        args={
+                            "state": job.state, "label": record.label,
+                        },
+                    ))
             if job.state == STATE_DONE and job.payload is not None:
                 record.source = "computed"
                 self._store_computed(record, job.payload)

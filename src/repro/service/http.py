@@ -15,9 +15,19 @@ GET    ``/v1/jobs/{id}``     submission state: per-sub-run states,
                              queued/started/finished timestamps,
                              queue latency
 GET    ``/v1/results/{id}``  completed sub-run breakdowns
+GET    ``/v1/trace/{id}``    every span this daemon holds for one
+                             distributed trace id (JSON span list)
 GET    ``/v1/healthz``       liveness + queue depth + job counts
-GET    ``/v1/metrics``       the daemon's metrics-registry snapshot
+GET    ``/v1/metrics``       the daemon's metrics-registry snapshot;
+                             ``?format=prom`` serves Prometheus text
+                             exposition format instead
 ====== ===================== ==========================================
+
+An ``X-Repro-Trace: <trace_id>-<span_id>`` header on ``POST /v1/jobs``
+(minted client-side via :class:`~repro.obs.context.TraceContext`)
+enrols the submission in a distributed trace: the daemon's queue-wait,
+sweep, attempt and worker spans are recorded under that trace id and
+served back by ``GET /v1/trace/{id}``.
 
 Handler threads only ever touch the daemon's thread-safe surface
 (queue submit/lookup and the result store), so a slow simulation never
@@ -27,8 +37,12 @@ blocks health checks or status polls.
 from __future__ import annotations
 
 import json
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..obs.context import HEADER as TRACE_HEADER
+from ..obs.context import TraceContext
+from ..obs.prom import PROM_CONTENT_TYPE, render_prometheus
 from .queue import QueueClosed, QueueFull
 
 #: Largest accepted request body (a grid request is tiny; an explicit
@@ -94,6 +108,14 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             self._send_json(400, {"error": f"invalid JSON: {exc}"})
             return
+        header = self.headers.get(TRACE_HEADER)
+        if header and isinstance(payload, dict):
+            try:
+                ctx = TraceContext.parse(header)
+            except ValueError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            payload.setdefault("trace", ctx.to_dict())
         try:
             job, created = daemon.submit(payload)
         except QueueFull as exc:
@@ -123,13 +145,36 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_GET(self) -> None:  # noqa: N802 — stdlib contract
         daemon = self.server.sim_daemon
-        path = self.path.rstrip("/")
+        parsed = urllib.parse.urlsplit(self.path)
+        query = urllib.parse.parse_qs(parsed.query)
+        path = parsed.path.rstrip("/")
         if path == "/v1/healthz":
             self._send_json(200, daemon.healthz())
         elif path == "/v1/metrics":
-            self._send_json(200, daemon.metrics.snapshot())
+            if query.get("format", [""])[0] == "prom":
+                self._send_text(
+                    200, render_prometheus(daemon.metrics),
+                    PROM_CONTENT_TYPE,
+                )
+            else:
+                self._send_json(200, daemon.metrics.snapshot())
+        elif path.startswith("/v1/trace/"):
+            trace_id = path.rsplit("/", 1)[1]
+            spans = daemon.trace_spans(trace_id)
+            self._send_json(200, {
+                "trace_id": trace_id,
+                "spans": [span.to_dict() for span in spans],
+            })
         elif path.startswith("/v1/jobs/"):
             job = daemon.job(path.rsplit("/", 1)[1])
             if job is None:

@@ -179,13 +179,15 @@ def sweep_from_request(payload: dict) -> list[SweepJob]:
       "ds", ...}, ...]}`` — the form the shard dispatcher uses, since a
       shard of an expanded grid is generally not itself a grid.
 
-    ``priority`` is allowed alongside either shape (consumed by the
-    queue, not here).  Raises ``ValueError`` on anything malformed so
-    the HTTP layer can map it to a 400.
+    ``priority`` and ``trace`` are allowed alongside either shape
+    (consumed by the queue, not here).  Raises ``ValueError`` on
+    anything malformed so the HTTP layer can map it to a 400.
     """
     if not isinstance(payload, dict):
         raise ValueError("request body must be a JSON object")
-    known = set(GRID_AXES) | set(GRID_SCALARS) | {"jobs", "priority"}
+    known = (
+        set(GRID_AXES) | set(GRID_SCALARS) | {"jobs", "priority", "trace"}
+    )
     unknown = sorted(set(payload) - known)
     if unknown:
         raise ValueError(f"unknown request fields: {unknown}")

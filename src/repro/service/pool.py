@@ -43,6 +43,7 @@ import traceback
 from dataclasses import dataclass, field
 from multiprocessing import connection, get_context
 
+from ..obs.log import NULL_LOG
 from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from .errors import (
     REASON_CORRUPT,
@@ -228,6 +229,7 @@ class SupervisedPool:
         seed: int = 0,
         chaos=None,
         metrics: MetricsRegistry | None = None,
+        log=None,
         grace: float = 5.0,
         install_signal_handlers: bool = False,
     ) -> None:
@@ -243,6 +245,7 @@ class SupervisedPool:
         self.seed = seed
         self.chaos = chaos
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.log = log if log is not None else NULL_LOG
         self.grace = grace
         self.install_signal_handlers = install_signal_handlers
         self._interrupted: int | None = None
@@ -332,6 +335,7 @@ class SupervisedPool:
         recorded on the jobs, never raised from here.
         """
         m = self.metrics
+        log = self.log
         c_done = m.counter("service.jobs_done")
         c_retries = m.counter("service.retries")
         c_quarantined = m.counter("service.quarantined")
@@ -339,7 +343,11 @@ class SupervisedPool:
         c_timeouts = m.counter("service.timeouts")
         c_crashes = m.counter("service.crashes")
         c_corrupt = m.counter("service.corrupt_payloads")
+        g_busy = m.gauge("service.workers", labels={"state": "busy"})
+        g_idle = m.gauge("service.workers", labels={"state": "idle"})
         m.counter("service.jobs_total").inc(len(jobs))
+        if self.chaos is not None:
+            log.info("pool.chaos_enabled", chaos=type(self.chaos).__name__)
 
         notify = on_update or (lambda job: None)
         ready: list[Job] = [j for j in jobs if j.state == STATE_PENDING]
@@ -376,6 +384,10 @@ class SupervisedPool:
                 )
                 job.state = STATE_FAILED
                 c_quarantined.inc()
+                log.error(
+                    "pool.quarantined", job=job.label or job.index,
+                    attempts=job.attempts, reason=reason, detail=detail,
+                )
             else:
                 delay = self.backoff_delay(job.index, job.attempts)
                 job.history.append(
@@ -383,6 +395,11 @@ class SupervisedPool:
                 )
                 job.state = STATE_RETRY
                 c_retries.inc()
+                log.warning(
+                    "pool.retry_scheduled", job=job.label or job.index,
+                    attempt=job.attempts, reason=reason, detail=detail,
+                    backoff=round(delay, 3),
+                )
                 retries.append((time.monotonic() + delay, job))
             notify(job)
 
@@ -393,9 +410,13 @@ class SupervisedPool:
             idx = fleet.index(worker)
             if restart_budget >= 0:
                 c_restarts.inc()
+                log.warning(
+                    "pool.worker_restart", budget_left=restart_budget,
+                )
                 fleet[idx] = _Worker(self._ctx, self.chaos)
             else:
                 fleet.pop(idx)
+                log.error("pool.restart_budget_exhausted")
                 raise ServiceError(
                     "worker restart budget exhausted — aborting sweep"
                 )
@@ -420,6 +441,9 @@ class SupervisedPool:
                     raise BatchInterrupted(
                         f"interrupted by signal {self._interrupted}"
                     )
+                busy = sum(1 for w in fleet if w.job is not None)
+                g_busy.set(busy)
+                g_idle.set(len(fleet) - busy)
                 now = time.monotonic()
 
                 # Promote retries whose backoff has elapsed.
@@ -494,13 +518,16 @@ class SupervisedPool:
                                 f"worker died (exitcode {code})",
                             )
                         replace(worker)
-        except BatchInterrupted:
+        except BatchInterrupted as exc:
+            log.warning("pool.interrupted", detail=str(exc))
             for job in jobs:
                 if job.state in _LIVE_STATES:
                     job.state = STATE_CANCELLED
                     notify(job)
             raise
         finally:
+            g_busy.set(0)
+            g_idle.set(len(fleet) if self._persistent else 0)
             self._restore_signals(previous_signals)
             if not self._persistent:
                 # Shared grace budget: sentinel everyone first, then
@@ -573,6 +600,10 @@ class SupervisedPool:
                 job.state = STATE_DONE
                 worker.job = None
                 c_done.inc()
+                self.log.debug(
+                    "pool.job_done", job=job.label or job.index,
+                    attempt=attempt,
+                )
                 notify(job)
             elif kind == "error":
                 _, index, attempt, detail = msg

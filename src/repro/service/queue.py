@@ -90,6 +90,10 @@ class QueuedJob:
     finished_at: float | None = None
     records: list = field(default_factory=list)   # list[JobRecord]
     error: str | None = None
+    #: Distributed trace context from the submission, if any:
+    #: ``{"trace_id": ..., "parent_id": ...}``.  Dedup keeps the first
+    #: submission's context — a duplicate never re-parents a live job.
+    trace: dict | None = None
 
     @property
     def queue_latency(self) -> float | None:
@@ -123,7 +127,7 @@ class QueuedJob:
 class JobQueue:
     """Bounded priority queue plus the daemon's job table."""
 
-    def __init__(self, maxsize: int = 64, metrics=None) -> None:
+    def __init__(self, maxsize: int = 64, metrics=None, log=None) -> None:
         if maxsize < 1:
             raise ValueError("queue maxsize must be >= 1")
         self.maxsize = maxsize
@@ -136,55 +140,76 @@ class JobQueue:
         # EWMA of sweep execution time, fed back by the daemon after
         # each job; sizes the Retry-After hint under backpressure.
         self._ewma_seconds = 1.0
-        if metrics is not None:
-            self._depth = metrics.gauge("daemon.queue_depth")
-            self._submitted = metrics.counter("daemon.submitted")
-            self._deduped = metrics.counter("daemon.deduped")
-            self._rejected = metrics.counter("daemon.rejected_full")
-        else:
+        if log is None:
+            from ..obs.log import NULL_LOG
+
+            log = NULL_LOG
+        self.log = log
+        if metrics is None:
             from ..obs.metrics import NULL_REGISTRY
 
-            self._depth = NULL_REGISTRY.gauge("daemon.queue_depth")
-            self._submitted = self._deduped = self._rejected = (
-                NULL_REGISTRY.counter("daemon.submitted")
-            )
+            metrics = NULL_REGISTRY
+        self._depth = metrics.gauge("daemon.queue_depth")
+        self._drain_ewma = metrics.gauge("daemon.drain_ewma_seconds")
+        self._drain_ewma.set(self._ewma_seconds)
+        self._submitted = metrics.counter("daemon.submitted")
+        self._deduped = metrics.counter("daemon.deduped")
+        self._rejected = metrics.counter("daemon.rejected_full")
 
     # -- producer side -------------------------------------------------
 
     def submit(
-        self, sweep: list, priority: int = 0
+        self, sweep: list, priority: int = 0, trace: dict | None = None,
     ) -> tuple[QueuedJob, bool]:
         """Enqueue a sweep; returns ``(job, created)``.
 
         ``created`` is False when the submission deduplicated onto an
         existing queued/running/finished job.  Lower ``priority`` runs
-        earlier; equal priorities run in submission order.
+        earlier; equal priorities run in submission order.  ``trace``
+        is the submitter's ``{"trace_id", "parent_id"}`` context, kept
+        on the job so the executor can parent its spans under the
+        client's submit span.
         """
         if not sweep:
             raise ValueError("submission expands to zero jobs")
         job_id = submission_id(sweep)
         with self._lock:
             if self._closed:
+                self.log.warning("queue.refused_closed", job=job_id)
                 raise QueueClosed("daemon is draining; submission refused")
             existing = self.jobs.get(job_id)
             if existing is not None and existing.state in _DEDUP_STATES:
                 self._deduped.inc()
+                self.log.info(
+                    "queue.deduped", job=job_id, state=existing.state,
+                )
                 return existing, False
             depth = len(self._heap)
             if depth >= self.maxsize:
                 self._rejected.inc()
-                raise QueueFull(depth, self.retry_after(depth))
+                retry_after = self.retry_after(depth)
+                self.log.warning(
+                    "queue.rejected_full", job=job_id, depth=depth,
+                    retry_after=retry_after,
+                )
+                raise QueueFull(depth, retry_after)
             job = QueuedJob(
                 id=job_id,
                 sweep=list(sweep),
                 priority=priority,
                 seq=next(self._seq),
                 submitted_at=time.time(),
+                trace=dict(trace) if trace else None,
             )
             self.jobs[job_id] = job
             heapq.heappush(self._heap, (priority, job.seq, job_id))
             self._depth.set(len(self._heap))
             self._submitted.inc()
+            self.log.info(
+                "queue.accepted", job=job_id, priority=priority,
+                depth=len(self._heap), n_subruns=len(sweep),
+                trace=(trace or {}).get("trace_id"),
+            )
             self._not_empty.notify()
             return job, True
 
@@ -224,6 +249,7 @@ class JobQueue:
             self._ewma_seconds = (
                 0.7 * self._ewma_seconds + 0.3 * max(0.01, seconds)
             )
+            self._drain_ewma.set(round(self._ewma_seconds, 6))
 
     def retry_after(self, depth: int | None = None) -> float:
         """Seconds until the queue has likely drained one slot."""
@@ -262,4 +288,5 @@ class JobQueue:
             self._heap.clear()
             self._depth.set(0)
             self._not_empty.notify_all()
+            self.log.info("queue.closed", cancelled=len(cancelled))
             return cancelled

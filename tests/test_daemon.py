@@ -416,6 +416,91 @@ class TestDaemonHTTP:
         assert exc_info.value.status == 503
 
 
+class TestDaemonTracing:
+    def test_trace_header_propagates_to_daemon_spans(
+        self, http_daemon
+    ):
+        from repro.obs import TraceContext, stitch, validate_trace
+
+        _, client = http_daemon
+        ctx = TraceContext.mint()
+        accepted = client.submit({
+            "apps": ["lu"], "kinds": ["base", "ds"], "procs": 4,
+            "preset": "tiny",
+        }, trace=ctx)
+        final = client.wait(accepted["id"], timeout=10)
+        assert final["state"] == "done"
+
+        spans = client.trace_spans(ctx.trace_id)
+        assert spans, "daemon recorded no spans for the trace"
+        assert all(s.trace_id == ctx.trace_id for s in spans)
+        names = [s.name for s in spans]
+        assert "queue-wait" in names
+        assert any(n.startswith("sweep ") for n in names)
+        assert sum(n.startswith("attempt") for n in names) == 2
+        # The daemon's root span hangs off the client's submit span.
+        queue_wait = next(s for s in spans if s.name == "queue-wait")
+        assert queue_wait.parent_id == ctx.span_id
+        # Grafting the client's own span on top yields one valid
+        # timeline — the same stitch `submit --trace-out` performs.
+        from repro.obs import Span
+
+        t0 = min(s.start for s in spans)
+        t1 = max(s.end for s in spans)
+        root = Span(ctx.trace_id, ctx.span_id, None, "submit",
+                    "client", "main", t0 - 0.001, t1 + 0.001)
+        doc = stitch([root] + spans)
+        assert validate_trace(doc) == []
+
+    def test_malformed_trace_header_is_400(self, http_daemon):
+        _, client = http_daemon
+        request = urllib.request.Request(
+            client.base_url + "/v1/jobs",
+            data=json.dumps({"apps": ["lu"], "procs": 4,
+                             "preset": "tiny"}).encode(),
+            headers={"Content-Type": "application/json",
+                     "X-Repro-Trace": "not-a-trace-context"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=5)
+        assert exc_info.value.code == 400
+
+    def test_untraced_submissions_record_no_spans(self, http_daemon):
+        daemon, client = http_daemon
+        accepted = client.submit({"apps": ["lu"], "procs": 4,
+                                  "preset": "tiny"})
+        client.wait(accepted["id"], timeout=10)
+        assert len(daemon.spans) == 0
+
+    def test_unknown_trace_id_is_empty_not_error(self, http_daemon):
+        _, client = http_daemon
+        assert client.trace_spans("feedfacefeedface") == []
+
+    def test_prometheus_exposition_endpoint(self, http_daemon):
+        from repro.obs import PROM_CONTENT_TYPE
+
+        _, client = http_daemon
+        accepted = client.submit({"apps": ["lu"], "procs": 4,
+                                  "preset": "tiny"})
+        client.wait(accepted["id"], timeout=10)
+        with urllib.request.urlopen(
+            client.base_url + "/v1/metrics?format=prom", timeout=5
+        ) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == (
+                PROM_CONTENT_TYPE
+            )
+            text = response.read().decode()
+        assert "repro_daemon_submitted_total" in text
+        assert "repro_daemon_jobs_done_total" in text
+        assert "repro_daemon_job_wait_seconds_bucket" in text
+        assert 'le="+Inf"' in text
+        # Default format is unchanged: the JSON snapshot.
+        snapshot = client.metrics()
+        assert "counters" in snapshot and "histograms" in snapshot
+
+
 class TestShardDispatch:
     def test_dispatch_merges_in_grid_order(self, tmp_path):
         daemons, servers, endpoints = [], [], []
